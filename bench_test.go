@@ -1,0 +1,564 @@
+// Package hiengine_test holds the repository-level benchmark harness: one
+// benchmark per table/figure of the paper's evaluation (Section 6) plus the
+// ablation benchmarks for the design decisions called out in DESIGN.md.
+// Full figure regeneration (sweeps, series, expected-shape comparisons) is
+// cmd/hibench; these benchmarks measure the per-operation cost of each
+// figure's workload unit so `go test -bench` gives ns/op and allocs for the
+// same code paths.
+package hiengine_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hiengine/internal/adapt"
+	"hiengine/internal/baseline/innosim"
+	"hiengine/internal/baseline/memocc"
+	"hiengine/internal/bench"
+	"hiengine/internal/clock"
+	"hiengine/internal/core"
+	"hiengine/internal/delay"
+	"hiengine/internal/engineapi"
+	"hiengine/internal/index"
+	"hiengine/internal/numa"
+	"hiengine/internal/pia"
+	"hiengine/internal/sqlfront"
+	"hiengine/internal/srss"
+	"hiengine/internal/workload/tpcc"
+)
+
+// --- Table 1 ---------------------------------------------------------------
+
+func BenchmarkTable1Architectures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Table1(bench.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 9 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// --- Figure 5: sysbench through the SQL layer -------------------------------
+
+func fig5Frontend(b *testing.B, engine string) *sqlfront.Frontend {
+	b.Helper()
+	model := delay.CloudProfile()
+	var db engineapi.DB
+	switch engine {
+	case "hiengine":
+		e, err := core.Open(core.Config{Service: srss.New(srss.Config{Model: model}), Workers: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(e.Close)
+		db = adapt.New(e)
+	case "dbms-t":
+		d, err := innosim.New(innosim.Config{Service: srss.New(srss.Config{Model: model})})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(d.Close)
+		db = d
+	case "mysql":
+		d, err := innosim.New(innosim.Config{Service: srss.New(srss.Config{Model: model}),
+			Variant: innosim.VariantMySQL})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(d.Close)
+		db = d
+	}
+	front := sqlfront.NewFrontend(engine, db)
+	sess := front.NewSession(0)
+	if _, err := sess.Exec("CREATE TABLE sbtest (id INT, k INT, c TEXT, pad TEXT, PRIMARY KEY(id))"); err != nil {
+		b.Fatal(err)
+	}
+	ins, err := sess.Prepare("INSERT INTO sbtest VALUES (?, ?, ?, ?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := ins.Exec(core.I(int64(i+1)), core.I(int64(i%97)),
+			core.S("sysbench-value"), core.S("pad")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return front
+}
+
+func BenchmarkFig5aInterpreted(b *testing.B) {
+	for _, engine := range []string{"hiengine", "dbms-t", "mysql"} {
+		for _, mode := range []string{"read", "write"} {
+			b.Run(engine+"/"+mode, func(b *testing.B) {
+				front := fig5Frontend(b, engine)
+				sess := front.NewSession(1)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					id := core.I(int64(i%1000 + 1))
+					var err error
+					if mode == "write" {
+						_, err = sess.Exec("UPDATE sbtest SET c = ? WHERE id = ?", core.S("v"), id)
+					} else {
+						_, err = sess.Exec("SELECT c FROM sbtest WHERE id = ?", id)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig5bCompiled(b *testing.B) {
+	for _, engine := range []string{"hiengine", "dbms-t", "mysql"} {
+		for _, mode := range []string{"read", "write"} {
+			b.Run(engine+"/"+mode, func(b *testing.B) {
+				front := fig5Frontend(b, engine)
+				sess := front.NewSession(1)
+				sel, err := sess.Prepare("SELECT c FROM sbtest WHERE id = ?")
+				if err != nil {
+					b.Fatal(err)
+				}
+				upd, err := sess.Prepare("UPDATE sbtest SET c = ? WHERE id = ?")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					id := core.I(int64(i%1000 + 1))
+					if mode == "write" {
+						_, err = upd.Exec(core.S("v"), id)
+					} else {
+						_, err = sel.Exec(id)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Figure 6/7: TPC-C transaction units ------------------------------------
+
+func tpccDriver(b *testing.B, engine string) *tpcc.Driver {
+	b.Helper()
+	model := delay.CloudProfile()
+	var db engineapi.DB
+	pipeline := 0
+	switch engine {
+	case "hiengine":
+		e, err := core.Open(core.Config{Service: srss.New(srss.Config{Model: model}),
+			Workers: 8, SegmentSize: 64 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(e.Close)
+		db = adapt.New(e)
+		pipeline = 8
+	case "dbms-m":
+		d, err := memocc.New(memocc.Config{Service: srss.New(srss.Config{Model: model}),
+			Workers: 8, SegmentSize: 64 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(d.Close)
+		db = d
+	}
+	sc := tpcc.SmallScale()
+	if err := tpcc.Load(db, 2, sc, 4); err != nil {
+		b.Fatal(err)
+	}
+	return tpcc.NewDriver(tpcc.Config{
+		DB: db, Warehouses: 2, Threads: 1, Scale: sc,
+		Partitioned: true, PipelineDepth: pipeline, Seed: 1,
+	})
+}
+
+func BenchmarkFig6TPCC(b *testing.B) {
+	for _, engine := range []string{"hiengine", "dbms-m"} {
+		for _, tt := range []tpcc.TxnType{tpcc.TxnNewOrder, tpcc.TxnPayment} {
+			b.Run(fmt.Sprintf("%s/%v", engine, tt), func(b *testing.B) {
+				d := tpccDriver(b, engine)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := d.RunOne(0, tt, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if err := d.DrainSessions(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig7NumaAccess(b *testing.B) {
+	topo := numa.ARMKunpeng920()
+	acct := numa.NewAccountant(topo, nil)
+	cases := []struct {
+		name string
+		core numa.Core
+		die  int
+	}{
+		{"local", topo.Core(0), 0},
+		{"remote-die", topo.Core(0), 1},
+		{"remote-socket", topo.Core(0), 2},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				acct.Access(c.core, c.die)
+			}
+		})
+	}
+}
+
+// --- Figure 8: recovery ------------------------------------------------------
+
+func BenchmarkFig8Recovery(b *testing.B) {
+	// One shared crashed instance; each iteration recovers it fully.
+	svc := srss.New(srss.Config{})
+	e, err := core.Open(core.Config{Service: svc, Workers: 8, SegmentSize: 2 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := adapt.New(e)
+	sc := tpcc.SmallScale()
+	if err := tpcc.Load(db, 2, sc, 4); err != nil {
+		b.Fatal(err)
+	}
+	d := tpcc.NewDriver(tpcc.Config{DB: db, Warehouses: 2, Threads: 4, Scale: sc,
+		Duration: 300 * time.Millisecond, Partitioned: true})
+	if _, err := d.Run(); err != nil {
+		b.Fatal(err)
+	}
+	manifest := e.ManifestID()
+	e.Close()
+
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("replay-threads-%d", threads), func(b *testing.B) {
+			var records int64
+			for i := 0; i < b.N; i++ {
+				e2, stats, err := core.Recover(core.Config{Service: svc, Workers: 2, SegmentSize: 2 << 20},
+					manifest, core.RecoverOptions{ReplayThreads: threads, SkipIndexRebuild: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				records = stats.RecordsScanned
+				e2.Close()
+			}
+			b.ReportMetric(float64(records), "records")
+		})
+	}
+}
+
+// --- Section 5.3: clocks -------------------------------------------------------
+
+func BenchmarkClockGrant(b *testing.B) {
+	b.Run("logical-rdma-3nodes", func(b *testing.B) {
+		lc := clock.NewLogicalClock(&delay.Model{RDMAFetchAdd: 40 * time.Microsecond}, nil, 1_500_000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lc.Next()
+		}
+	})
+	b.Run("global-eps10us", func(b *testing.B) {
+		gc := clock.NewGlobalClock(10*time.Microsecond, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			gc.Next()
+		}
+	})
+	b.Run("global-eps20us", func(b *testing.B) {
+		gc := clock.NewGlobalClock(20*time.Microsecond, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			gc.Next()
+		}
+	})
+	b.Run("local-counter", func(b *testing.B) {
+		c := clock.NewCounter(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Next()
+		}
+	})
+}
+
+// --- Ablation: PIA vs alternatives (DESIGN.md #1) ----------------------------
+
+func BenchmarkAblationPIA(b *testing.B) {
+	const n = 1 << 16
+	type rec struct{ v int64 }
+	b.Run("pia", func(b *testing.B) {
+		m := pia.New[rec](pia.Config{SlotBits: 20})
+		rids := make([]pia.RID, n)
+		for i := 0; i < n; i++ {
+			rids[i], _ = m.Alloc()
+			m.Store(rids[i], &rec{v: int64(i)})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if m.Get(rids[i&(n-1)]) == nil {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("gomap", func(b *testing.B) {
+		m := make(map[uint64]*rec, n)
+		for i := 0; i < n; i++ {
+			m[uint64(i)] = &rec{v: int64(i)}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if m[uint64(i&(n-1))] == nil {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("static-slice", func(b *testing.B) {
+		m := make([]*rec, n)
+		for i := 0; i < n; i++ {
+			m[i] = &rec{v: int64(i)}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if m[i&(n-1)] == nil {
+				b.Fatal("miss")
+			}
+		}
+	})
+}
+
+// --- Ablation: commit pipelining (DESIGN.md #2) --------------------------------
+
+func ablationEngine(b *testing.B, tier srss.Tier, batch int) (*core.Engine, *core.Table) {
+	b.Helper()
+	e, err := core.Open(core.Config{
+		Service:          srss.New(srss.Config{Model: delay.CloudProfile()}),
+		Workers:          64,
+		LogTier:          tier,
+		GroupCommitBatch: batch,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	tbl, err := e.CreateTable(&core.Schema{
+		Name:    "t",
+		Columns: []core.Column{{Name: "id", Kind: core.KindInt}, {Name: "v", Kind: core.KindString}},
+		Indexes: []core.IndexDef{{Name: "pk", Columns: []int{0}, Unique: true}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e, tbl
+}
+
+func BenchmarkAblationPipeline(b *testing.B) {
+	b.Run("sync-commit", func(b *testing.B) {
+		e, tbl := ablationEngine(b, srss.TierCompute, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tx, err := e.Begin(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tx.Insert(tbl, core.Row{core.I(int64(i)), core.S("v")}); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pipelined-commit", func(b *testing.B) {
+		e, tbl := ablationEngine(b, srss.TierCompute, 64)
+		window := make(chan struct{}, 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tx, err := e.Begin(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tx.Insert(tbl, core.Row{core.I(int64(i)), core.S("v")}); err != nil {
+				b.Fatal(err)
+			}
+			window <- struct{}{}
+			if err := tx.CommitAsync(func(error) { <-window }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		for i := 0; i < cap(window); i++ {
+			window <- struct{}{}
+		}
+	})
+}
+
+// --- Ablation: compute-side vs storage-side commit (DESIGN.md #3) ---------------
+
+func BenchmarkAblationCommitSide(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		tier srss.Tier
+	}{{"compute-side", srss.TierCompute}, {"storage-side", srss.TierStorage}} {
+		b.Run(c.name, func(b *testing.B) {
+			e, tbl := ablationEngine(b, c.tier, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx, err := e.Begin(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tx.Insert(tbl, core.Row{core.I(int64(i)), core.S("v")}); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation: dataless vs full-data checkpoint (DESIGN.md #4) ------------------
+
+func BenchmarkAblationCheckpoint(b *testing.B) {
+	setup := func(b *testing.B) (*core.Engine, *core.Table) {
+		e, tbl := ablationEngine(b, srss.TierCompute, 64)
+		for i := 0; i < 20000; i++ {
+			tx, _ := e.Begin(0)
+			if _, err := tx.Insert(tbl, core.Row{core.I(int64(i)), core.S("payload-payload-payload-payload")}); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return e, tbl
+	}
+	b.Run("dataless", func(b *testing.B) {
+		e, _ := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-data", func(b *testing.B) {
+		// What a conventional checkpoint would write: every live row's
+		// payload, not just its address.
+		e, tbl := setup(b)
+		svc := e.Service()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			plog, err := svc.Create(srss.TierCompute)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tx, _ := e.Begin(1)
+			buf := make([]byte, 0, 64<<10)
+			err = tx.ScanKey(tbl, 0, nil, nil, func(_ core.RID, row core.Row) bool {
+				buf = core.EncodeRow(buf, row)
+				if len(buf) >= 64<<10 {
+					if _, err := plog.Append(buf); err != nil {
+						b.Fatal(err)
+					}
+					buf = buf[:0]
+				}
+				return true
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(buf) > 0 {
+				if _, err := plog.Append(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			tx.Commit()
+			svc.Delete(plog.ID())
+		}
+	})
+}
+
+// --- Ablation: group commit batch size (DESIGN.md #6) ---------------------------
+
+// Group commit engages when multiple in-flight commits share one log stream
+// (the paper's per-core I/O thread serving a pipelining worker), so the
+// ablation drives one worker with a deep pipeline and varies the batch cap.
+func BenchmarkAblationGroupCommit(b *testing.B) {
+	for _, batch := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
+			e, tbl := ablationEngine(b, srss.TierCompute, batch)
+			window := make(chan struct{}, 32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx, err := e.Begin(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tx.Insert(tbl, core.Row{core.I(int64(i)), core.S("v")}); err != nil {
+					b.Fatal(err)
+				}
+				window <- struct{}{}
+				if err := tx.CommitAsync(func(error) { <-window }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			for i := 0; i < cap(window); i++ {
+				window <- struct{}{}
+			}
+		})
+	}
+}
+
+// --- Ablation: LSM index component count ----------------------------------------
+
+func BenchmarkAblationIndexComponents(b *testing.B) {
+	build := func(b *testing.B, freezes int) *index.Index {
+		svc := srss.New(srss.Config{})
+		ix := index.New(index.Config{Service: svc})
+		per := 30000 / (freezes + 1)
+		n := 0
+		for f := 0; f <= freezes; f++ {
+			for i := 0; i < per; i++ {
+				key := core.EncodeKey(nil, core.I(int64(n)))
+				if err := ix.Insert(key, uint64(n+1)); err != nil {
+					b.Fatal(err)
+				}
+				n++
+			}
+			if f < freezes {
+				if err := ix.Freeze(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		return ix
+	}
+	for _, comps := range []int{0, 1, 3} {
+		b.Run(fmt.Sprintf("frozen-components-%d", comps), func(b *testing.B) {
+			ix := build(b, comps)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := core.EncodeKey(nil, core.I(int64(i%30000)))
+				if _, ok, err := ix.Get(key); err != nil || !ok {
+					b.Fatalf("miss at %d: %v", i%30000, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+// Command hibench regenerates the tables and figures of the HiEngine paper's
+// evaluation (Section 6). Each experiment builds the engines it compares in
+// a simulated cloud deployment, runs the paper's workload, and prints the
+// measured series next to the paper's expected shape.
+//
+// Usage:
+//
+//	hibench -exp all              # every experiment, full scale
+//	hibench -exp fig5a            # one experiment
+//	hibench -exp fig6 -quick      # reduced scale (CI-sized)
+//	hibench -list                 # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hiengine/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		quick    = flag.Bool("quick", false, "reduced dataset sizes and durations")
+		threads  = flag.Int("threads", 0, "override worker thread count (0 = per-experiment default)")
+		duration = flag.Duration("duration", 0, "override per-measurement duration (0 = default)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		verbose  = flag.Bool("v", false, "print progress lines")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range bench.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{Quick: *quick, Threads: *threads, Duration: *duration}
+	if *verbose {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+	}
+
+	var runners []bench.Runner
+	if *exp == "all" {
+		runners = bench.All()
+	} else {
+		r, ok := bench.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hibench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		runners = []bench.Runner{r}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		rep, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hibench: %s failed: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,117 @@
+// Command hishell is an interactive SQL shell over HiEngine, with the
+// storage-centric baseline registered as a second engine so the vertical
+// multi-engine deployment (Figure 3, left) can be driven by hand:
+//
+//	CREATE TABLE fast (id INT, v TEXT, PRIMARY KEY(id)) WITH ENGINE=hiengine
+//	CREATE TABLE slow (id INT, v TEXT, PRIMARY KEY(id)) WITH ENGINE=innodb
+//	INSERT INTO fast VALUES (1, 'hello')
+//	SELECT * FROM fast WHERE id = 1
+//	BEGIN / COMMIT / ROLLBACK
+//
+// Meta commands: \q quit, \stats engine counters, \checkpoint, \gc, \compact.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"hiengine/internal/adapt"
+	"hiengine/internal/baseline/innosim"
+	"hiengine/internal/core"
+	"hiengine/internal/delay"
+	"hiengine/internal/sqlfront"
+	"hiengine/internal/srss"
+)
+
+func main() {
+	model := delay.CloudProfile()
+	engine, err := core.Open(core.Config{
+		Service: srss.New(srss.Config{Model: model}),
+		Workers: 8,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hishell:", err)
+		os.Exit(1)
+	}
+	defer engine.Close()
+
+	inno, err := innosim.New(innosim.Config{Service: srss.New(srss.Config{Model: model})})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hishell:", err)
+		os.Exit(1)
+	}
+	defer inno.Close()
+
+	front := sqlfront.NewFrontend("hiengine", adapt.New(engine))
+	front.Register("innodb", inno)
+	sess := front.NewSession(0)
+
+	fmt.Println("HiEngine shell -- engines: hiengine (default), innodb. \\q to quit.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		if sess.InTxn() {
+			fmt.Print("hiengine*> ")
+		} else {
+			fmt.Print("hiengine> ")
+		}
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case line == `\stats`:
+			s := engine.Stats()
+			fmt.Printf("commits=%d aborts=%d conflicts=%d reclaimed=%d checkpoints=%d compactions=%d log=%dB\n",
+				s.Commits.Load(), s.Aborts.Load(), s.Conflicts.Load(),
+				s.ReclaimedVersions.Load(), s.Checkpoints.Load(), s.Compactions.Load(),
+				engine.Log().TotalBytes())
+			continue
+		case line == `\checkpoint`:
+			csn, err := engine.Checkpoint()
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("checkpoint at CSN %d\n", csn)
+			}
+			continue
+		case line == `\gc`:
+			fmt.Printf("reclaimed %d versions\n", engine.RunGC())
+			continue
+		case line == `\compact`:
+			stats, err := engine.CompactFull()
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("rewrote %d records (%d B), dropped %d segments, reclaimed %d B\n",
+					stats.RecordsRewritten, stats.BytesRewritten, stats.SegmentsDropped, stats.BytesReclaimed)
+			}
+			continue
+		}
+		res, err := sess.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		if len(res.Rows) > 0 {
+			fmt.Printf("(%d rows)\n", len(res.Rows))
+		} else if res.Affected > 0 {
+			fmt.Printf("OK, %d affected\n", res.Affected)
+		} else {
+			fmt.Println("OK")
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module hiengine
+
+go 1.22

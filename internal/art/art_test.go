@@ -1,0 +1,659 @@
+package art
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertSearchBasic(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("hello"), 1)
+	tr.Insert([]byte("world"), 2)
+	if rid, ok, tomb := tr.Search([]byte("hello")); !ok || tomb || rid != 1 {
+		t.Fatalf("hello: %d %v %v", rid, ok, tomb)
+	}
+	if rid, ok, _ := tr.Search([]byte("world")); !ok || rid != 2 {
+		t.Fatalf("world: %d %v", rid, ok)
+	}
+	if _, ok, _ := tr.Search([]byte("nope")); ok {
+		t.Fatal("found absent key")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestUpsertReplaces(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("k"), 1)
+	tr.Insert([]byte("k"), 2)
+	if rid, ok, _ := tr.Search([]byte("k")); !ok || rid != 2 {
+		t.Fatalf("got %d %v", rid, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after upsert", tr.Len())
+	}
+}
+
+func TestPrefixKeys(t *testing.T) {
+	// Keys that are prefixes of each other exercise terminal leaves.
+	tr := New()
+	keys := []string{"", "a", "ab", "abc", "abcd", "abd", "b"}
+	for i, k := range keys {
+		tr.Insert([]byte(k), uint64(i+1))
+	}
+	for i, k := range keys {
+		rid, ok, _ := tr.Search([]byte(k))
+		if !ok || rid != uint64(i+1) {
+			t.Fatalf("key %q: rid=%d ok=%v", k, rid, ok)
+		}
+	}
+	if _, ok, _ := tr.Search([]byte("abcde")); ok {
+		t.Fatal("found absent extension")
+	}
+	if _, ok, _ := tr.Search([]byte("abce")); ok {
+		t.Fatal("found absent sibling")
+	}
+}
+
+func TestPrefixSplit(t *testing.T) {
+	tr := New()
+	// Long shared prefix forces path compression, then a divergence
+	// inside the compressed path forces a split.
+	tr.Insert([]byte("aaaaaaaaaaX1"), 1)
+	tr.Insert([]byte("aaaaaaaaaaX2"), 2)
+	tr.Insert([]byte("aaaaaBBBBBBB"), 3) // diverges inside "aaaaaaaaaaX"
+	for k, want := range map[string]uint64{"aaaaaaaaaaX1": 1, "aaaaaaaaaaX2": 2, "aaaaaBBBBBBB": 3} {
+		if rid, ok, _ := tr.Search([]byte(k)); !ok || rid != want {
+			t.Fatalf("key %q: rid=%d ok=%v want %d", k, rid, ok, want)
+		}
+	}
+}
+
+func TestTombstone(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("k"), 9)
+	tr.InsertTombstone([]byte("k"))
+	rid, ok, tomb := tr.Search([]byte("k"))
+	if !ok || !tomb {
+		t.Fatalf("tombstone not visible: rid=%d ok=%v tomb=%v", rid, ok, tomb)
+	}
+}
+
+func TestNodeGrowth(t *testing.T) {
+	// >48 distinct first bytes under one parent forces k16 -> k48 -> k256.
+	tr := New()
+	for i := 0; i < 256; i++ {
+		key := []byte{'p', byte(i), 'x'}
+		tr.Insert(key, uint64(i+1))
+	}
+	for i := 0; i < 256; i++ {
+		key := []byte{'p', byte(i), 'x'}
+		if rid, ok, _ := tr.Search(key); !ok || rid != uint64(i+1) {
+			t.Fatalf("key %v: rid=%d ok=%v", key, rid, ok)
+		}
+	}
+	if tr.Len() != 256 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func u64key(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func TestPropertyMapEquivalence(t *testing.T) {
+	tr := New()
+	ref := make(map[string]uint64)
+	f := func(key []byte, rid uint64) bool {
+		if len(key) > 64 {
+			key = key[:64]
+		}
+		tr.Insert(key, rid)
+		ref[string(key)] = rid
+		// Spot-check this key and one random existing key.
+		if got, ok, _ := tr.Search(key); !ok || got != rid {
+			return false
+		}
+		for k, v := range ref {
+			got, ok, _ := tr.Search([]byte(k))
+			return ok && got == v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+	// Full sweep.
+	for k, v := range ref {
+		if got, ok, _ := tr.Search([]byte(k)); !ok || got != v {
+			t.Fatalf("final check %q: got=%d ok=%v want=%d", k, got, ok, v)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+}
+
+func TestScanOrderedComplete(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(7))
+	ref := make(map[string]uint64)
+	for i := 0; i < 5000; i++ {
+		k := u64key(uint64(rng.Intn(100000)))
+		ref[string(k)] = uint64(i)
+		tr.Insert(k, uint64(i))
+	}
+	var keys []string
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	tr.Scan(nil, nil, func(k []byte, rid uint64, tomb bool) bool {
+		if i >= len(keys) {
+			t.Fatalf("scan produced extra key %x", k)
+		}
+		if string(k) != keys[i] {
+			t.Fatalf("scan out of order at %d: got %x want %x", i, k, keys[i])
+		}
+		if rid != ref[keys[i]] {
+			t.Fatalf("scan rid mismatch at %x", k)
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("scan visited %d of %d", i, len(keys))
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(u64key(uint64(i*3)), uint64(i))
+	}
+	from, to := u64key(300), u64key(600)
+	var got []uint64
+	tr.Scan(from, to, func(k []byte, rid uint64, _ bool) bool {
+		got = append(got, binary.BigEndian.Uint64(k))
+		return true
+	})
+	var want []uint64
+	for i := 0; i < 1000; i++ {
+		v := uint64(i * 3)
+		if v >= 300 && v < 600 {
+			want = append(want, v)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("range scan got %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("range scan key %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(u64key(uint64(i)), uint64(i))
+	}
+	n := 0
+	tr.Scan(nil, nil, func([]byte, uint64, bool) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("visited %d, want 5", n)
+	}
+}
+
+func TestScanVariableLengthKeysOrdered(t *testing.T) {
+	tr := New()
+	keys := []string{"", "a", "aa", "aaa", "ab", "b", "ba", "z"}
+	perm := rand.Perm(len(keys))
+	for _, i := range perm {
+		tr.Insert([]byte(keys[i]), uint64(i))
+	}
+	var got []string
+	tr.Scan(nil, nil, func(k []byte, _ uint64, _ bool) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestConcurrentInsertSearch(t *testing.T) {
+	tr := New()
+	const workers = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := u64key(uint64(w)<<32 | uint64(i))
+				tr.Insert(k, uint64(w*per+i+1))
+				if rid, ok, _ := tr.Search(k); !ok || rid != uint64(w*per+i+1) {
+					t.Errorf("lost own insert w=%d i=%d", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", tr.Len(), workers*per)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i += 97 {
+			k := u64key(uint64(w)<<32 | uint64(i))
+			if rid, ok, _ := tr.Search(k); !ok || rid != uint64(w*per+i+1) {
+				t.Fatalf("post-hoc miss w=%d i=%d", w, i)
+			}
+		}
+	}
+}
+
+func TestConcurrentMixedHotKeys(t *testing.T) {
+	// Contended upserts on a small key space plus concurrent scans: the
+	// OLC paths must neither lose updates nor crash/livelock.
+	tr := New()
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers/2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				tr.Insert(u64key(uint64(i%64)), uint64(i+1))
+			}
+		}(w)
+	}
+	for w := 0; w < workers/2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := 0
+				tr.Scan(nil, nil, func([]byte, uint64, bool) bool { n++; return true })
+			}
+		}()
+	}
+	// Wait for writers, then stop scanners.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for w := 0; w < workers/2; w++ {
+	}
+	close(stop)
+	<-done
+	for i := 0; i < 64; i++ {
+		if _, ok, _ := tr.Search(u64key(uint64(i))); !ok {
+			t.Fatalf("hot key %d missing", i)
+		}
+	}
+}
+
+func treeEntries(tr *Tree) []Entry {
+	var out []Entry
+	tr.Scan(nil, nil, func(k []byte, rid uint64, tomb bool) bool {
+		out = append(out, Entry{Key: append([]byte(nil), k...), RID: rid, Tomb: tomb})
+		return true
+	})
+	return out
+}
+
+func TestMergeUnionNewerWins(t *testing.T) {
+	newer, older := New(), New()
+	ref := make(map[string]uint64)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		k := u64key(uint64(rng.Intn(3000)))
+		older.Insert(k, uint64(i))
+		ref[string(k)] = uint64(i)
+	}
+	for i := 0; i < 2000; i++ {
+		k := u64key(uint64(rng.Intn(3000)))
+		newer.Insert(k, uint64(100000+i))
+		ref[string(k)] = uint64(100000 + i)
+	}
+	merged := newer.Merge(older, false)
+	if merged.Len() != len(ref) {
+		t.Fatalf("merged Len = %d, want %d", merged.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok, _ := merged.Search([]byte(k))
+		if !ok || got != v {
+			t.Fatalf("merged[%x] = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	// Inputs untouched.
+	if older.Len() != 0 && newer.Len() != 0 {
+		e := treeEntries(older)
+		if len(e) == 0 {
+			t.Fatal("older tree mutated")
+		}
+	}
+}
+
+func TestMergeVariableLengthAndPrefixCases(t *testing.T) {
+	// Exercise inner/inner unequal-prefix, inner/leaf and leaf/leaf cases.
+	a, b := New(), New()
+	aKeys := []string{"app", "apple", "applesauce", "banana", "x"}
+	bKeys := []string{"app", "application", "band", "bandana", "x", "xyz"}
+	for i, k := range aKeys {
+		a.Insert([]byte(k), uint64(i+1))
+	}
+	for i, k := range bKeys {
+		b.Insert([]byte(k), uint64(100+i))
+	}
+	m := a.Merge(b, false)
+	ref := map[string]uint64{}
+	for i, k := range bKeys {
+		ref[k] = uint64(100 + i)
+	}
+	for i, k := range aKeys {
+		ref[k] = uint64(i + 1) // newer wins
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d want %d; entries: %v", m.Len(), len(ref), treeEntries(m))
+	}
+	for k, v := range ref {
+		if got, ok, _ := m.Search([]byte(k)); !ok || got != v {
+			t.Fatalf("m[%q] = %d,%v want %d", k, got, ok, v)
+		}
+	}
+}
+
+func TestMergeTombstones(t *testing.T) {
+	newer, older := New(), New()
+	older.Insert([]byte("keep"), 1)
+	older.Insert([]byte("kill"), 2)
+	newer.InsertTombstone([]byte("kill"))
+	// Retained tombstone (not the oldest component).
+	m := newer.Merge(older, false)
+	if _, ok, tomb := m.Search([]byte("kill")); !ok || !tomb {
+		t.Fatal("tombstone dropped in non-final merge")
+	}
+	// Dropped tombstone (final merge).
+	m2 := newer.Merge(older, true)
+	if _, ok, _ := m2.Search([]byte("kill")); ok {
+		t.Fatal("deleted key resurfaced in final merge")
+	}
+	if rid, ok, _ := m2.Search([]byte("keep")); !ok || rid != 1 {
+		t.Fatal("unrelated key lost in final merge")
+	}
+	if m2.Len() != 1 {
+		t.Fatalf("final merge Len = %d", m2.Len())
+	}
+}
+
+func TestPropertyMergeEquivalence(t *testing.T) {
+	f := func(aKeys, bKeys []uint16) bool {
+		a, b := New(), New()
+		ref := make(map[string]uint64)
+		for i, k := range bKeys {
+			key := u64key(uint64(k))
+			b.Insert(key, uint64(1000+i))
+			ref[string(key)] = uint64(1000 + i)
+		}
+		for i, k := range aKeys {
+			key := u64key(uint64(k))
+			a.Insert(key, uint64(i))
+			ref[string(key)] = uint64(i)
+		}
+		m := a.Merge(b, false)
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok, _ := m.Search([]byte(k)); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- serialized components ------------------------------------------------
+
+// memRegion is an in-memory Appender/ByteSource for tests.
+type memRegion struct {
+	b []byte
+}
+
+func (m *memRegion) Append(data []byte) (int64, error) {
+	off := int64(len(m.b))
+	m.b = append(m.b, data...)
+	return off, nil
+}
+
+func (m *memRegion) At(off int64, n int) ([]byte, error) {
+	if off < 0 || off+int64(n) > int64(len(m.b)) {
+		return nil, fmt.Errorf("memRegion: out of range")
+	}
+	return m.b[off : off+int64(n)], nil
+}
+
+func (m *memRegion) Len() int64 { return int64(len(m.b)) }
+
+func buildComponent(t *testing.T, tr *Tree) *Component {
+	t.Helper()
+	r := &memRegion{}
+	res, err := SerializeTree(tr, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenComponent(r, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSerializeSearchEquivalence(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	ref := make(map[string]uint64)
+	for i := 0; i < 4000; i++ {
+		k := u64key(uint64(rng.Intn(10000)))
+		if rng.Intn(10) == 0 {
+			k = k[:rng.Intn(8)] // variable lengths
+		}
+		tr.Insert(k, uint64(i+1))
+		ref[string(k)] = uint64(i + 1)
+	}
+	tr.InsertTombstone([]byte("gone"))
+	c := buildComponent(t, tr)
+	if c.Count() != int64(tr.Len()) {
+		t.Fatalf("Count = %d, want %d", c.Count(), tr.Len())
+	}
+	for k, v := range ref {
+		rid, ok, tomb, err := c.Search([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || tomb || rid != v {
+			t.Fatalf("disk[%x] = %d,%v,%v want %d", k, rid, ok, tomb, v)
+		}
+	}
+	if _, ok, tomb, _ := c.Search([]byte("gone")); !ok || !tomb {
+		t.Fatal("tombstone lost in serialization")
+	}
+	if _, ok, _, _ := c.Search([]byte("never-inserted")); ok {
+		t.Fatal("found absent key on disk")
+	}
+}
+
+func TestSerializedScanMatchesTreeScan(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		tr.Insert(u64key(uint64(rng.Intn(50000))), uint64(i))
+	}
+	c := buildComponent(t, tr)
+	var mem, disk []Entry
+	tr.Scan(u64key(1000), u64key(40000), func(k []byte, rid uint64, tomb bool) bool {
+		mem = append(mem, Entry{Key: append([]byte(nil), k...), RID: rid, Tomb: tomb})
+		return true
+	})
+	if err := c.Scan(u64key(1000), u64key(40000), func(k []byte, rid uint64, tomb bool) bool {
+		disk = append(disk, Entry{Key: append([]byte(nil), k...), RID: rid, Tomb: tomb})
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(mem) != len(disk) {
+		t.Fatalf("scan lengths differ: mem=%d disk=%d", len(mem), len(disk))
+	}
+	for i := range mem {
+		if !bytes.Equal(mem[i].Key, disk[i].Key) || mem[i].RID != disk[i].RID {
+			t.Fatalf("scan entry %d differs", i)
+		}
+	}
+}
+
+func TestComponentIterOrdered(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(u64key(uint64(i*7)), uint64(i))
+	}
+	c := buildComponent(t, tr)
+	it := c.Iter()
+	var prev []byte
+	n := 0
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		if prev != nil && bytes.Compare(prev, e.Key) >= 0 {
+			t.Fatalf("iterator out of order at %d", n)
+		}
+		prev = append(prev[:0], e.Key...)
+		n++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if n != 1000 {
+		t.Fatalf("iterated %d, want 1000", n)
+	}
+}
+
+func TestBuildFromSortedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := make(map[string]uint64)
+	for i := 0; i < 2000; i++ {
+		ref[string(u64key(uint64(rng.Intn(100000))))] = uint64(i)
+	}
+	var entries []Entry
+	for k, v := range ref {
+		entries = append(entries, Entry{Key: []byte(k), RID: v})
+	}
+	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].Key, entries[j].Key) < 0 })
+	r := &memRegion{}
+	res, err := BuildFromSorted(entries, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenComponent(r, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != int64(len(entries)) {
+		t.Fatalf("Count = %d want %d", c.Count(), len(entries))
+	}
+	for k, v := range ref {
+		rid, ok, _, err := c.Search([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || rid != v {
+			t.Fatalf("built[%x] = %d,%v want %d", k, rid, ok, v)
+		}
+	}
+	// Ordered iteration equals input order.
+	it := c.Iter()
+	for i := range entries {
+		e, ok := it.Next()
+		if !ok || !bytes.Equal(e.Key, entries[i].Key) {
+			t.Fatalf("iter mismatch at %d", i)
+		}
+	}
+}
+
+func TestBuildFromSortedRejectsUnsorted(t *testing.T) {
+	r := &memRegion{}
+	entries := []Entry{{Key: []byte("b")}, {Key: []byte("a")}}
+	if _, err := BuildFromSorted(entries, r); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+	dup := []Entry{{Key: []byte("a")}, {Key: []byte("a")}}
+	if _, err := BuildFromSorted(dup, r); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+}
+
+func TestBuildFromSortedEmpty(t *testing.T) {
+	r := &memRegion{}
+	res, err := BuildFromSorted(nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenComponent(r, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _, _ := c.Search([]byte("x")); ok {
+		t.Fatal("found key in empty component")
+	}
+	if _, ok := c.Iter().Next(); ok {
+		t.Fatal("empty component iterated entries")
+	}
+}
+
+func TestEmptyTreeSerialize(t *testing.T) {
+	c := buildComponent(t, New())
+	if _, ok, _, _ := c.Search([]byte("x")); ok {
+		t.Fatal("found key in empty tree component")
+	}
+}
+
+func TestOpenComponentRejectsGarbage(t *testing.T) {
+	r := &memRegion{b: []byte{'Z', 1, 2, 3}}
+	if _, err := OpenComponent(r, SerializeResult{RootOff: 1, Length: 4}); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	r2 := &memRegion{b: []byte{'A', 1, 2, 3}}
+	if _, err := OpenComponent(r2, SerializeResult{RootOff: 99, Length: 4}); err == nil {
+		t.Fatal("bad root offset accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package art
+
+import (
+	"bytes"
+	"sync"
+)
+
+// Scan visits entries with from <= key < to in ascending key order, calling
+// fn until it returns false. A nil from means "from the beginning"; a nil to
+// means "to the end". Tombstones are visited with tomb=true so that
+// multi-component merging scans can suppress deleted keys.
+//
+// Scan is safe to run concurrently with writers; it reads each node under
+// optimistic version validation and retries nodes that change underneath it.
+// It does not promise a point-in-time snapshot of the index -- in HiEngine
+// that guarantee comes from MVCC visibility over the returned RIDs, not from
+// the index itself.
+func (t *Tree) Scan(from, to []byte, fn func(key []byte, rid uint64, tomb bool) bool) {
+	t.scanNode(t.root, nil, from, to, fn)
+}
+
+// innerSnapshot is a consistent copy of an inner node's routing state.
+type innerSnapshot struct {
+	prefix   []byte
+	term     *node
+	children []snapChild
+}
+
+type snapChild struct {
+	b byte
+	c *node
+}
+
+var snapPool = sync.Pool{
+	New: func() interface{} { return &innerSnapshot{children: make([]snapChild, 0, 64)} },
+}
+
+// snapshotInto reads n's routing state into s under version validation,
+// retrying until a consistent view is observed. ok is false when the node
+// became obsolete.
+func (n *node) snapshotInto(s *innerSnapshot) (ok bool) {
+	for {
+		v, alive := n.rLock()
+		if !alive {
+			return false
+		}
+		s.prefix = n.loadPrefix()
+		s.term = n.term.Load()
+		s.children = s.children[:0]
+		n.eachChild(func(b byte, c *node) bool {
+			s.children = append(s.children, snapChild{b, c})
+			return true
+		})
+		if n.rValidate(v) {
+			return true
+		}
+	}
+}
+
+// prefixMayIntersect reports whether keys having prefix p can fall in
+// [from, to).
+func prefixMayIntersect(p, from, to []byte) bool {
+	if to != nil && bytes.Compare(p, to) >= 0 {
+		// The minimum key in the subtree is p itself.
+		return false
+	}
+	if from != nil && bytes.Compare(p, from) < 0 && !bytes.HasPrefix(from, p) {
+		// Every key in the subtree is below from.
+		return false
+	}
+	return true
+}
+
+func keyInRange(k, from, to []byte) bool {
+	if from != nil && bytes.Compare(k, from) < 0 {
+		return false
+	}
+	if to != nil && bytes.Compare(k, to) >= 0 {
+		return false
+	}
+	return true
+}
+
+// scanNode returns false when fn aborted the scan.
+func (t *Tree) scanNode(n *node, acc, from, to []byte, fn func([]byte, uint64, bool) bool) bool {
+	if n.kind == kLeaf {
+		if keyInRange(n.key, from, to) {
+			return fn(n.key, n.rid, n.tomb)
+		}
+		return true
+	}
+	s := snapPool.Get().(*innerSnapshot)
+	defer snapPool.Put(s)
+	if !n.snapshotInto(s) {
+		// Node was replaced (grow/split); its contents remain reachable
+		// through the new node on the next scan, but this path cannot
+		// continue. Treat as empty: the replacing writer's data is newer
+		// than the scan's start anyway.
+		return true
+	}
+	path := append(acc, s.prefix...)
+	if !prefixMayIntersect(path, from, to) {
+		return true
+	}
+	if s.term != nil && keyInRange(s.term.key, from, to) {
+		if !fn(s.term.key, s.term.rid, s.term.tomb) {
+			return false
+		}
+	}
+	for _, ch := range s.children {
+		sub := append(path, ch.b)
+		if !prefixMayIntersect(sub, from, to) {
+			// Children are in ascending byte order: once past `to`,
+			// nothing further can match.
+			if to != nil && bytes.Compare(sub, to) >= 0 {
+				return true
+			}
+			continue
+		}
+		if !t.scanNode(ch.c, sub, from, to, fn) {
+			return false
+		}
+		path = sub[:len(path)] // keep reusing the same backing array
+	}
+	return true
+}
+
+// Min returns the smallest key in the tree (nil if empty). Tombstones count.
+func (t *Tree) Min() (key []byte, rid uint64, ok bool) {
+	t.Scan(nil, nil, func(k []byte, r uint64, _ bool) bool {
+		key, rid, ok = k, r, true
+		return false
+	})
+	return key, rid, ok
+}

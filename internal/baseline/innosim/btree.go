@@ -1,0 +1,345 @@
+package innosim
+
+import (
+	"bytes"
+	"container/list"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hiengine/internal/core"
+	"hiengine/internal/srss"
+)
+
+// table is one clustered B+tree keyed by the encoded primary key. Point
+// operations descend under the table's structure read-lock with per-page
+// latches; structural modifications (splits) retry under the exclusive
+// structure lock -- a simplification of InnoDB's index latching that keeps
+// the same cost shape: every page visit goes through the buffer pool.
+type table struct {
+	id      uint32
+	schema  *core.Schema
+	pool    *bufferPool
+	leafCap int
+
+	mu   sync.RWMutex
+	root *page
+}
+
+type page struct {
+	id    uint64
+	latch sync.RWMutex
+	leaf  bool
+	keys  [][]byte
+	// children[i] subtree holds keys < keys[i]; children[len(keys)] the
+	// rest (internal pages only).
+	children []*page
+	rows     [][]byte // leaf payloads
+	next     *page    // leaf chain
+}
+
+func newTable(id uint32, s *core.Schema, pool *bufferPool, leafCap int) *table {
+	t := &table{id: id, schema: s, pool: pool, leafCap: leafCap}
+	t.root = pool.newPage(true)
+	return t
+}
+
+func (t *table) pkOf(row core.Row) ([]byte, error) {
+	def := t.schema.Indexes[0]
+	vals := make([]core.Value, len(def.Columns))
+	for i, c := range def.Columns {
+		vals[i] = row[c]
+	}
+	return core.EncodeKey(nil, vals...), nil
+}
+
+// findLeaf descends to the leaf covering key, charging a buffer-pool touch
+// per page. Caller holds t.mu (read or write).
+func (t *table) findLeaf(key []byte) *page {
+	p := t.root
+	for {
+		t.pool.touch(p.id, false)
+		if p.leaf {
+			return p
+		}
+		i := sort.Search(len(p.keys), func(i int) bool { return bytes.Compare(key, p.keys[i]) < 0 })
+		p = p.children[i]
+	}
+}
+
+// search returns the encoded row for key.
+func (t *table) search(key []byte) ([]byte, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf := t.findLeaf(key)
+	leaf.latch.RLock()
+	defer leaf.latch.RUnlock()
+	i := sort.Search(len(leaf.keys), func(i int) bool { return bytes.Compare(leaf.keys[i], key) >= 0 })
+	if i < len(leaf.keys) && bytes.Equal(leaf.keys[i], key) {
+		return leaf.rows[i], true
+	}
+	return nil, false
+}
+
+// insertOrReplace upserts key -> enc, splitting pages as needed.
+func (t *table) insertOrReplace(key, enc []byte) {
+	// Fast path: fits in the leaf without structural change.
+	t.mu.RLock()
+	leaf := t.findLeaf(key)
+	leaf.latch.Lock()
+	i := sort.Search(len(leaf.keys), func(i int) bool { return bytes.Compare(leaf.keys[i], key) >= 0 })
+	if i < len(leaf.keys) && bytes.Equal(leaf.keys[i], key) {
+		leaf.rows[i] = enc
+		t.pool.touch(leaf.id, true)
+		leaf.latch.Unlock()
+		t.mu.RUnlock()
+		return
+	}
+	if len(leaf.keys) < t.leafCap {
+		leaf.keys = append(leaf.keys, nil)
+		leaf.rows = append(leaf.rows, nil)
+		copy(leaf.keys[i+1:], leaf.keys[i:])
+		copy(leaf.rows[i+1:], leaf.rows[i:])
+		leaf.keys[i] = key
+		leaf.rows[i] = enc
+		t.pool.touch(leaf.id, true)
+		leaf.latch.Unlock()
+		t.mu.RUnlock()
+		return
+	}
+	leaf.latch.Unlock()
+	t.mu.RUnlock()
+
+	// Slow path: structural change under the exclusive lock.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.insertLocked(key, enc)
+}
+
+// insertLocked performs a recursive insert with splits; caller holds t.mu
+// exclusively, so no page latches are needed.
+func (t *table) insertLocked(key, enc []byte) {
+	promoted, right := t.insertRec(t.root, key, enc)
+	if right != nil {
+		newRoot := t.pool.newPage(false)
+		newRoot.keys = [][]byte{promoted}
+		newRoot.children = []*page{t.root, right}
+		t.root = newRoot
+	}
+}
+
+func (t *table) insertRec(p *page, key, enc []byte) ([]byte, *page) {
+	t.pool.touch(p.id, true)
+	if p.leaf {
+		i := sort.Search(len(p.keys), func(i int) bool { return bytes.Compare(p.keys[i], key) >= 0 })
+		if i < len(p.keys) && bytes.Equal(p.keys[i], key) {
+			p.rows[i] = enc
+			return nil, nil
+		}
+		p.keys = append(p.keys, nil)
+		p.rows = append(p.rows, nil)
+		copy(p.keys[i+1:], p.keys[i:])
+		copy(p.rows[i+1:], p.rows[i:])
+		p.keys[i] = key
+		p.rows[i] = enc
+		if len(p.keys) <= t.leafCap {
+			return nil, nil
+		}
+		// Split.
+		mid := len(p.keys) / 2
+		right := t.pool.newPage(true)
+		right.keys = append(right.keys, p.keys[mid:]...)
+		right.rows = append(right.rows, p.rows[mid:]...)
+		p.keys = p.keys[:mid]
+		p.rows = p.rows[:mid]
+		right.next = p.next
+		p.next = right
+		return right.keys[0], right
+	}
+	i := sort.Search(len(p.keys), func(i int) bool { return bytes.Compare(key, p.keys[i]) < 0 })
+	promoted, right := t.insertRec(p.children[i], key, enc)
+	if right == nil {
+		return nil, nil
+	}
+	p.keys = append(p.keys, nil)
+	p.children = append(p.children, nil)
+	copy(p.keys[i+1:], p.keys[i:])
+	copy(p.children[i+2:], p.children[i+1:])
+	p.keys[i] = promoted
+	p.children[i+1] = right
+	if len(p.keys) <= t.leafCap {
+		return nil, nil
+	}
+	mid := len(p.keys) / 2
+	upKey := p.keys[mid]
+	rightP := t.pool.newPage(false)
+	rightP.keys = append(rightP.keys, p.keys[mid+1:]...)
+	rightP.children = append(rightP.children, p.children[mid+1:]...)
+	p.keys = p.keys[:mid]
+	p.children = p.children[:mid+1]
+	return upKey, rightP
+}
+
+// delete removes key (no page merging; freed slots are reused on insert,
+// like InnoDB's lazy approach).
+func (t *table) delete(key []byte) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf := t.findLeaf(key)
+	leaf.latch.Lock()
+	defer leaf.latch.Unlock()
+	i := sort.Search(len(leaf.keys), func(i int) bool { return bytes.Compare(leaf.keys[i], key) >= 0 })
+	if i >= len(leaf.keys) || !bytes.Equal(leaf.keys[i], key) {
+		return false
+	}
+	leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+	leaf.rows = append(leaf.rows[:i], leaf.rows[i+1:]...)
+	t.pool.touch(leaf.id, true)
+	return true
+}
+
+// scan visits [from, to) in key order.
+func (t *table) scan(from, to []byte, fn func(key, enc []byte) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf := t.findLeaf(from)
+	for leaf != nil {
+		leaf.latch.RLock()
+		t.pool.touch(leaf.id, false)
+		keys := append([][]byte(nil), leaf.keys...)
+		rows := append([][]byte(nil), leaf.rows...)
+		next := leaf.next
+		leaf.latch.RUnlock()
+		for i, k := range keys {
+			if bytes.Compare(k, from) < 0 {
+				continue
+			}
+			if to != nil && bytes.Compare(k, to) >= 0 {
+				return
+			}
+			if !fn(k, rows[i]) {
+				return
+			}
+		}
+		leaf = next
+	}
+}
+
+// --- buffer pool ------------------------------------------------------------
+
+// bufferPool models InnoDB's buffer pool: a bounded resident set with LRU
+// replacement. Every page access pays the pool's bookkeeping (hash lookup,
+// LRU bump under a mutex); misses charge a cross-layer storage read and may
+// evict a dirty page, charging a cross-layer write-back.
+type bufferPool struct {
+	svc      *srss.Service
+	capacity int
+	// touchCost is charged on every page access (hit or miss): the
+	// buffer-pool management overhead a page-based engine pays that an
+	// indirection-array engine does not. The MySQL variant pays a
+	// multiple, reflecting its duplicated storage work (Taurus paper).
+	touchCost time.Duration
+
+	mu       sync.Mutex
+	resident map[uint64]*list.Element
+	lru      *list.List // front = most recent; values are pageIDs
+	dirty    map[uint64]bool
+
+	pageSeq atomic.Uint64
+
+	// Stats.
+	Hits       atomic.Int64
+	Misses     atomic.Int64
+	Writebacks atomic.Int64
+}
+
+func newBufferPool(svc *srss.Service, capacity int, touchFactor int) *bufferPool {
+	return &bufferPool{
+		svc:       svc,
+		capacity:  capacity,
+		touchCost: svc.Model().PageAccess * time.Duration(touchFactor),
+		resident:  make(map[uint64]*list.Element),
+		lru:       list.New(),
+		dirty:     make(map[uint64]bool),
+	}
+}
+
+// newPage allocates a fresh page, resident and dirty (no read charge).
+func (bp *bufferPool) newPage(leaf bool) *page {
+	p := &page{id: bp.pageSeq.Add(1), leaf: leaf}
+	bp.mu.Lock()
+	bp.admit(p.id)
+	bp.dirty[p.id] = true
+	bp.mu.Unlock()
+	return p
+}
+
+// touch records an access to pageID, charging the pool management cost on
+// every access, a storage read on a miss, and a write-back if a dirty page
+// is evicted.
+func (bp *bufferPool) touch(pageID uint64, write bool) {
+	if bp.touchCost > 0 {
+		bp.svc.Waiter().Wait(bp.touchCost)
+	}
+	bp.mu.Lock()
+	if el, ok := bp.resident[pageID]; ok {
+		bp.lru.MoveToFront(el)
+		if write {
+			bp.dirty[pageID] = true
+		}
+		bp.mu.Unlock()
+		bp.Hits.Add(1)
+		return
+	}
+	evictDirty := bp.admit(pageID)
+	if write {
+		bp.dirty[pageID] = true
+	}
+	bp.mu.Unlock()
+	bp.Misses.Add(1)
+	m := bp.svc.Model()
+	bp.svc.Waiter().Wait(m.CrossLayerRTT + m.SSDRead)
+	if evictDirty {
+		bp.Writebacks.Add(1)
+		bp.svc.Waiter().Wait(m.CrossLayerRTT + m.IntraStorageRTT + m.SSDWrite)
+	}
+}
+
+// admit inserts pageID into the resident set, evicting the LRU victim if at
+// capacity. Returns whether the victim was dirty. Caller holds bp.mu.
+func (bp *bufferPool) admit(pageID uint64) (evictedDirty bool) {
+	if bp.lru.Len() >= bp.capacity {
+		victim := bp.lru.Back()
+		if victim != nil {
+			vid := victim.Value.(uint64)
+			bp.lru.Remove(victim)
+			delete(bp.resident, vid)
+			if bp.dirty[vid] {
+				delete(bp.dirty, vid)
+				evictedDirty = true
+			}
+		}
+	}
+	bp.resident[pageID] = bp.lru.PushFront(pageID)
+	return evictedDirty
+}
+
+// flushAll writes back every dirty page and returns the count.
+func (bp *bufferPool) flushAll() int {
+	bp.mu.Lock()
+	n := len(bp.dirty)
+	bp.dirty = make(map[uint64]bool)
+	bp.mu.Unlock()
+	bp.chargeWrites(n)
+	return n
+}
+
+// chargeWrites charges n storage-tier page writes.
+func (bp *bufferPool) chargeWrites(n int) {
+	m := bp.svc.Model()
+	for i := 0; i < n; i++ {
+		bp.svc.Waiter().Wait(m.CrossLayerRTT + m.IntraStorageRTT + m.SSDWrite)
+		bp.Writebacks.Add(1)
+	}
+}

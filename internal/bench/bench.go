@@ -1,0 +1,146 @@
+// Package bench contains one runner per table/figure of the paper's
+// evaluation (Section 6). Each runner builds the engines it compares, runs
+// the workload at the configured scale, and renders a report with the
+// measured series next to the paper's expected shape. Absolute numbers are
+// not comparable to the paper's testbed (128-core Kunpeng servers with
+// persistent memory vs a simulated cluster in Go); ratios and trends are
+// the reproduction target, as recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks datasets and durations for CI/tests. Full runs are
+	// the default for cmd/hibench.
+	Quick bool
+	// Threads overrides the default thread counts (0 = per-experiment
+	// defaults).
+	Threads int
+	// Duration overrides per-measurement run time (0 = default).
+	Duration time.Duration
+	// Out receives progress lines (nil = silent).
+	Progress func(string)
+}
+
+func (o Options) progress(format string, args ...interface{}) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+func (o Options) dur(full, quick time.Duration) time.Duration {
+	if o.Duration > 0 {
+		return o.Duration
+	}
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Report is a rendered experiment result.
+type Report struct {
+	ID       string // e.g. "fig5a"
+	Title    string
+	Expected string // the paper's claim, quoted/summarized
+	Header   []string
+	Rows     [][]string
+	Notes    []string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	if r.Expected != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Expected)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is one experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Report, error)
+}
+
+// All returns every experiment runner in presentation order.
+func All() []Runner {
+	return []Runner{
+		{ID: "table1", Title: "Logical architecture comparison (Table 1)", Run: Table1},
+		{ID: "fig5a", Title: "Interpreted read/write throughput (Figure 5a)", Run: Fig5a},
+		{ID: "fig5b", Title: "Compiled (stored-procedure) throughput (Figure 5b)", Run: Fig5b},
+		{ID: "fig6", Title: "TPC-C scalability vs cores, ARM & x86 (Figure 6)", Run: Fig6},
+		{ID: "fig7", Title: "Workload partitioning x memory policy (Figure 7)", Run: Fig7},
+		{ID: "fig8", Title: "Parallel recovery RTO speedup (Figure 8)", Run: Fig8},
+		{ID: "clock", Title: "Timestamp grant: logical vs global clock (Section 5.3)", Run: ClockBench},
+		{ID: "ablations", Title: "Design-decision ablations (DESIGN.md)", Run: Ablations},
+	}
+}
+
+// Find returns the runner with the given ID.
+func Find(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// ratio formats a/b with guard.
+func ratio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}
+
+// sortInts sorts in place and returns s (tiny helper for stable reports).
+func sortInts(s []int) []int {
+	sort.Ints(s)
+	return s
+}

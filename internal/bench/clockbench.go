@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hiengine/internal/clock"
+	"hiengine/internal/delay"
+)
+
+// ClockBench reproduces the Section 5.3 comparison of timestamp-grant
+// mechanisms for the distributed setting: a centralized logical clock
+// advanced over one-sided RDMA (latency ~40us at 3 nodes and capped by the
+// hosting NIC's ~1.5M packets/s) versus the high-precision global clock
+// with a 10-20us uncertainty bound, which grants locally and scales with
+// node count.
+func ClockBench(o Options) (*Report, error) {
+	dur := o.dur(500*time.Millisecond, 100*time.Millisecond)
+	nodeCounts := []int{1, 3, 6, 12}
+	if o.Quick {
+		nodeCounts = []int{1, 3}
+	}
+	const clientsPerNode = 4
+
+	model := &delay.Model{RDMAFetchAdd: 13 * time.Microsecond}
+	r := &Report{
+		ID:       "clock",
+		Title:    "Timestamp grant latency/throughput: logical clock vs global clock",
+		Expected: "logical clock ~40us average at 3 nodes, degrading with node count (NIC PPS cap); global clock grants at eps=10us (atomic clock) or 20us, ~2x faster and scalable",
+		Header:   []string{"nodes", "mechanism", "grants/s", "avg latency"},
+	}
+
+	measure := func(src clock.Source, nodes int) (float64, time.Duration) {
+		var grants atomic.Int64
+		var totalLat atomic.Int64
+		var wg sync.WaitGroup
+		deadline := time.Now().Add(dur)
+		for c := 0; c < nodes*clientsPerNode; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					t0 := time.Now()
+					src.Next()
+					totalLat.Add(int64(time.Since(t0)))
+					grants.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		g := grants.Load()
+		if g == 0 {
+			return 0, 0
+		}
+		return float64(g) / dur.Seconds(), time.Duration(totalLat.Load() / g)
+	}
+
+	for _, nodes := range nodeCounts {
+		o.progress("clock: %d nodes", nodes)
+		// The logical clock's RDMA latency grows slightly with fabric
+		// contention; model the paper's 40us at 3 nodes.
+		m := *model
+		m.RDMAFetchAdd = time.Duration(13+9*nodes) * time.Microsecond
+		lc := clock.NewLogicalClock(&m, nil, 1_500_000)
+		tps, lat := measure(lc, nodes)
+		r.Rows = append(r.Rows, []string{fmt.Sprint(nodes), "logical (RDMA FAA)", f0(tps), lat.Round(time.Microsecond).String()})
+
+		gc := clock.NewGlobalClock(10*time.Microsecond, nil)
+		tps, lat = measure(gc, nodes)
+		r.Rows = append(r.Rows, []string{fmt.Sprint(nodes), "global (eps=10us)", f0(tps), lat.Round(time.Microsecond).String()})
+
+		gc20 := clock.NewGlobalClock(20*time.Microsecond, nil)
+		tps, lat = measure(gc20, nodes)
+		r.Rows = append(r.Rows, []string{fmt.Sprint(nodes), "global (eps=20us)", f0(tps), lat.Round(time.Microsecond).String()})
+	}
+	r.Notes = append(r.Notes,
+		"the logical clock's aggregate rate is bounded by the hosting NIC (1.5M PPS model) regardless of node count; the global clock has no shared bottleneck -- the paper's conclusion that a centralized logical clock is not the right choice for distributed HiEngine")
+	return r, nil
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is active. Performance-shape
+// assertions are skipped under the race detector: its instrumentation
+// multiplies Go-level CPU costs, swamping the modeled hardware latencies the
+// comparisons are built on. The experiment pipelines still run for
+// correctness coverage.
+const raceEnabled = true

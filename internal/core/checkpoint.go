@@ -1,0 +1,668 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hiengine/internal/clock"
+	"hiengine/internal/srss"
+	"hiengine/internal/wal"
+)
+
+// Dataless checkpoints and parallel recovery (Section 4.3).
+//
+// A checkpoint persists only the indirection arrays -- (table, RID,
+// permanent log address, CSN) tuples -- never record data. Recovery
+// reconstructs the PIAs from the newest checkpoint image and then replays
+// log segments in parallel, using a newest-CSN-wins compare-and-swap per
+// entry so the scattered multi-stream redo logs can be applied in any
+// order. No record data is loaded: entries point back into the replicated
+// log, and later accesses fault data in through SRSS mmap views.
+
+const checkpointHeader byte = 'K'
+
+// Checkpoint writes a new checkpoint image and registers it in the
+// manifest. It runs concurrently with forward processing: the image is a
+// consistent view as of the returned checkpoint CSN.
+//
+// The checkpoint also fences the log for recovery: every log stream is
+// rotated first, so all records in the pre-rotation segments have CSNs at
+// or below the checkpoint CSN and are represented by (or superseded within)
+// the checkpoint image. Recovery skips replaying fenced segments entirely
+// -- they remain in place as version storage for lazy mmap reads ("the log
+// is the database"), but contribute nothing to the RTO. This is what makes
+// frequent checkpoints bound recovery time (Section 4.3, Figure 8).
+func (e *Engine) Checkpoint() (uint64, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	return e.checkpointLocked()
+}
+
+// checkpointLocked is Checkpoint's body; the caller holds ckptMu (log
+// compaction takes a fresh checkpoint while already holding it).
+func (e *Engine) checkpointLocked() (uint64, error) {
+	// Fence: after rotating every stream, all sealed segments are
+	// permanently closed, and every record in them carries a CSN below
+	// the reading of the clock that follows (appends carry CSNs acquired
+	// before they are queued, and rotation drains each stream's queue in
+	// order).
+	if err := e.log.RotateAll(); err != nil {
+		return 0, err
+	}
+	fence := e.log.SealedSegments()
+	ckptCSN := e.clk.Now()
+	// Durability barrier: wait until every commit started so far has its
+	// permanent addresses stamped. Afterwards every version with
+	// CSN <= ckptCSN is durable, the walk below captures a complete image
+	// of that prefix, and recovery may skip ALL log records with
+	// CSN <= ckptCSN -- which is what makes fencing (and the general
+	// skip rule) safe against resurrecting deleted rows whose delete
+	// records would otherwise be skipped while their older inserts are
+	// replayed.
+	target := e.commitsStarted.Load()
+	for e.commitsDurable.Load() < target {
+		runtime.Gosched()
+	}
+	plog, err := e.svc.Create(srss.TierCompute)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 0, 64<<10)
+	buf = append(buf, checkpointHeader)
+	entries := int64(0)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		_, err := plog.Append(buf)
+		buf = buf[:0]
+		return err
+	}
+
+	e.mu.RLock()
+	tables := make([]*Table, 0, len(e.tablesByID))
+	for _, t := range e.tablesByID {
+		tables = append(tables, t)
+	}
+	e.mu.RUnlock()
+
+	for _, t := range tables {
+		var werr error
+		t.rows.Range(func(rid RID, head *Version) bool {
+			// Walk to the newest durable version visible at ckptCSN.
+			for v := head; v != nil; v = v.next.Load() {
+				ts := v.tmin.Load()
+				if isTID(ts) || ts > ckptCSN {
+					continue
+				}
+				if v.tomb {
+					if v.addr.Load() != 0 {
+						// Durable delete: omit the record entirely.
+						return true
+					}
+					// Not yet durable: if it is lost in a crash, the
+					// record must survive -- fall through to an older
+					// durable version.
+					continue
+				}
+				addr := v.addr.Load()
+				if addr == 0 {
+					// Committed but not yet durable: rely on replay.
+					continue
+				}
+				buf = binary.AppendUvarint(buf, uint64(t.ID))
+				buf = binary.AppendUvarint(buf, uint64(rid))
+				buf = binary.AppendUvarint(buf, addr)
+				buf = binary.AppendUvarint(buf, ts)
+				entries++
+				if len(buf) >= 64<<10 {
+					if werr = flush(); werr != nil {
+						return false
+					}
+				}
+				return true
+			}
+			return true
+		})
+		if werr != nil {
+			return 0, werr
+		}
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	plog.Seal()
+
+	// Register in the manifest: ckpt PLog ID | csn | entry count | fenced
+	// segment list.
+	id := plog.ID()
+	payload := make([]byte, 0, 24+20+len(fence)*3)
+	payload = append(payload, id[:]...)
+	payload = binary.AppendUvarint(payload, ckptCSN)
+	payload = binary.AppendUvarint(payload, uint64(entries))
+	payload = binary.AppendUvarint(payload, uint64(len(fence)))
+	for _, seg := range fence {
+		payload = binary.AppendUvarint(payload, uint64(seg))
+	}
+	if err := e.appendManifest(manifestCheckpoint, payload); err != nil {
+		return 0, err
+	}
+	e.lastCkpt.Store(ckptCSN)
+	e.stats.Checkpoints.Add(1)
+	return ckptCSN, nil
+}
+
+// RecoverOptions tunes recovery.
+type RecoverOptions struct {
+	// ReplayThreads is the number of parallel replay goroutines (Figure 8
+	// sweeps this). Default 1 (serial replay, the baseline).
+	ReplayThreads int
+	// SkipIndexRebuild leaves indexes empty (PIA-only recovery, the
+	// paper's "recovery is finished once the PIAs are set up"). Point
+	// reads by RID work immediately; key access requires indexes.
+	SkipIndexRebuild bool
+	// UseCheckpoint loads the newest checkpoint image before replay
+	// (default true via Recover; set false to force full-log replay).
+	SkipCheckpoint bool
+
+	// readOnly opens the log without streams and marks the engine a
+	// replica (set by OpenReplica).
+	readOnly bool
+}
+
+// RecoveryStats reports what recovery did.
+type RecoveryStats struct {
+	CheckpointCSN     uint64
+	CheckpointEntries int64
+	SegmentsScanned   int
+	SegmentsSkipped   int
+	RecordsScanned    int64
+	RecordsApplied    int64
+	MaxCSN            uint64
+	ReplayDuration    time.Duration
+	IndexDuration     time.Duration
+
+	// fenced carries the checkpoint-covered segment set to OpenReplica.
+	fenced []uint16
+}
+
+// RecoverByName rebuilds an engine whose manifest identity is registered in
+// the SRSS management-node registry under cfg.Name (or "hiengine").
+func RecoverByName(cfg Config, opt RecoverOptions) (*Engine, *RecoveryStats, error) {
+	if cfg.Service == nil {
+		return nil, nil, errors.New("core: Recover requires the SRSS service")
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "hiengine"
+	}
+	id, ok := cfg.Service.WellKnown(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: no engine %q registered with the management nodes", name)
+	}
+	return Recover(cfg, id, opt)
+}
+
+// Recover rebuilds an engine from its manifest PLog: catalog, checkpoint
+// image, parallel log replay, and (optionally) index rebuild.
+func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *RecoveryStats, error) {
+	if cfg.Service == nil {
+		return nil, nil, errors.New("core: Recover requires the SRSS service")
+	}
+	cfg.fill()
+	if opt.ReplayThreads <= 0 {
+		opt.ReplayThreads = 1
+	}
+	e := &Engine{
+		cfg:        cfg,
+		svc:        cfg.Service,
+		clk:        cfg.Clock,
+		tables:     make(map[string]*Table),
+		tablesByID: make(map[uint32]*Table),
+		status:     newStatusMap(),
+		workers:    make([]workerSlot, cfg.Workers),
+	}
+	if c, ok := cfg.Clock.(*clock.Counter); ok {
+		e.counter = c
+	}
+	manifest, err := e.svc.Open(manifestID)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.manifest = manifest
+	e.svc.SetWellKnown(cfg.Name, manifestID)
+
+	var walMeta srss.PLogID
+	var ckptID srss.PLogID
+	var ckptCSN uint64
+	var fenced map[uint16]bool
+	haveCkpt := false
+	if err := scanManifest(manifest, func(typ byte, payload []byte) error {
+		switch typ {
+		case manifestWAL:
+			copy(walMeta[:], payload)
+		case manifestTable:
+			id, n := binary.Uvarint(payload)
+			if n <= 0 {
+				return fmt.Errorf("core: corrupt table manifest record")
+			}
+			s, err := unmarshalSchema(payload[n:])
+			if err != nil {
+				return err
+			}
+			t, err := e.buildTable(uint32(id), s)
+			if err != nil {
+				return err
+			}
+			e.tables[s.Name] = t
+			e.tablesByID[t.ID] = t
+			if uint32(id) > e.nextTable {
+				e.nextTable = uint32(id)
+			}
+		case manifestCheckpoint:
+			if len(payload) < 24 {
+				return fmt.Errorf("core: corrupt checkpoint manifest record")
+			}
+			e.lastCkptPayload = append([]byte(nil), payload...)
+			copy(ckptID[:], payload[:24])
+			pos := 24
+			csn, n := binary.Uvarint(payload[pos:])
+			if n <= 0 {
+				return fmt.Errorf("core: corrupt checkpoint CSN")
+			}
+			pos += n
+			ckptCSN = csn
+			if _, n = binary.Uvarint(payload[pos:]); n > 0 { // entry count
+				pos += n
+			}
+			fenced = map[uint16]bool{}
+			if cnt, n := binary.Uvarint(payload[pos:]); n > 0 {
+				pos += n
+				for i := uint64(0); i < cnt; i++ {
+					seg, n := binary.Uvarint(payload[pos:])
+					if n <= 0 {
+						return fmt.Errorf("core: corrupt checkpoint fence")
+					}
+					pos += n
+					fenced[uint16(seg)] = true
+				}
+			}
+			haveCkpt = true
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	if walMeta.IsZero() {
+		return nil, nil, errors.New("core: manifest has no WAL record")
+	}
+
+	walCfg := wal.Config{
+		Service:     e.svc,
+		Tier:        cfg.LogTier,
+		Streams:     cfg.LogStreams,
+		SegmentSize: cfg.SegmentSize,
+		BatchMax:    cfg.GroupCommitBatch,
+		OnMetaChange: func(id srss.PLogID) error {
+			return e.appendManifest(manifestWAL, id[:])
+		},
+	}
+	var log *wal.Manager
+	if opt.readOnly {
+		e.readOnly = true
+		log, err = wal.OpenReadOnly(walCfg, walMeta)
+	} else {
+		log, err = wal.Reopen(walCfg, walMeta)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	e.log = log
+
+	stats := &RecoveryStats{}
+	start := time.Now()
+
+	// Phase 1: load the checkpoint image (addresses only -- dataless).
+	if haveCkpt && !opt.SkipCheckpoint {
+		stats.CheckpointCSN = ckptCSN
+		n, err := e.loadCheckpoint(ckptID)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.CheckpointEntries = n
+	}
+
+	// Phase 2: parallel replay with newest-CSN-wins CAS conflict
+	// resolution. Segments fenced by the checkpoint are skipped: their
+	// records are represented in (or superseded by) the checkpoint image;
+	// the segments themselves stay available as version storage.
+	var skipCSN uint64
+	if haveCkpt && !opt.SkipCheckpoint {
+		skipCSN = ckptCSN
+	}
+	var segs []uint16
+	for _, seg := range log.Segments() {
+		if haveCkpt && !opt.SkipCheckpoint && fenced[seg] {
+			stats.SegmentsSkipped++
+			stats.fenced = append(stats.fenced, seg)
+			continue
+		}
+		segs = append(segs, seg)
+	}
+	stats.SegmentsScanned = len(segs)
+	// Longest-processing-time-first scheduling: replay threads pull whole
+	// segments, so handing out the big ones first balances the tail.
+	sort.Slice(segs, func(i, j int) bool {
+		return segmentSize(e, segs[i]) > segmentSize(e, segs[j])
+	})
+	// Snapshot the catalog once: replay resolves tables per record and
+	// must not bounce on the engine lock.
+	catalog := make(map[uint32]*Table, len(e.tablesByID))
+	for id, t := range e.tablesByID {
+		catalog[id] = t
+	}
+	var scanned, applied atomic.Int64
+	var maxCSN atomic.Uint64
+	segCh := make(chan uint16, len(segs))
+	for _, s := range segs {
+		segCh <- s
+	}
+	close(segCh)
+	var wg sync.WaitGroup
+	errCh := make(chan error, opt.ReplayThreads)
+	for i := 0; i < opt.ReplayThreads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Thread-local counters: replay applies millions of records,
+			// so shared atomics per record would serialize the threads.
+			var localScanned, localApplied int64
+			var localMax uint64
+			for seg := range segCh {
+				err := log.ScanSegment(seg, func(addr wal.Addr, rec wal.Record) bool {
+					localScanned++
+					if rec.CSN > localMax {
+						localMax = rec.CSN
+					}
+					if rec.CSN <= skipCSN {
+						// Fully represented by the checkpoint image
+						// (durability barrier at checkpoint time).
+						return true
+					}
+					if applyReplay(catalog, addr, rec) {
+						localApplied++
+					}
+					return true
+				})
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+			scanned.Add(localScanned)
+			applied.Add(localApplied)
+			for {
+				m := maxCSN.Load()
+				if localMax <= m || maxCSN.CompareAndSwap(m, localMax) {
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, nil, err
+	default:
+	}
+	stats.RecordsScanned = scanned.Load()
+	stats.RecordsApplied = applied.Load()
+	stats.MaxCSN = maxCSN.Load()
+	if stats.CheckpointCSN > stats.MaxCSN {
+		stats.MaxCSN = stats.CheckpointCSN
+	}
+
+	// Phase 3: clear tombstone heads (deletes), preserving entry epochs.
+	for _, t := range e.tablesByID {
+		var live int64
+		t.rows.RangeAll(func(rid RID, v *Version, _ uint32) bool {
+			if v != nil && v.tomb {
+				_, _ = t.rows.CompareAndSwap(rid, v, nil)
+				_ = t.rows.Delete(rid)
+			} else if v != nil {
+				live++
+			}
+			return true
+		})
+		t.liveRows.Store(live)
+	}
+	stats.ReplayDuration = time.Since(start)
+
+	// Resume CSN allocation above everything replayed.
+	e.advanceClock(stats.MaxCSN)
+
+	// Phase 4 (optional): rebuild in-memory indexes by scanning the PIAs.
+	if !opt.SkipIndexRebuild {
+		ixStart := time.Now()
+		if err := e.RebuildIndexes(opt.ReplayThreads); err != nil {
+			return nil, nil, err
+		}
+		stats.IndexDuration = time.Since(ixStart)
+	}
+	return e, stats, nil
+}
+
+// applyReplay applies one log record with newest-CSN-wins semantics.
+func applyReplay(catalog map[uint32]*Table, addr wal.Addr, rec wal.Record) bool {
+	t, ok := catalog[rec.Table]
+	if !ok {
+		return false
+	}
+	rid := RID(rec.RID)
+	if err := t.rows.AllocAt(rid); err != nil {
+		return false
+	}
+	stub := &Version{tomb: rec.Op == wal.OpDelete}
+	stub.tmin.Store(rec.CSN)
+	stub.addr.Store(uint64(addr))
+	for {
+		cur := t.rows.Get(rid)
+		if cur != nil && cur.tmin.Load() >= rec.CSN {
+			return false // an equal or newer record already won
+		}
+		if ok, err := t.rows.CompareAndSwap(rid, cur, stub); err != nil {
+			return false
+		} else if ok {
+			return true
+		}
+	}
+}
+
+// loadCheckpoint reads a checkpoint image into the PIAs.
+func (e *Engine) loadCheckpoint(id srss.PLogID) (int64, error) {
+	plog, err := e.svc.Open(id)
+	if err != nil {
+		return 0, err
+	}
+	v := plog.Mmap()
+	size := v.Len()
+	if size == 0 {
+		return 0, nil
+	}
+	b, err := v.At(0, int(size))
+	if err != nil {
+		return 0, err
+	}
+	if b[0] != checkpointHeader {
+		return 0, fmt.Errorf("core: bad checkpoint header %#x", b[0])
+	}
+	pos := 1
+	var n int64
+	for pos < len(b) {
+		tbl, w := binary.Uvarint(b[pos:])
+		if w <= 0 {
+			return n, fmt.Errorf("core: corrupt checkpoint at %d", pos)
+		}
+		pos += w
+		rid, w := binary.Uvarint(b[pos:])
+		if w <= 0 {
+			return n, fmt.Errorf("core: corrupt checkpoint rid at %d", pos)
+		}
+		pos += w
+		addr, w := binary.Uvarint(b[pos:])
+		if w <= 0 {
+			return n, fmt.Errorf("core: corrupt checkpoint addr at %d", pos)
+		}
+		pos += w
+		csn, w := binary.Uvarint(b[pos:])
+		if w <= 0 {
+			return n, fmt.Errorf("core: corrupt checkpoint csn at %d", pos)
+		}
+		pos += w
+		t, ok := e.tableByID(uint32(tbl))
+		if !ok {
+			continue
+		}
+		r := RID(rid)
+		if err := t.rows.AllocAt(r); err != nil {
+			return n, err
+		}
+		stub := &Version{}
+		stub.tmin.Store(csn)
+		stub.addr.Store(addr)
+		if err := t.rows.Store(r, stub); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// RebuildIndexes repopulates every table's in-memory indexes from the
+// indirection arrays, loading record payloads through the log's mmap views.
+func (e *Engine) RebuildIndexes(parallelism int) error {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	e.mu.RLock()
+	tables := make([]*Table, 0, len(e.tablesByID))
+	for _, t := range e.tablesByID {
+		tables = append(tables, t)
+	}
+	e.mu.RUnlock()
+
+	type item struct {
+		t   *Table
+		rid RID
+		v   *Version
+	}
+	ch := make(chan item, 1024)
+	var wg sync.WaitGroup
+	errCh := make(chan error, parallelism)
+	for i := 0; i < parallelism; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range ch {
+				p, err := it.v.payload(e)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				row, err := DecodeRow(p)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for ixn := 0; ixn < len(it.t.indexes); ixn++ {
+					k, err := it.t.indexKey(ixn, row, it.rid)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if err := it.t.indexes[ixn].Insert(k, uint64(it.rid)); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	for _, t := range tables {
+		t.rows.Range(func(rid RID, v *Version) bool {
+			if !v.tomb {
+				ch <- item{t: t, rid: rid, v: v}
+			}
+			return true
+		})
+	}
+	close(ch)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// segmentSize returns a segment's byte size (0 when unresolvable).
+func segmentSize(e *Engine, seg uint16) int64 {
+	id, ok := e.log.Directory().Lookup(seg)
+	if !ok {
+		return 0
+	}
+	p, err := e.svc.Open(id)
+	if err != nil {
+		return 0
+	}
+	return p.Size()
+}
+
+// scanManifest iterates manifest records.
+func scanManifest(p *srss.PLog, fn func(typ byte, payload []byte) error) error {
+	size := p.Size()
+	if size == 0 {
+		return nil
+	}
+	b := make([]byte, size)
+	if _, err := p.ReadAt(b, 0); err != nil {
+		return err
+	}
+	pos := 0
+	for pos < len(b) {
+		typ := b[pos]
+		pos++
+		l, w := binary.Uvarint(b[pos:])
+		if w <= 0 || pos+w+int(l) > len(b) {
+			return fmt.Errorf("core: corrupt manifest at %d", pos)
+		}
+		pos += w
+		if err := fn(typ, b[pos:pos+int(l)]); err != nil {
+			return err
+		}
+		pos += int(l)
+	}
+	return nil
+}
+
+// advanceClock raises the local counter (when in use) past csn so new
+// transactions order after everything recovered.
+func (e *Engine) advanceClock(csn uint64) {
+	if e.counter != nil {
+		e.counter.AdvanceTo(csn)
+		return
+	}
+	if a, ok := e.clk.(interface{ AdvanceTo(uint64) }); ok {
+		a.AdvanceTo(csn)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"hiengine/internal/wal"
+)
+
+// Commit finishes the transaction and blocks until its log records are
+// durable (persisted and replicated by SRSS on the compute side). Visibility
+// is pipelined: versions become visible to other transactions as soon as the
+// commit sequence number is stamped, while the client acknowledgement waits
+// for durability -- HiEngine's early-commit design (Section 5.2). Read-only
+// transactions commit without touching the log.
+func (t *Txn) Commit() error {
+	done := make(chan error, 1)
+	started, err := t.commitStart(func(err error) { done <- err })
+	if err != nil {
+		return err
+	}
+	if !started {
+		return nil // read-only
+	}
+	return <-done
+}
+
+// CommitAsync starts the commit and invokes cb (possibly on an I/O
+// goroutine) once the transaction is durable. The worker can immediately
+// begin its next transaction -- the commit-pipelining behavior of
+// Section 4.2.
+func (t *Txn) CommitAsync(cb func(error)) error {
+	started, err := t.commitStart(cb)
+	if err != nil {
+		return err
+	}
+	if !started {
+		cb(nil)
+	}
+	return nil
+}
+
+// commitStart runs the synchronous part of commit: dependency resolution,
+// CSN acquisition, version stamping and handing the log buffer to the I/O
+// goroutine. durable is invoked (from the I/O goroutine) with the
+// durability result; started is false for read-only transactions, which
+// touch no log.
+func (t *Txn) commitStart(durable func(error)) (bool, error) {
+	if t.finished {
+		return false, ErrTxnDone
+	}
+	// Register-and-report (Section 5.2): wait for every transaction whose
+	// uncommitted data we read; abort if any of them aborted.
+	for _, dep := range t.deps {
+		<-dep.doneCh
+		if st, _ := dep.state(); st == txAborted {
+			_ = t.Abort()
+			return false, ErrDependencyAborted
+		}
+	}
+	if len(t.writes) == 0 {
+		t.finish(txCommitted, 0)
+		t.e.stats.Commits.Add(1)
+		return false, nil
+	}
+
+	// Acquire the commit sequence number (atomic fetch-add on the global
+	// counter, Section 3.5).
+	csn := t.e.clk.Next()
+	t.statusWord.Store(packStatus(txPrecommitted, csn))
+
+	// Stamp versions: replace TIDs with the CSN in tmin of new versions
+	// and tmax of superseded ones (Section 5.1). After this point other
+	// transactions read the new data.
+	for i := range t.writes {
+		we := &t.writes[i]
+		we.newV.tmin.Store(csn)
+		if we.oldV != nil {
+			we.oldV.tmax.Store(csn)
+		}
+		wal.PatchCSN(t.logBuf, we.logOff, csn)
+	}
+	// The status-map entry is only needed while versions still carry the
+	// TID; drop it now that stamping is complete.
+	t.e.status.remove(t.tid)
+
+	// Hand the buffer to the stream's I/O goroutine; the worker slot is
+	// freed immediately (commit pipelining).
+	writes := t.writes
+	logBuf := t.logBuf
+	e := t.e
+	worker := t.worker
+	e.commitsStarted.Add(1)
+	e.log.Append(worker, logBuf, func(base wal.Addr, err error) {
+		if err == nil {
+			// Stamp permanent addresses: each version now has a home
+			// in the replicated log (Figure 4b).
+			for i := range writes {
+				we := &writes[i]
+				we.newV.addr.Store(uint64(base.Add(uint32(we.logOff))))
+			}
+		}
+		e.commitsDurable.Add(1)
+		durable(err)
+	})
+
+	t.statusWord.Store(packStatus(txCommitted, csn))
+	t.retireWrites(csn)
+	t.finishSlot()
+	t.markFinished()
+	t.e.stats.Commits.Add(1)
+
+	// Interleave incremental GC with forward processing (Section 4.4).
+	e.maybeGC(worker)
+	return true, nil
+}
+
+// Abort rolls the transaction back: installed versions are uninstalled from
+// the indirection arrays and index reservations are hidden again.
+func (t *Txn) Abort() error {
+	if t.finished {
+		return ErrTxnDone
+	}
+	t.statusWord.Store(packStatus(txAborted, 0))
+	// Uninstall in reverse order so chained writes to the same RID unwind
+	// correctly.
+	for i := len(t.writes) - 1; i >= 0; i-- {
+		we := &t.writes[i]
+		ok, _ := we.table.rows.CompareAndSwap(we.rid, we.newV, we.oldV)
+		_ = ok // the CAS cannot fail: our TID head blocks other writers
+		for j := len(we.idxOps) - 1; j >= 0; j-- {
+			op := we.idxOps[j]
+			_ = op.ix.Delete(op.key)
+		}
+		if we.oldV == nil {
+			we.table.liveRows.Add(-1)
+		} else if we.newV.tomb {
+			we.table.liveRows.Add(1)
+		}
+	}
+	t.e.status.remove(t.tid)
+	t.finish(txAborted, 0)
+	t.e.stats.Aborts.Add(1)
+	return nil
+}
+
+// finish marks the transaction terminal and releases its worker slot.
+func (t *Txn) finish(state, csn uint64) {
+	t.statusWord.Store(packStatus(state, csn))
+	t.e.status.remove(t.tid)
+	t.finishSlot()
+	t.markFinished()
+}
+
+func (t *Txn) finishSlot() {
+	slot := &t.e.workers[t.worker]
+	slot.lastRead.Store(t.e.clk.Now())
+	slot.activeBegin.Store(0)
+}
+
+func (t *Txn) markFinished() {
+	if !t.finished {
+		t.finished = true
+		close(t.doneCh)
+	}
+}
+
+// retireWrites hands superseded versions to the worker's GC bag
+// (Section 4.4: stale versions are reclaimed once no snapshot can see them).
+func (t *Txn) retireWrites(csn uint64) {
+	slot := &t.e.workers[t.worker]
+	slot.mu.Lock()
+	for i := range t.writes {
+		we := &t.writes[i]
+		if we.oldV != nil {
+			slot.retired = append(slot.retired, retiredVersion{
+				owner:     we.newV,
+				victim:    we.oldV,
+				retireCSN: csn,
+				table:     we.table,
+				rid:       we.rid,
+				oldKeys:   we.oldKeys,
+			})
+		}
+		if we.newV.tomb {
+			// A committed delete: once reclaimable, the PIA entry is
+			// cleared (epoch preserved) and index entries tombstoned.
+			slot.retired = append(slot.retired, retiredVersion{
+				victim:    we.newV,
+				retireCSN: csn,
+				table:     we.table,
+				rid:       we.rid,
+				isDelete:  true,
+				oldKeys:   we.oldKeys,
+			})
+		}
+	}
+	slot.mu.Unlock()
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"hiengine/internal/wal"
+)
+
+// Log compaction (Section 4.4). Append-only storage scatters versions of a
+// record across segments and leaves dead versions behind; compaction
+// restores locality and reclaims space by rewriting live record versions
+// into fresh segments (with their original CSNs, so replay semantics are
+// unchanged) and deleting the old segments wholesale.
+//
+// CompactFull is the paper's full compaction: it fences the current segment
+// set by rotating every log stream, rewrites every reachable durable
+// version, updates the permanent addresses in the PIAs, and drops the old
+// segments. It must not run concurrently with writers whose versions might
+// be evicted from memory mid-compaction; the engine serializes it against
+// checkpoints.
+
+// CompactionStats reports what a compaction pass did.
+type CompactionStats struct {
+	RecordsRewritten int64
+	BytesRewritten   int64
+	SegmentsDropped  int
+	BytesReclaimed   int64
+}
+
+// CompactFull rewrites all live data into fresh segments and reclaims every
+// prior segment.
+func (e *Engine) CompactFull() (CompactionStats, error) {
+	if e.closed.Load() {
+		return CompactionStats{}, ErrClosed
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+
+	var stats CompactionStats
+
+	// Fence: rotate every stream, then take the sealed segment set. A
+	// sealed segment can never receive another append -- in particular
+	// not the compaction's own rewrites, which land in the streams' open
+	// (unsealed) segments.
+	if err := e.log.RotateAll(); err != nil {
+		return stats, err
+	}
+	oldSegs := make(map[uint16]bool)
+	for _, s := range e.log.SealedSegments() {
+		oldSegs[s] = true
+	}
+	oldBytes := int64(0)
+	for s := range oldSegs {
+		if id, ok := e.log.Directory().Lookup(s); ok {
+			if p, err := e.svc.Open(id); err == nil {
+				oldBytes += p.Size()
+			}
+		}
+	}
+
+	e.mu.RLock()
+	tables := make([]*Table, 0, len(e.tablesByID))
+	for _, t := range e.tablesByID {
+		tables = append(tables, t)
+	}
+	e.mu.RUnlock()
+
+	// Rewrite every reachable durable version that lives in an old
+	// segment. Versions keep their CSNs; only their permanent addresses
+	// change (Figure 4b addresses are updated in place in the PIA chain).
+	for _, t := range tables {
+		var rerr error
+		t.rows.Range(func(rid RID, head *Version) bool {
+			for v := head; v != nil; v = v.next.Load() {
+				addrRaw := v.addr.Load()
+				if addrRaw == 0 {
+					continue // not durable yet; lives in memory only
+				}
+				addr := wal.Addr(addrRaw)
+				if !oldSegs[addr.Segment()] {
+					continue // already in a fresh segment
+				}
+				csn := v.tmin.Load()
+				if isTID(csn) {
+					continue
+				}
+				op := wal.OpUpdate
+				var payload []byte
+				if v.tomb {
+					op = wal.OpDelete
+				} else {
+					p, err := v.payload(e)
+					if err != nil {
+						rerr = fmt.Errorf("core: compaction read %v: %w", addr, err)
+						return false
+					}
+					payload = p
+				}
+				buf, off := wal.AppendRecord(nil, op, t.ID, uint64(rid), payload)
+				wal.PatchCSN(buf, off, csn)
+				base, err := e.log.AppendSync(0, buf)
+				if err != nil {
+					rerr = fmt.Errorf("core: compaction append: %w", err)
+					return false
+				}
+				v.addr.Store(uint64(base.Add(uint32(off))))
+				stats.RecordsRewritten++
+				stats.BytesRewritten += int64(len(buf))
+			}
+			return true
+		})
+		if rerr != nil {
+			return stats, rerr
+		}
+	}
+
+	// Reclaim the fenced segments.
+	for s := range oldSegs {
+		if err := e.log.DropSegment(s); err != nil {
+			return stats, err
+		}
+		stats.SegmentsDropped++
+	}
+	stats.BytesReclaimed = oldBytes - stats.BytesRewritten
+
+	// The previous checkpoint's addresses point into the segments just
+	// dropped; a crash before the next checkpoint would leave recovery
+	// with dangling pointers. Write a fresh checkpoint (post-compaction
+	// addresses) as the final step of compaction.
+	if _, err := e.checkpointLocked(); err != nil {
+		return stats, fmt.Errorf("core: post-compaction checkpoint: %w", err)
+	}
+	e.stats.Compactions.Add(1)
+	return stats, nil
+}
+
+// CompactPartial rewrites only versions created in (sinceCSN, untilCSN],
+// clustering recent changes without touching cold segments (the paper's
+// partial compaction). Old segments are not dropped -- partial compaction
+// restores locality for recent data; space reclamation needs CompactFull.
+func (e *Engine) CompactPartial(sinceCSN, untilCSN uint64) (CompactionStats, error) {
+	if e.closed.Load() {
+		return CompactionStats{}, ErrClosed
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+
+	var stats CompactionStats
+	e.mu.RLock()
+	tables := make([]*Table, 0, len(e.tablesByID))
+	for _, t := range e.tablesByID {
+		tables = append(tables, t)
+	}
+	e.mu.RUnlock()
+
+	for _, t := range tables {
+		var rerr error
+		t.rows.Range(func(rid RID, head *Version) bool {
+			for v := head; v != nil; v = v.next.Load() {
+				csn := v.tmin.Load()
+				if isTID(csn) || csn <= sinceCSN || csn > untilCSN {
+					continue
+				}
+				if v.addr.Load() == 0 || v.tomb {
+					continue
+				}
+				p, err := v.payload(e)
+				if err != nil {
+					rerr = err
+					return false
+				}
+				buf, off := wal.AppendRecord(nil, wal.OpUpdate, t.ID, uint64(rid), p)
+				wal.PatchCSN(buf, off, csn)
+				base, err := e.log.AppendSync(0, buf)
+				if err != nil {
+					rerr = err
+					return false
+				}
+				v.addr.Store(uint64(base.Add(uint32(off))))
+				stats.RecordsRewritten++
+				stats.BytesRewritten += int64(len(buf))
+			}
+			return true
+		})
+		if rerr != nil {
+			return stats, rerr
+		}
+	}
+	e.stats.Compactions.Add(1)
+	return stats, nil
+}

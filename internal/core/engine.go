@@ -1,0 +1,519 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hiengine/internal/clock"
+	"hiengine/internal/delay"
+	"hiengine/internal/index"
+	"hiengine/internal/pia"
+	"hiengine/internal/srss"
+	"hiengine/internal/wal"
+)
+
+// Errors surfaced by the engine.
+var (
+	// ErrConflict is a write-write conflict (first-committer-wins under
+	// snapshot isolation); the transaction has been aborted.
+	ErrConflict = errors.New("core: write-write conflict")
+	// ErrDuplicateKey is a unique-index violation.
+	ErrDuplicateKey = errors.New("core: duplicate key")
+	// ErrNotFound means no visible version of the record exists.
+	ErrNotFound = errors.New("core: record not found")
+	// ErrTxnDone is returned for operations on a finished transaction.
+	ErrTxnDone = errors.New("core: transaction already finished")
+	// ErrWorkerBusy means the worker slot already has an active txn.
+	ErrWorkerBusy = errors.New("core: worker slot busy")
+	// ErrDependencyAborted means a speculatively-read transaction aborted,
+	// cascading the abort (Section 5.2 register-and-report).
+	ErrDependencyAborted = errors.New("core: commit dependency aborted")
+	// ErrNoTable is returned for unknown table names/IDs.
+	ErrNoTable = errors.New("core: no such table")
+	// ErrClosed is returned after Engine.Close.
+	ErrClosed = errors.New("core: engine closed")
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Name identifies this engine instance in the SRSS management-node
+	// registry (well-known bootstrap location). Default "hiengine".
+	Name string
+	// Service is the SRSS deployment; one is created (with Model) if nil.
+	Service *srss.Service
+	// Model is the latency model used when Service is nil.
+	Model *delay.Model
+	// Workers is the number of session slots (paper: transaction worker
+	// threads bound to cores). Default 8.
+	Workers int
+	// LogStreams is the number of WAL streams (default = Workers).
+	LogStreams int
+	// SegmentSize for log segments (default 8 MiB).
+	SegmentSize int64
+	// GroupCommitBatch bounds commits per group append (default 64; 1
+	// disables group commit).
+	GroupCommitBatch int
+	// LogTier places the log (default TierCompute = compute-side
+	// persistence; TierStorage models a storage-centric deployment).
+	LogTier srss.Tier
+	// Clock is the CSN source (default a local counter, the standalone
+	// mode of Section 5.3).
+	Clock clock.Source
+	// SpeculativeReads enables reading uncommitted versions with
+	// register-and-report commit dependencies (Section 5.2).
+	SpeculativeReads bool
+	// PIASlotBits sizes indirection-array partitions (default 20).
+	PIASlotBits uint
+	// IndexFreezeThreshold / IndexMaxComponents configure index
+	// persistence (0 disables auto freeze/merge).
+	IndexFreezeThreshold int
+	IndexMaxComponents   int
+	// GCEveryNCommits interleaves incremental garbage collection with
+	// forward processing every N commits per worker (default 64; 0
+	// disables automatic GC).
+	GCEveryNCommits int
+}
+
+func (c *Config) fill() {
+	if c.Name == "" {
+		c.Name = "hiengine"
+	}
+	if c.Service == nil {
+		if c.Model == nil {
+			c.Model = delay.Zero()
+		}
+		c.Service = srss.New(srss.Config{Model: c.Model})
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.LogStreams <= 0 {
+		c.LogStreams = c.Workers
+	}
+	if c.SegmentSize <= 0 {
+		c.SegmentSize = 8 << 20
+	}
+	if c.GroupCommitBatch <= 0 {
+		c.GroupCommitBatch = 64
+	}
+	if c.Clock == nil {
+		c.Clock = clock.NewCounter(1)
+	}
+	if c.GCEveryNCommits == 0 {
+		c.GCEveryNCommits = 64
+	}
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Commits           atomic.Int64
+	Aborts            atomic.Int64
+	Conflicts         atomic.Int64
+	ReclaimedVersions atomic.Int64
+	Checkpoints       atomic.Int64
+	Compactions       atomic.Int64
+}
+
+// workerSlot is per-worker state: the active transaction's begin timestamp
+// (the worker's readCSN of Section 4.4) and the garbage-collection bag.
+type workerSlot struct {
+	activeBegin atomic.Uint64 // 0 = idle
+	lastRead    atomic.Uint64 // last refreshed readCSN
+
+	mu            sync.Mutex
+	retired       []retiredVersion
+	commitCounter int
+}
+
+// Engine is a HiEngine instance.
+type Engine struct {
+	cfg Config
+	svc *srss.Service
+	log *wal.Manager
+	clk clock.Source
+
+	// counter is non-nil when clk is the local counter (recovery advances
+	// it past replayed CSNs).
+	counter *clock.Counter
+
+	mu         sync.RWMutex
+	tables     map[string]*Table
+	tablesByID map[uint32]*Table
+	nextTable  uint32
+
+	manifestMu sync.Mutex
+	manifest   *srss.PLog
+	// lastCkptPayload caches the newest checkpoint manifest record so a
+	// manifest migration can reproduce it.
+	lastCkptPayload []byte
+
+	tidSeq atomic.Uint64
+	status *statusMap
+
+	workers []workerSlot
+
+	ckptMu sync.Mutex // serializes checkpoint/compaction
+	// lastCkpt tracks the newest checkpoint CSN (diagnostics).
+	lastCkpt atomic.Uint64
+
+	// commitsStarted/commitsDurable implement the checkpoint durability
+	// barrier: a checkpoint waits until every commit started before the
+	// barrier has its permanent addresses stamped, so every version with
+	// CSN <= ckptCSN is durable when the image is walked and replay can
+	// skip all records at or below the checkpoint CSN.
+	commitsStarted atomic.Int64
+	commitsDurable atomic.Int64
+
+	stats  Stats
+	closed atomic.Bool
+
+	// readOnly marks replica engines: write operations are rejected, and
+	// index scans always verify entry keys (a follower applies no GC, so
+	// stale entries from key-changing updates can linger).
+	readOnly bool
+}
+
+// Open creates a fresh engine instance.
+func Open(cfg Config) (*Engine, error) {
+	cfg.fill()
+	e := &Engine{
+		cfg:        cfg,
+		svc:        cfg.Service,
+		clk:        cfg.Clock,
+		tables:     make(map[string]*Table),
+		tablesByID: make(map[uint32]*Table),
+		status:     newStatusMap(),
+		workers:    make([]workerSlot, cfg.Workers),
+	}
+	if c, ok := cfg.Clock.(*clock.Counter); ok {
+		e.counter = c
+	}
+	manifest, err := e.svc.Create(srss.TierCompute)
+	if err != nil {
+		return nil, err
+	}
+	e.manifest = manifest
+	e.svc.SetWellKnown(cfg.Name, manifest.ID())
+	log, err := wal.Open(wal.Config{
+		Service:     e.svc,
+		Tier:        cfg.LogTier,
+		Streams:     cfg.LogStreams,
+		SegmentSize: cfg.SegmentSize,
+		BatchMax:    cfg.GroupCommitBatch,
+		OnMetaChange: func(id srss.PLogID) error {
+			return e.appendManifest(manifestWAL, id[:])
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.log = log
+	metaID := log.Directory().MetaID()
+	if err := e.appendManifest(manifestWAL, metaID[:]); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Service returns the underlying SRSS deployment.
+func (e *Engine) Service() *srss.Service { return e.svc }
+
+// Log returns the WAL manager.
+func (e *Engine) Log() *wal.Manager { return e.log }
+
+// Stats returns the engine counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// ManifestID returns the bootstrap PLog ID used by Recover.
+func (e *Engine) ManifestID() srss.PLogID {
+	e.manifestMu.Lock()
+	defer e.manifestMu.Unlock()
+	return e.manifest.ID()
+}
+
+// LastCheckpointCSN returns the CSN of the newest completed checkpoint (0
+// if none was taken).
+func (e *Engine) LastCheckpointCSN() uint64 { return e.lastCkpt.Load() }
+
+// Workers returns the session-slot count.
+func (e *Engine) Workers() int { return len(e.workers) }
+
+// Close shuts down the engine. In-flight commits are drained first.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	e.log.Close()
+}
+
+// --- manifest ------------------------------------------------------------
+
+// Manifest record types. Each record is: type(1) | uvarint len | payload.
+const (
+	manifestWAL        = 'W' // payload: 24-byte WAL metadata PLog ID
+	manifestTable      = 'T' // payload: uvarint tableID | schema JSON
+	manifestCheckpoint = 'C' // payload: 24-byte ckpt PLog ID | uvarint csn | uvarint entries
+)
+
+func (e *Engine) appendManifest(typ byte, payload []byte) error {
+	buf := make([]byte, 0, len(payload)+12)
+	buf = append(buf, typ)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	e.manifestMu.Lock()
+	defer e.manifestMu.Unlock()
+	if typ == manifestCheckpoint {
+		e.lastCkptPayload = append([]byte(nil), payload...)
+	}
+	_, err := e.manifest.Append(buf)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, srss.ErrSealed) && !errors.Is(err, srss.ErrFull) {
+		return err
+	}
+	// The manifest PLog was sealed by a node failure (or filled up):
+	// migrate by rewriting the catalog, the current WAL bootstrap ID and
+	// the newest checkpoint record into a fresh PLog, then re-anchor the
+	// well-known identity in the management nodes (Section 4.2).
+	fresh, cerr := e.svc.Create(srss.TierCompute)
+	if cerr != nil {
+		return cerr
+	}
+	write := func(typ byte, payload []byte) error {
+		b := make([]byte, 0, len(payload)+12)
+		b = append(b, typ)
+		b = binary.AppendUvarint(b, uint64(len(payload)))
+		b = append(b, payload...)
+		_, werr := fresh.Append(b)
+		return werr
+	}
+	e.mu.RLock()
+	type tbl struct {
+		id uint32
+		s  *Schema
+	}
+	var tbls []tbl
+	for id, t := range e.tablesByID {
+		tbls = append(tbls, tbl{id: id, s: t.Schema})
+	}
+	e.mu.RUnlock()
+	for _, t := range tbls {
+		js, merr := t.s.marshal()
+		if merr != nil {
+			return merr
+		}
+		p := binary.AppendUvarint(nil, uint64(t.id))
+		p = append(p, js...)
+		if werr := write(manifestTable, p); werr != nil {
+			return werr
+		}
+	}
+	if e.log != nil {
+		metaID := e.log.Directory().MetaID()
+		if werr := write(manifestWAL, metaID[:]); werr != nil {
+			return werr
+		}
+	}
+	if e.lastCkptPayload != nil {
+		if werr := write(manifestCheckpoint, e.lastCkptPayload); werr != nil {
+			return werr
+		}
+	}
+	// Finally the record that triggered the migration (unless it is a
+	// stale duplicate of what was just rewritten).
+	if werr := write(typ, payload); werr != nil {
+		return werr
+	}
+	e.manifest = fresh
+	e.svc.SetWellKnown(e.cfg.Name, fresh.ID())
+	return nil
+}
+
+// --- DDL -----------------------------------------------------------------
+
+// CreateTable registers a new table. The definition is persisted in the
+// manifest so recovery can rebuild the catalog.
+func (e *Engine) CreateTable(s *Schema) (*Table, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.tables[s.Name]; dup {
+		return nil, fmt.Errorf("core: table %q already exists", s.Name)
+	}
+	e.nextTable++
+	t, err := e.buildTable(e.nextTable, s)
+	if err != nil {
+		return nil, err
+	}
+	js, err := s.marshal()
+	if err != nil {
+		return nil, err
+	}
+	payload := binary.AppendUvarint(nil, uint64(t.ID))
+	payload = append(payload, js...)
+	if err := e.appendManifest(manifestTable, payload); err != nil {
+		return nil, err
+	}
+	e.tables[s.Name] = t
+	e.tablesByID[t.ID] = t
+	return t, nil
+}
+
+func (e *Engine) buildTable(id uint32, s *Schema) (*Table, error) {
+	t := &Table{ID: id, Schema: s, rows: pia.New[Version](pia.Config{SlotBits: e.cfg.PIASlotBits})}
+	for range s.Indexes {
+		t.indexes = append(t.indexes, index.New(index.Config{
+			Service:         e.svc,
+			Tier:            srss.TierCompute,
+			FreezeThreshold: e.cfg.IndexFreezeThreshold,
+			MaxComponents:   e.cfg.IndexMaxComponents,
+		}))
+	}
+	return t, nil
+}
+
+// Table looks a table up by name.
+func (e *Engine) Table(name string) (*Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+func (e *Engine) tableByID(id uint32) (*Table, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tablesByID[id]
+	return t, ok
+}
+
+// Tables returns all table names.
+func (e *Engine) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// --- watermark -----------------------------------------------------------
+
+// watermark returns the lowest begin timestamp among active transactions,
+// or the current clock reading when none are active (Section 4.4's minimum
+// readCSN across workers).
+func (e *Engine) watermark() uint64 {
+	min := e.clk.Now()
+	for i := range e.workers {
+		if b := e.workers[i].activeBegin.Load(); b != 0 && b < min {
+			min = b
+		}
+	}
+	return min
+}
+
+// DestageLog archives sealed log segments to the storage tier in the
+// background (Section 3.1: the log is batched and flushed periodically to
+// the storage layer for reliability and archival; compute-side copies keep
+// serving reads). Returns the number of segments destaged.
+func (e *Engine) DestageLog() (int, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	return e.log.DestageSealed()
+}
+
+// ImportRow installs a row as bulk-loaded data: its version carries the
+// reserved load CSN (1), making it visible to every snapshot, including
+// transactions already running. The ACID-cache deployment (Figure 3, right)
+// uses this to fault cold rows in from a backing engine -- such rows
+// logically predate the cache, so backdating them is the correct
+// visibility. The row is logged (CSN 1) and participates in checkpoints,
+// recovery and GC like any other version; later updates supersede it
+// normally under newest-wins replay.
+func (e *Engine) ImportRow(tbl *Table, row Row) (RID, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	if len(row) != len(tbl.Schema.Columns) {
+		return 0, fmt.Errorf("core: row arity %d != %d columns", len(row), len(tbl.Schema.Columns))
+	}
+	pk, err := tbl.keyOf(0, row)
+	if err != nil {
+		return 0, err
+	}
+	primary := tbl.indexes[0]
+	unlock := primary.LockKey(pk)
+	defer unlock()
+	if ridU, ok, err := primary.Get(pk); err != nil {
+		return 0, err
+	} else if ok {
+		if head := tbl.rows.Get(RID(ridU)); head != nil && !head.tomb {
+			return 0, fmt.Errorf("%w: import of existing key", ErrDuplicateKey)
+		}
+	}
+	payload := EncodeRow(nil, row)
+	const loadCSN = 1
+	v := newVersion(loadCSN, payload, false, nil)
+	rid, err := tbl.rows.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	if err := tbl.rows.Store(rid, v); err != nil {
+		return 0, err
+	}
+	if err := primary.Insert(pk, uint64(rid)); err != nil {
+		return 0, err
+	}
+	for i := 1; i < len(tbl.indexes); i++ {
+		k, err := tbl.indexKey(i, row, rid)
+		if err != nil {
+			return 0, err
+		}
+		if err := tbl.indexes[i].Insert(k, uint64(rid)); err != nil {
+			return 0, err
+		}
+	}
+	buf, off := wal.AppendRecord(nil, wal.OpInsert, tbl.ID, uint64(rid), payload)
+	wal.PatchCSN(buf, off, loadCSN)
+	base, err := e.log.AppendSync(0, buf)
+	if err != nil {
+		return 0, err
+	}
+	v.addr.Store(uint64(base.Add(uint32(off))))
+	tbl.liveRows.Add(1)
+	return rid, nil
+}
+
+// Evict drops in-memory payloads of all durable versions of a table,
+// simulating memory pressure; subsequent reads reload them through SRSS
+// mmap views (the partial-memory story of Section 4.2).
+func (e *Engine) Evict(tableName string) (int, error) {
+	t, err := e.Table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	t.rows.Range(func(_ RID, v *Version) bool {
+		for ; v != nil; v = v.next.Load() {
+			if v.Evict() {
+				n++
+			}
+		}
+		return true
+	})
+	return n, nil
+}

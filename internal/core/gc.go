@@ -1,0 +1,139 @@
+package core
+
+// Epoch-based garbage collection (Section 4.4). Each worker keeps a bag of
+// retired versions stamped with the CSN of the transaction that superseded
+// them. A version is reclaimable once that CSN is at or below the low
+// watermark -- the minimum begin timestamp across active transactions (the
+// minimum readCSN across workers in the paper). Reclamation is interspersed
+// with forward processing: workers drain their own bags every
+// GCEveryNCommits commits, and RunGC drains everything (the background
+// flavor).
+
+type retiredVersion struct {
+	// owner is the version whose next pointer still references victim;
+	// pruning truncates the chain below owner.
+	owner  *Version
+	victim *Version
+	// retireCSN is the CSN of the superseding transaction.
+	retireCSN uint64
+
+	// Delete-specific cleanup: clear the PIA entry (epoch preserved) and
+	// tombstone index entries once the delete marker itself is invisible
+	// to everyone.
+	table    *Table
+	rid      RID
+	isDelete bool
+
+	// oldKeys are stale index entries to remove alongside the victim.
+	oldKeys []oldKey
+}
+
+// maybeGC runs an incremental GC pass on the worker's bag every N commits.
+func (e *Engine) maybeGC(worker int) {
+	if e.cfg.GCEveryNCommits <= 0 {
+		return
+	}
+	slot := &e.workers[worker]
+	slot.mu.Lock()
+	slot.commitCounter++
+	due := slot.commitCounter >= e.cfg.GCEveryNCommits && len(slot.retired) > 0
+	if due {
+		slot.commitCounter = 0
+	}
+	slot.mu.Unlock()
+	if due {
+		e.gcWorker(worker, e.watermark())
+	}
+}
+
+// RunGC drains every worker's bag against the current watermark and returns
+// the number of versions reclaimed.
+func (e *Engine) RunGC() int {
+	wm := e.watermark()
+	n := 0
+	for w := range e.workers {
+		n += e.gcWorker(w, wm)
+	}
+	return n
+}
+
+// gcWorker reclaims every entry in worker w's bag with retireCSN <= wm.
+func (e *Engine) gcWorker(w int, wm uint64) int {
+	slot := &e.workers[w]
+	slot.mu.Lock()
+	bag := slot.retired
+	var keep []retiredVersion
+	var reap []retiredVersion
+	for _, r := range bag {
+		if r.retireCSN <= wm {
+			reap = append(reap, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	slot.retired = keep
+	slot.mu.Unlock()
+
+	reclaimed := 0
+	for _, r := range reap {
+		if r.isDelete {
+			// The delete marker is invisible to every active snapshot:
+			// clear the indirection entry if the marker is still the
+			// head (a later insert may have reused the RID).
+			if ok, _ := r.table.rows.CompareAndSwap(r.rid, r.victim, nil); ok {
+				_ = r.table.rows.Delete(r.rid) // bumps the entry epoch
+				reclaimed++
+			}
+			for _, ok := range r.oldKeys {
+				e.removeStaleKey(r.table, r.rid, ok)
+			}
+			continue
+		}
+		// Remove stale index keys BEFORE pruning the chain: readers skip
+		// key verification on single-version chains, which is only sound
+		// if no stale entry can outlive the chain's extra versions
+		// (sequentially consistent atomics make this ordering visible).
+		for _, ok := range r.oldKeys {
+			e.removeStaleKey(r.table, r.rid, ok)
+		}
+		// Prune the chain below the superseding version: victim and
+		// everything older is unreachable by any current or future
+		// snapshot.
+		if r.owner != nil && r.owner.next.Load() == r.victim {
+			r.owner.next.Store(nil)
+			for v := r.victim; v != nil; v = v.next.Load() {
+				reclaimed++
+			}
+		}
+	}
+	if reclaimed > 0 {
+		e.stats.ReclaimedVersions.Add(int64(reclaimed))
+	}
+	return reclaimed
+}
+
+// removeStaleKey tombstones an index entry left behind by a key-changing
+// update or a delete -- unless the record's current head row still carries
+// that key (e.g. an A->B->A key flip re-validated the entry, or the RID was
+// reused by a newer insert).
+func (e *Engine) removeStaleKey(tbl *Table, rid RID, ok oldKey) {
+	cur, found, _ := ok.ix.Get(ok.key)
+	if !found || cur != uint64(rid) {
+		return
+	}
+	head := tbl.rows.Get(rid)
+	if head != nil && !head.tomb {
+		p, err := head.payload(e)
+		if err == nil {
+			if row, derr := DecodeRow(p); derr == nil {
+				pos := tbl.indexPos(ok.ix)
+				if pos >= 0 {
+					if k, kerr := tbl.indexKey(pos, row, rid); kerr == nil && string(k) == string(ok.key) {
+						return // key is live again
+					}
+				}
+			}
+		}
+	}
+	_ = ok.ix.Delete(ok.key)
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Order-preserving (memcomparable) key encoding for index keys: encoded keys
+// compare bytewise in the same order as the typed tuples they encode.
+//
+//	NULL    := 0x00
+//	int     := 0x01, 8 bytes big-endian with the sign bit flipped
+//	float   := 0x02, 8 bytes big-endian IEEE bits, sign-adjusted
+//	string  := 0x03, escaped bytes, terminator
+//	bytes   := 0x03 (same domain as string for ordering)
+//
+// Variable-length values are escaped so that no encoded value is a prefix of
+// another: 0x00 bytes become 0x00 0xFF, and the value ends with 0x00 0x01.
+// NULL sorts before everything; kind tags keep mixed-kind columns ordered
+// deterministically.
+
+const (
+	keyTagNull  = 0x00
+	keyTagInt   = 0x01
+	keyTagFloat = 0x02
+	keyTagStr   = 0x03
+)
+
+// EncodeKey appends the order-preserving encoding of vals to buf.
+func EncodeKey(buf []byte, vals ...Value) []byte {
+	for _, v := range vals {
+		switch v.kind {
+		case 0:
+			buf = append(buf, keyTagNull)
+		case KindInt:
+			buf = append(buf, keyTagInt)
+			buf = binary.BigEndian.AppendUint64(buf, uint64(v.i)^(1<<63))
+		case KindFloat:
+			buf = append(buf, keyTagFloat)
+			bits := math.Float64bits(v.f)
+			if bits&(1<<63) != 0 {
+				bits = ^bits // negative floats: invert everything
+			} else {
+				bits |= 1 << 63 // positive: set sign bit
+			}
+			buf = binary.BigEndian.AppendUint64(buf, bits)
+		case KindString:
+			buf = append(buf, keyTagStr)
+			buf = escapeAppend(buf, []byte(v.s))
+		case KindBytes:
+			buf = append(buf, keyTagStr)
+			buf = escapeAppend(buf, v.b)
+		}
+	}
+	return buf
+}
+
+func escapeAppend(buf, p []byte) []byte {
+	for _, c := range p {
+		if c == 0x00 {
+			buf = append(buf, 0x00, 0xFF)
+		} else {
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, 0x00, 0x01)
+}
+
+// KeySuccessor returns the smallest key strictly greater than every key
+// having k as a prefix: k itself is exclusive-range friendly because
+// appending 0xFF... forever is approximated by incrementing the last
+// possible byte. Used to turn "prefix scan" into a [k, successor) range.
+func KeySuccessor(k []byte) []byte {
+	out := make([]byte, len(k), len(k)+1)
+	copy(out, k)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	// All 0xFF: no successor; return a key longer than any real key.
+	return append(out, 0xFF)
+}
+
+// EncodeRIDSuffix appends a RID in big-endian to a secondary-index key,
+// making duplicate secondary keys unique per record while preserving key
+// order grouping.
+func EncodeRIDSuffix(buf []byte, rid uint64) []byte {
+	return binary.BigEndian.AppendUint64(buf, rid)
+}
+
+// DecodeRIDSuffix extracts the trailing RID from a secondary-index key.
+func DecodeRIDSuffix(key []byte) uint64 {
+	if len(key) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(key[len(key)-8:])
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Background maintenance: the paper's engine runs checkpoints "regularly
+// ... in the background without blocking forward processing" (Section 4.3),
+// destages the log to the storage tier periodically (Section 3.1), and
+// interleaves garbage collection with forward processing or schedules it in
+// the background (Section 4.4). StartMaintenance wires those cadences up.
+
+// MaintenanceConfig sets the background cadences; zero durations disable
+// the corresponding task.
+type MaintenanceConfig struct {
+	// CheckpointEvery takes a dataless checkpoint at this interval,
+	// bounding recovery time (Figure 8's motivation).
+	CheckpointEvery time.Duration
+	// DestageEvery archives sealed log segments to the storage tier.
+	DestageEvery time.Duration
+	// GCEvery drains all workers' retirement bags (in addition to the
+	// incremental GC interleaved with commits).
+	GCEvery time.Duration
+	// OnError observes background task failures (nil = ignore).
+	OnError func(task string, err error)
+}
+
+// StartMaintenance launches the background maintenance goroutine and
+// returns a stop function. Stopping is idempotent; Engine.Close does not
+// stop maintenance implicitly, but a stopped engine makes every task a
+// no-op error that is reported once and then ceases.
+func (e *Engine) StartMaintenance(cfg MaintenanceConfig) (stop func()) {
+	stopCh := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+
+	fail := func(task string, err error) bool {
+		if err == nil {
+			return false
+		}
+		if cfg.OnError != nil {
+			cfg.OnError(task, err)
+		}
+		return err == ErrClosed
+	}
+	run := func(every time.Duration, task string, fn func() error) {
+		if every <= 0 {
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopCh:
+					return
+				case <-tick.C:
+					if fail(task, fn()) {
+						return // engine closed; stop quietly
+					}
+				}
+			}
+		}()
+	}
+
+	run(cfg.CheckpointEvery, "checkpoint", func() error {
+		_, err := e.Checkpoint()
+		return err
+	})
+	run(cfg.DestageEvery, "destage", func() error {
+		_, err := e.DestageLog()
+		return err
+	})
+	run(cfg.GCEvery, "gc", func() error {
+		e.RunGC()
+		return nil
+	})
+
+	return func() {
+		once.Do(func() {
+			close(stopCh)
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"hiengine/internal/srss"
+	"hiengine/internal/wal"
+)
+
+// Read-only replicas (Section 3.1): additional compute-side instances can
+// be spawned on demand by loading state from the shared log. A replica
+// recovers from the primary's manifest, opens the log read-only, and then
+// follows it: CatchUp scans segments appended by the primary since the last
+// call and applies them with the same newest-CSN-wins discipline as
+// recovery. Replica freshness is whatever the catch-up cadence makes it --
+// the paper's point that applications not needing high freshness can run
+// cheap replicas.
+
+// ErrReadOnlyReplica is returned for write operations on a replica.
+var ErrReadOnlyReplica = errors.New("core: engine is a read-only replica")
+
+// Replica is a read-only follower of a primary engine sharing the same
+// SRSS deployment.
+type Replica struct {
+	e *Engine
+
+	mu      sync.Mutex
+	applied map[uint16]int64 // segment -> next unread offset
+	fenced  map[uint16]bool  // segments covered by the recovery checkpoint
+	catalog map[uint32]*Table
+	maxCSN  uint64
+}
+
+// OpenReplica spawns a read-only replica from the primary's manifest. The
+// replica shares the primary's SRSS service (the shared log is the state
+// transfer medium); it creates no segments and never writes.
+func OpenReplica(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Replica, *RecoveryStats, error) {
+	opt.readOnly = true
+	e, stats, err := Recover(cfg, manifestID, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := &Replica{
+		e:       e,
+		applied: make(map[uint16]int64),
+		fenced:  make(map[uint16]bool),
+		catalog: make(map[uint32]*Table),
+		maxCSN:  stats.MaxCSN,
+	}
+	for _, seg := range stats.fenced {
+		r.fenced[seg] = true
+	}
+	e.mu.RLock()
+	for id, t := range e.tablesByID {
+		r.catalog[id] = t
+	}
+	e.mu.RUnlock()
+	return r, stats, nil
+}
+
+// Engine returns the replica's engine for read transactions. Writes fail
+// with ErrReadOnlyReplica.
+func (r *Replica) Engine() *Engine { return r.e }
+
+// Close shuts the replica down.
+func (r *Replica) Close() { r.e.Close() }
+
+// AppliedCSN returns the highest commit sequence number applied so far (the
+// replica's freshness horizon).
+func (r *Replica) AppliedCSN() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.maxCSN
+}
+
+// CatchUp scans the shared log for records appended since the last call and
+// applies them. Returns the number of records applied. Concurrent reads on
+// the replica observe a consistent cut: versions become visible atomically
+// per record via the same CAS discipline as recovery.
+func (r *Replica) CatchUp() (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Pick up segments the primary created since we last looked.
+	if err := r.e.log.RefreshDirectory(); err != nil {
+		return 0, err
+	}
+	var applied int64
+	for _, seg := range r.e.log.Segments() {
+		if r.fenced[seg] {
+			continue
+		}
+		from := r.applied[seg]
+		next, err := r.e.log.ScanSegmentFrom(seg, from, func(addr wal.Addr, rec wal.Record) bool {
+			if r.applyFollower(addr, rec) {
+				applied++
+			}
+			if rec.CSN > r.maxCSN {
+				r.maxCSN = rec.CSN
+			}
+			return true
+		})
+		if err != nil {
+			return applied, err
+		}
+		r.applied[seg] = next
+	}
+	r.e.advanceClock(r.maxCSN)
+	return applied, nil
+}
+
+// applyFollower applies one log record on the replica: newest-CSN-wins into
+// the PIA plus index maintenance (recovery defers index work to a bulk
+// rebuild; a live follower must keep indexes current incrementally).
+func (r *Replica) applyFollower(addr wal.Addr, rec wal.Record) bool {
+	t, ok := r.catalog[rec.Table]
+	if !ok {
+		// A table created on the primary after the replica spawned; pick
+		// it up from the manifest on the next full refresh. (Catalog DDL
+		// following is out of scope; skip its records.)
+		return false
+	}
+	if !applyReplay(map[uint32]*Table{rec.Table: t}, addr, rec) {
+		return false
+	}
+	rid := RID(rec.RID)
+	head := t.rows.Get(rid)
+	switch rec.Op {
+	case wal.OpDelete:
+		// Clear the tombstone stub (epoch preserved), mirroring the
+		// recovery post-pass.
+		if head != nil && head.tomb {
+			if ok, _ := t.rows.CompareAndSwap(rid, head, nil); ok {
+				_ = t.rows.Delete(rid)
+			}
+		}
+	default:
+		row, err := DecodeRow(rec.Payload)
+		if err != nil {
+			return true // count as applied; the index entry is skipped
+		}
+		for i := 0; i < len(t.indexes); i++ {
+			k, err := t.indexKeyAppend(nil, i, row, rid)
+			if err != nil {
+				continue
+			}
+			_ = t.indexes[i].Insert(k, uint64(rid))
+		}
+		if rec.Op == wal.OpInsert {
+			t.liveRows.Add(1)
+		}
+	}
+	return true
+}

@@ -1,0 +1,51 @@
+package core
+
+import "sync"
+
+// statusMap maps in-flight transaction IDs to their Txn objects. Readers
+// that encounter a TID-stamped tmin consult it to learn whether the writer
+// has precommitted (and with which CSN), aborted, or is still active
+// (Section 5.1/5.2). Entries are removed once the owner has stamped its
+// versions with real CSNs, so the map stays small.
+type statusMap struct {
+	shards [64]statusShard
+}
+
+type statusShard struct {
+	mu sync.Mutex
+	m  map[uint64]*Txn
+}
+
+func newStatusMap() *statusMap {
+	s := &statusMap{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64]*Txn)
+	}
+	return s
+}
+
+func (s *statusMap) shard(tid uint64) *statusShard {
+	return &s.shards[tid&63]
+}
+
+func (s *statusMap) register(t *Txn) {
+	sh := s.shard(t.tid)
+	sh.mu.Lock()
+	sh.m[t.tid] = t
+	sh.mu.Unlock()
+}
+
+func (s *statusMap) lookup(tid uint64) *Txn {
+	sh := s.shard(tid)
+	sh.mu.Lock()
+	t := sh.m[tid]
+	sh.mu.Unlock()
+	return t
+}
+
+func (s *statusMap) remove(tid uint64) {
+	sh := s.shard(tid)
+	sh.mu.Lock()
+	delete(sh.m, tid)
+	sh.mu.Unlock()
+}

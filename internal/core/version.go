@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"hiengine/internal/wal"
+)
+
+// tidFlag marks a timestamp word as a transaction ID rather than a CSN
+// (Section 5.1: uncommitted versions carry their creator's TID in tmin so
+// readers can skip or speculate on them).
+const tidFlag uint64 = 1 << 63
+
+func isTID(ts uint64) bool { return ts&tidFlag != 0 }
+
+// Version is one record version, chained new-to-old from the record's PIA
+// entry (Section 4). All mutable fields are atomics: versions are read
+// lock-free by any transaction.
+type Version struct {
+	// tmin is the creating transaction: TID (flagged) while uncommitted,
+	// then the creator's CSN.
+	tmin atomic.Uint64
+	// tmax is the superseding transaction: 0 while this is the newest
+	// version, then the CSN of the update/delete that replaced it.
+	tmax atomic.Uint64
+	// next points to the previous (older) version.
+	next atomic.Pointer[Version]
+	// addr is the version's permanent address in the log, set when the
+	// creating transaction's log records become durable. A version with
+	// addr 0 exists only in memory (not yet durable).
+	addr atomic.Uint64
+	// data holds the full row payload (Section 4.2: updates write
+	// complete record contents). It may be evicted (set to nil) for
+	// durable versions; readers then reload it through the log's mmap
+	// view using addr.
+	data atomic.Pointer[[]byte]
+	// tomb marks delete markers (immutable after creation).
+	tomb bool
+}
+
+func newVersion(tid uint64, payload []byte, tomb bool, next *Version) *Version {
+	v := &Version{tomb: tomb}
+	v.tmin.Store(tid)
+	if payload != nil {
+		p := payload
+		v.data.Store(&p)
+	}
+	v.next.Store(next)
+	return v
+}
+
+// Tomb reports whether the version is a delete marker.
+func (v *Version) Tomb() bool { return v.tomb }
+
+// Addr returns the version's permanent log address (0 if not yet durable).
+func (v *Version) Addr() wal.Addr { return wal.Addr(v.addr.Load()) }
+
+// CSN returns the creation CSN, or 0 while uncommitted.
+func (v *Version) CSN() uint64 {
+	ts := v.tmin.Load()
+	if isTID(ts) {
+		return 0
+	}
+	return ts
+}
+
+// Next returns the next older version.
+func (v *Version) Next() *Version { return v.next.Load() }
+
+// payload returns the row bytes, reloading evicted data from the log
+// through the engine's mmap read path (the partial-memory story of Section
+// 4.2). Loaded data is cached back into the version.
+func (v *Version) payload(e *Engine) ([]byte, error) {
+	if p := v.data.Load(); p != nil {
+		return *p, nil
+	}
+	if v.tomb {
+		return nil, nil
+	}
+	rec, err := e.log.ReadRecord(wal.Addr(v.addr.Load()))
+	if err != nil {
+		return nil, err
+	}
+	p := rec.Payload
+	v.data.Store(&p)
+	return p, nil
+}
+
+// Evict drops the in-memory payload of a durable version. Returns false if
+// the version is not durable yet (evicting it would lose data).
+func (v *Version) Evict() bool {
+	if v.addr.Load() == 0 || v.tomb {
+		return false
+	}
+	v.data.Store(nil)
+	return true
+}
+
+// txn status words, packed as state<<62 | csn.
+const (
+	txActive uint64 = iota
+	txPrecommitted
+	txCommitted
+	txAborted
+)
+
+const (
+	statusShift = 62
+	csnMask     = 1<<statusShift - 1
+)
+
+func packStatus(state, csn uint64) uint64 { return state<<statusShift | csn&csnMask }
+func statusState(w uint64) uint64         { return w >> statusShift }
+func statusCSN(w uint64) uint64           { return w & csnMask }

@@ -1,0 +1,72 @@
+// Package engineapi defines the engine-neutral transactional interface that
+// the workload drivers (sysbench, TPC-C) run against. HiEngine, the
+// storage-centric baseline (innosim, standing in for InnoDB-backed DBMS-T
+// and vanilla MySQL) and the memory-optimized OCC baseline (memocc, standing
+// in for DBMS-M) each provide an adapter, so every experiment executes the
+// same logical workload through the same call shapes.
+package engineapi
+
+import (
+	"errors"
+
+	"hiengine/internal/core"
+)
+
+// Canonical error categories. Engines wrap their native errors around these
+// sentinels so drivers can classify failures uniformly with errors.Is.
+var (
+	// ErrConflict marks retryable concurrency failures (write-write
+	// conflicts, OCC validation aborts, lock conflicts). The transaction
+	// has been aborted; the driver may retry it.
+	ErrConflict = errors.New("engineapi: conflict")
+	// ErrDuplicate marks unique-constraint violations.
+	ErrDuplicate = errors.New("engineapi: duplicate key")
+	// ErrNotFound marks missing rows.
+	ErrNotFound = errors.New("engineapi: not found")
+)
+
+// DB is a transactional engine under benchmark.
+type DB interface {
+	// CreateTable registers a table. Engines that do not support
+	// secondary indexes may reject schemas that declare them.
+	CreateTable(schema *core.Schema) error
+	// Begin starts a transaction on a worker slot.
+	Begin(worker int) (Txn, error)
+	// Name identifies the engine in reports.
+	Name() string
+}
+
+// AsyncCommitter is optionally implemented by transactions that support
+// pipelined commits (HiEngine, Section 4.2): CommitAsync makes the
+// transaction's effects visible, frees the worker immediately, and invokes
+// cb once the log records are durable. Engines that must hold locks across
+// the log force (the OCC baseline) do not implement it.
+type AsyncCommitter interface {
+	CommitAsync(cb func(error)) error
+}
+
+// Importer is optionally implemented by engines that can install rows as
+// bulk-loaded data visible to every snapshot (HiEngine's load CSN). The
+// ACID-cache deployment uses it to fault in cold rows from a backing engine
+// without snapshot-visibility anomalies.
+type Importer interface {
+	Import(table string, row core.Row) error
+}
+
+// Txn is one transaction.
+type Txn interface {
+	Commit() error
+	Abort() error
+
+	// Insert adds a row.
+	Insert(table string, row core.Row) error
+	// GetByKey reads a row through unique index idx.
+	GetByKey(table string, idx int, key ...core.Value) (core.Row, error)
+	// UpdateByKey replaces the row matching key on unique index idx.
+	UpdateByKey(table string, idx int, key []core.Value, newRow core.Row) error
+	// DeleteByKey deletes the row matching key on the primary index.
+	DeleteByKey(table string, key ...core.Value) error
+	// ScanPrefix visits rows whose index-idx key starts with prefix, in
+	// key order, until fn returns false.
+	ScanPrefix(table string, idx int, prefix []core.Value, fn func(row core.Row) bool) error
+}

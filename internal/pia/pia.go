@@ -1,0 +1,411 @@
+// Package pia implements HiEngine's partitioned indirection arrays
+// (Section 4.1): the level of indirection that maps record IDs (RIDs) to the
+// head of each record's version chain, realizing "the log is the database".
+//
+// A table is represented by one or more fixed-size indirection arrays
+// (partitions). A RID packs a 16-bit partition ID and a 32-bit slot ID, so
+// locating a record is two array indexing steps -- no hashing, no tree
+// traversal -- while partitions can still be created and dropped on demand
+// to grow and shrink the table. Within a partition, slot pages are allocated
+// lazily, mirroring the paper's trick of reserving virtual address space and
+// letting the OS back it with physical pages on first touch.
+//
+// Each entry holds an atomic pointer (version installation is a single CAS,
+// Section 5.1) plus an epoch counter used by garbage collection and by
+// deletes, which clear the pointer but preserve the epoch (Section 4.3).
+package pia
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// RID is a record identifier: bits [32,48) are the partition ID and bits
+// [0,32) the slot within the partition. A RID uniquely identifies a record
+// and never changes during the record's lifetime.
+type RID uint64
+
+// InvalidRID is the zero RID; slot 0 of partition 0 is never allocated so
+// that InvalidRID is never a live record.
+const InvalidRID RID = 0
+
+// MakeRID packs a partition and slot into a RID.
+func MakeRID(partition uint16, slot uint32) RID {
+	return RID(uint64(partition)<<32 | uint64(slot))
+}
+
+// Partition extracts the partition ID.
+func (r RID) Partition() uint16 { return uint16(r >> 32) }
+
+// Slot extracts the slot ID.
+func (r RID) Slot() uint32 { return uint32(r) }
+
+// String renders the RID as partition:slot.
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Partition(), r.Slot()) }
+
+// Errors.
+var (
+	// ErrTableFull is returned when all 65536 partitions are exhausted.
+	ErrTableFull = errors.New("pia: table full (65536 partitions exhausted)")
+	// ErrBadRID is returned for RIDs that do not address an allocated slot.
+	ErrBadRID = errors.New("pia: rid out of range")
+)
+
+// entry is one indirection array slot.
+type entry[T any] struct {
+	ptr   atomic.Pointer[T]
+	epoch atomic.Uint32
+}
+
+// pageBits is the log2 of slots per lazily-allocated page.
+const pageBits = 12 // 4096 slots per page
+
+// partition is one fixed-size indirection array with lazily allocated pages.
+type partition[T any] struct {
+	id       uint16
+	slotBits uint
+
+	mu    sync.Mutex // guards page allocation only
+	pages []atomic.Pointer[[1 << pageBits]entry[T]]
+
+	// next is the next slot to hand out in this partition.
+	next atomic.Uint32
+	// live counts slots holding a non-nil pointer (approximate under
+	// concurrency; exact when quiesced).
+	live atomic.Int64
+}
+
+func newPartition[T any](id uint16, slotBits uint) *partition[T] {
+	nPages := 1 << (slotBits - pageBits)
+	return &partition[T]{
+		id:       id,
+		slotBits: slotBits,
+		pages:    make([]atomic.Pointer[[1 << pageBits]entry[T]], nPages),
+	}
+}
+
+func (p *partition[T]) capacity() uint32 { return 1 << p.slotBits }
+
+// slot returns the entry for s, allocating its page on first touch; nil if
+// the page was never touched and alloc is false.
+func (p *partition[T]) slot(s uint32, alloc bool) *entry[T] {
+	pi := s >> pageBits
+	pg := p.pages[pi].Load()
+	if pg == nil {
+		if !alloc {
+			return nil
+		}
+		p.mu.Lock()
+		pg = p.pages[pi].Load()
+		if pg == nil {
+			pg = new([1 << pageBits]entry[T])
+			p.pages[pi].Store(pg)
+		}
+		p.mu.Unlock()
+	}
+	return &pg[s&(1<<pageBits-1)]
+}
+
+// Config configures a Map.
+type Config struct {
+	// SlotBits is the log2 of slots per partition. The paper uses 32
+	// (4 Gi slots per partition); the default here is 20 so tests and
+	// benchmarks do not reserve gigabytes of page tables. Must be at
+	// least pageBits and at most 32.
+	SlotBits uint
+}
+
+// Map is the full per-table indirection structure: a dynamic set of
+// partitions addressed by the high bits of the RID. The partition list is
+// published through an atomic pointer so the hot read path (two array
+// indexing steps, Section 4.1) takes no locks; growth copies the list under
+// the mutex and swaps it in.
+type Map[T any] struct {
+	slotBits uint
+
+	mu         sync.Mutex                      // guards growth only
+	partitions atomic.Pointer[[]*partition[T]] // index = partition ID
+
+	// allocPart is the partition currently accepting new RIDs.
+	allocPart atomic.Pointer[partition[T]]
+}
+
+// New builds an empty Map. A first partition is created eagerly so that
+// allocation never observes an empty table.
+func New[T any](cfg Config) *Map[T] {
+	if cfg.SlotBits == 0 {
+		cfg.SlotBits = 20
+	}
+	if cfg.SlotBits < pageBits {
+		cfg.SlotBits = pageBits
+	}
+	if cfg.SlotBits > 32 {
+		cfg.SlotBits = 32
+	}
+	m := &Map[T]{slotBits: cfg.SlotBits}
+	p := newPartition[T](0, cfg.SlotBits)
+	// Burn slot 0 of partition 0 so InvalidRID never addresses a record.
+	p.next.Store(1)
+	parts := []*partition[T]{p}
+	m.partitions.Store(&parts)
+	m.allocPart.Store(p)
+	return m
+}
+
+// SlotBits reports the configured slots-per-partition exponent.
+func (m *Map[T]) SlotBits() uint { return m.slotBits }
+
+// Partitions returns the current partition count.
+func (m *Map[T]) Partitions() int {
+	return len(*m.partitions.Load())
+}
+
+// part returns partition id, or nil when out of range or dropped.
+func (m *Map[T]) part(id uint16) *partition[T] {
+	parts := *m.partitions.Load()
+	if int(id) >= len(parts) {
+		return nil
+	}
+	return parts[id]
+}
+
+// grow appends a fresh partition and returns it.
+func (m *Map[T]) grow() (*partition[T], error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Another allocator may have grown the table while we waited.
+	cur := m.allocPart.Load()
+	if cur != nil && cur.next.Load() < cur.capacity() {
+		return cur, nil
+	}
+	old := *m.partitions.Load()
+	if len(old) > math.MaxUint16 {
+		return nil, ErrTableFull
+	}
+	p := newPartition[T](uint16(len(old)), m.slotBits)
+	parts := append(append([]*partition[T](nil), old...), p)
+	m.partitions.Store(&parts)
+	m.allocPart.Store(p)
+	return p, nil
+}
+
+// Alloc reserves a fresh RID and returns it. The slot starts with a nil
+// pointer and epoch 0; the caller installs the first version with Store or
+// CompareAndSwap.
+func (m *Map[T]) Alloc() (RID, error) {
+	for {
+		p := m.allocPart.Load()
+		s := p.next.Add(1) - 1
+		if s < p.capacity() {
+			return MakeRID(p.id, s), nil
+		}
+		// Partition exhausted; grow (or pick up a concurrent grow).
+		np, err := m.grow()
+		if err != nil {
+			return InvalidRID, err
+		}
+		_ = np
+	}
+}
+
+// AllocAt forces allocation of a specific RID, creating intermediate
+// partitions as needed. Recovery uses this to rebuild the indirection
+// arrays exactly as the checkpoint and log dictate; the fast path is
+// read-locked so parallel replay threads do not serialize here.
+func (m *Map[T]) AllocAt(rid RID) error {
+	pid := rid.Partition()
+	p := m.part(pid)
+	if p == nil {
+		m.mu.Lock()
+		parts := append([]*partition[T](nil), *m.partitions.Load()...)
+		for int(pid) >= len(parts) {
+			np := newPartition[T](uint16(len(parts)), m.slotBits)
+			parts = append(parts, np)
+			m.allocPart.Store(np)
+		}
+		m.partitions.Store(&parts)
+		p = parts[pid]
+		m.mu.Unlock()
+	}
+	if rid.Slot() >= p.capacity() {
+		return fmt.Errorf("%w: %v (cap %d)", ErrBadRID, rid, p.capacity())
+	}
+	// Raise the allocation cursor past this slot so future Allocs do not
+	// hand it out again.
+	for {
+		cur := p.next.Load()
+		if cur > rid.Slot() || p.next.CompareAndSwap(cur, rid.Slot()+1) {
+			break
+		}
+	}
+	// Touch the slot's page so later Get/CAS calls find it allocated.
+	p.slot(rid.Slot(), true)
+	return nil
+}
+
+// Get loads the pointer stored at rid (nil if unset or deleted).
+func (m *Map[T]) Get(rid RID) *T {
+	p := m.part(rid.Partition())
+	if p == nil || rid.Slot() >= p.capacity() {
+		return nil
+	}
+	e := p.slot(rid.Slot(), false)
+	if e == nil {
+		return nil
+	}
+	return e.ptr.Load()
+}
+
+// Store unconditionally sets the pointer at rid.
+func (m *Map[T]) Store(rid RID, v *T) error {
+	e, err := m.entryOf(rid)
+	if err != nil {
+		return err
+	}
+	old := e.ptr.Swap(v)
+	m.accountSwap(rid, old, v)
+	return nil
+}
+
+// CompareAndSwap installs v at rid iff the current pointer is old. This is
+// the version-installation primitive of Section 5.1 and the replay conflict
+// resolution of Section 4.3.
+func (m *Map[T]) CompareAndSwap(rid RID, old, v *T) (bool, error) {
+	e, err := m.entryOf(rid)
+	if err != nil {
+		return false, err
+	}
+	ok := e.ptr.CompareAndSwap(old, v)
+	if ok {
+		m.accountSwap(rid, old, v)
+	}
+	return ok, nil
+}
+
+func (m *Map[T]) accountSwap(rid RID, old, v *T) {
+	p := m.part(rid.Partition())
+	if p == nil {
+		return
+	}
+	switch {
+	case old == nil && v != nil:
+		p.live.Add(1)
+	case old != nil && v == nil:
+		p.live.Add(-1)
+	}
+}
+
+// Delete clears the pointer at rid but preserves (and advances) the entry's
+// epoch, per Section 4.3's delete-replay semantics.
+func (m *Map[T]) Delete(rid RID) error {
+	e, err := m.entryOf(rid)
+	if err != nil {
+		return err
+	}
+	old := e.ptr.Swap(nil)
+	if old != nil {
+		m.part(rid.Partition()).live.Add(-1)
+	}
+	e.epoch.Add(1)
+	return nil
+}
+
+// Epoch returns the GC epoch stored at rid.
+func (m *Map[T]) Epoch(rid RID) uint32 {
+	p := m.part(rid.Partition())
+	if p == nil || rid.Slot() >= p.capacity() {
+		return 0
+	}
+	e := p.slot(rid.Slot(), false)
+	if e == nil {
+		return 0
+	}
+	return e.epoch.Load()
+}
+
+// SetEpoch stores a GC epoch at rid.
+func (m *Map[T]) SetEpoch(rid RID, epoch uint32) error {
+	e, err := m.entryOf(rid)
+	if err != nil {
+		return err
+	}
+	e.epoch.Store(epoch)
+	return nil
+}
+
+func (m *Map[T]) entryOf(rid RID) (*entry[T], error) {
+	p := m.part(rid.Partition())
+	if p == nil {
+		return nil, fmt.Errorf("%w: %v (no partition)", ErrBadRID, rid)
+	}
+	if rid.Slot() >= p.capacity() {
+		return nil, fmt.Errorf("%w: %v (cap %d)", ErrBadRID, rid, p.capacity())
+	}
+	return p.slot(rid.Slot(), true), nil
+}
+
+// Live returns the approximate number of slots holding non-nil pointers.
+func (m *Map[T]) Live() int64 {
+	var n int64
+	for _, p := range *m.partitions.Load() {
+		if p != nil {
+			n += p.live.Load()
+		}
+	}
+	return n
+}
+
+// Range calls fn for every allocated slot holding a non-nil pointer, in RID
+// order, until fn returns false. Checkpointing and compaction are built on
+// this scan.
+func (m *Map[T]) Range(fn func(rid RID, v *T) bool) {
+	for _, p := range *m.partitions.Load() {
+		if p == nil {
+			continue
+		}
+		limit := p.next.Load()
+		if limit > p.capacity() {
+			limit = p.capacity()
+		}
+		for s := uint32(0); s < limit; s++ {
+			e := p.slot(s, false)
+			if e == nil {
+				// Skip the rest of this untouched page.
+				s |= 1<<pageBits - 1
+				continue
+			}
+			if v := e.ptr.Load(); v != nil {
+				if !fn(MakeRID(p.id, s), v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// RangeAll is Range but also visits nil-pointer slots that were allocated
+// (recovery and invariant checks need to see tombstoned entries).
+func (m *Map[T]) RangeAll(fn func(rid RID, v *T, epoch uint32) bool) {
+	for _, p := range *m.partitions.Load() {
+		if p == nil {
+			continue
+		}
+		limit := p.next.Load()
+		if limit > p.capacity() {
+			limit = p.capacity()
+		}
+		for s := uint32(0); s < limit; s++ {
+			e := p.slot(s, false)
+			if e == nil {
+				s |= 1<<pageBits - 1
+				continue
+			}
+			if !fn(MakeRID(p.id, s), e.ptr.Load(), e.epoch.Load()) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package pia
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type rec struct{ v int }
+
+func TestRIDPacking(t *testing.T) {
+	r := MakeRID(0x1234, 0xdeadbeef)
+	if r.Partition() != 0x1234 || r.Slot() != 0xdeadbeef {
+		t.Fatalf("pack/unpack: %v", r)
+	}
+	if InvalidRID.Partition() != 0 || InvalidRID.Slot() != 0 {
+		t.Fatal("InvalidRID not zero")
+	}
+}
+
+func TestAllocNeverReturnsInvalid(t *testing.T) {
+	m := New[rec](Config{SlotBits: 12})
+	for i := 0; i < 100; i++ {
+		rid, err := m.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rid == InvalidRID {
+			t.Fatal("Alloc returned InvalidRID")
+		}
+	}
+}
+
+func TestStoreGetDelete(t *testing.T) {
+	m := New[rec](Config{SlotBits: 12})
+	rid, _ := m.Alloc()
+	if got := m.Get(rid); got != nil {
+		t.Fatal("fresh slot not nil")
+	}
+	v := &rec{v: 42}
+	if err := m.Store(rid, v); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Get(rid); got != v {
+		t.Fatal("Get != stored value")
+	}
+	if m.Live() != 1 {
+		t.Fatalf("Live = %d", m.Live())
+	}
+	e0 := m.Epoch(rid)
+	if err := m.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(rid) != nil {
+		t.Fatal("Get after delete not nil")
+	}
+	if m.Epoch(rid) != e0+1 {
+		t.Fatalf("delete did not advance epoch: %d -> %d", e0, m.Epoch(rid))
+	}
+	if m.Live() != 0 {
+		t.Fatalf("Live after delete = %d", m.Live())
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	m := New[rec](Config{SlotBits: 12})
+	rid, _ := m.Alloc()
+	a, b := &rec{1}, &rec{2}
+	if ok, _ := m.CompareAndSwap(rid, nil, a); !ok {
+		t.Fatal("CAS nil->a failed")
+	}
+	if ok, _ := m.CompareAndSwap(rid, nil, b); ok {
+		t.Fatal("CAS nil->b succeeded over a")
+	}
+	if ok, _ := m.CompareAndSwap(rid, a, b); !ok {
+		t.Fatal("CAS a->b failed")
+	}
+	if m.Get(rid) != b {
+		t.Fatal("wrong final value")
+	}
+}
+
+func TestGrowthAcrossPartitions(t *testing.T) {
+	m := New[rec](Config{SlotBits: 12}) // 4096 slots per partition
+	seen := make(map[RID]bool)
+	for i := 0; i < 3*4096; i++ {
+		rid, err := m.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[rid] {
+			t.Fatalf("duplicate RID %v", rid)
+		}
+		seen[rid] = true
+	}
+	if p := m.Partitions(); p < 3 {
+		t.Fatalf("partitions = %d, want >= 3", p)
+	}
+}
+
+func TestConcurrentAllocUnique(t *testing.T) {
+	m := New[rec](Config{SlotBits: 12})
+	const workers, per = 8, 2000 // forces partition growth mid-run
+	rids := make([][]RID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rid, err := m.Alloc()
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				rids[w] = append(rids[w], rid)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[RID]bool, workers*per)
+	for _, rs := range rids {
+		for _, r := range rs {
+			if seen[r] {
+				t.Fatalf("duplicate RID %v", r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestAllocAtForRecovery(t *testing.T) {
+	m := New[rec](Config{SlotBits: 12})
+	rid := MakeRID(2, 100) // partition 2 does not exist yet
+	if err := m.AllocAt(rid); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store(rid, &rec{7}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(rid).v != 7 {
+		t.Fatal("store after AllocAt failed")
+	}
+	// Fresh allocations must not collide with the recovered RID.
+	for i := 0; i < 200; i++ {
+		r, _ := m.Alloc()
+		if r == rid {
+			t.Fatal("Alloc reissued recovered RID")
+		}
+	}
+	// Out-of-range slot in an existing partition.
+	if err := m.AllocAt(MakeRID(0, 1<<13)); err == nil {
+		t.Fatal("AllocAt past capacity succeeded")
+	}
+}
+
+func TestBadRID(t *testing.T) {
+	m := New[rec](Config{SlotBits: 12})
+	bad := MakeRID(9, 0)
+	if m.Get(bad) != nil {
+		t.Fatal("Get on missing partition returned value")
+	}
+	if err := m.Store(bad, &rec{}); err == nil {
+		t.Fatal("Store on missing partition succeeded")
+	}
+	if _, err := m.CompareAndSwap(bad, nil, &rec{}); err == nil {
+		t.Fatal("CAS on missing partition succeeded")
+	}
+}
+
+func TestRangeOrderAndContents(t *testing.T) {
+	m := New[rec](Config{SlotBits: 12})
+	want := make(map[RID]int)
+	for i := 0; i < 5000; i++ {
+		rid, _ := m.Alloc()
+		if i%3 == 0 {
+			continue // leave a hole
+		}
+		m.Store(rid, &rec{v: i})
+		want[rid] = i
+	}
+	var prev RID
+	got := 0
+	m.Range(func(rid RID, v *rec) bool {
+		if rid <= prev {
+			t.Fatalf("Range out of order: %v after %v", rid, prev)
+		}
+		prev = rid
+		if want[rid] != v.v {
+			t.Fatalf("Range value mismatch at %v", rid)
+		}
+		got++
+		return true
+	})
+	if got != len(want) {
+		t.Fatalf("Range visited %d, want %d", got, len(want))
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	m := New[rec](Config{SlotBits: 12})
+	for i := 0; i < 100; i++ {
+		rid, _ := m.Alloc()
+		m.Store(rid, &rec{v: i})
+	}
+	n := 0
+	m.Range(func(RID, *rec) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestRangeAllSeesTombstones(t *testing.T) {
+	m := New[rec](Config{SlotBits: 12})
+	rid, _ := m.Alloc()
+	m.Store(rid, &rec{1})
+	m.Delete(rid)
+	found := false
+	m.RangeAll(func(r RID, v *rec, epoch uint32) bool {
+		if r == rid {
+			found = true
+			if v != nil {
+				t.Fatal("tombstone has value")
+			}
+			if epoch != 1 {
+				t.Fatalf("tombstone epoch = %d", epoch)
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("RangeAll skipped tombstoned slot")
+	}
+}
+
+func TestPropertyMapEquivalence(t *testing.T) {
+	// The PIA must behave exactly like a map[RID]*rec under a random
+	// store/delete workload.
+	m := New[rec](Config{SlotBits: 12})
+	ref := make(map[RID]*rec)
+	var rids []RID
+	f := func(op uint8, val int) bool {
+		switch {
+		case op%4 < 2 || len(rids) == 0: // alloc+store
+			rid, err := m.Alloc()
+			if err != nil {
+				return false
+			}
+			v := &rec{v: val}
+			if m.Store(rid, v) != nil {
+				return false
+			}
+			ref[rid] = v
+			rids = append(rids, rid)
+		case op%4 == 2: // delete
+			rid := rids[((val%len(rids))+len(rids))%len(rids)]
+			m.Delete(rid)
+			delete(ref, rid)
+		default: // get
+			rid := rids[((val%len(rids))+len(rids))%len(rids)]
+			if m.Get(rid) != ref[rid] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Final sweep.
+	for _, rid := range rids {
+		if m.Get(rid) != ref[rid] {
+			t.Fatalf("final mismatch at %v", rid)
+		}
+	}
+	if m.Live() != int64(len(ref)) {
+		t.Fatalf("Live = %d, want %d", m.Live(), len(ref))
+	}
+}

@@ -1,0 +1,561 @@
+package sqlfront
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"hiengine/internal/core"
+	"hiengine/internal/engineapi"
+)
+
+// Errors.
+var (
+	ErrNoTxn       = errors.New("sqlfront: no open transaction")
+	ErrCrossEngine = errors.New("sqlfront: transaction cannot span storage engines")
+	ErrBadPlan     = errors.New("sqlfront: no usable index for WHERE clause")
+	ErrParamCount  = errors.New("sqlfront: wrong parameter count")
+)
+
+// Frontend is the shared SQL layer (Figure 3): one parser/planner in front
+// of multiple registered storage engines. Tables are routed to engines by
+// their CREATE TABLE ... WITH ENGINE=<name> clause (vertical deployment).
+type Frontend struct {
+	mu            sync.RWMutex
+	engines       map[string]engineapi.DB
+	defaultEngine string
+	tables        map[string]*tableInfo
+}
+
+type tableInfo struct {
+	engine string
+	db     engineapi.DB
+	schema *core.Schema
+}
+
+// NewFrontend builds a frontend with a default engine.
+func NewFrontend(defaultName string, db engineapi.DB) *Frontend {
+	f := &Frontend{
+		engines:       map[string]engineapi.DB{strings.ToLower(defaultName): db},
+		defaultEngine: strings.ToLower(defaultName),
+		tables:        make(map[string]*tableInfo),
+	}
+	return f
+}
+
+// Register adds another storage engine under a name usable in WITH ENGINE=.
+func (f *Frontend) Register(name string, db engineapi.DB) {
+	f.mu.Lock()
+	f.engines[strings.ToLower(name)] = db
+	f.mu.Unlock()
+}
+
+func (f *Frontend) tableInfo(name string) (*tableInfo, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ti, ok := f.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("sqlfront: unknown table %q", name)
+	}
+	return ti, nil
+}
+
+// Session is one client connection: it holds the open transaction and the
+// worker slot it is bound to (the paper binds sessions to worker threads).
+type Session struct {
+	f      *Frontend
+	worker int
+
+	txn       engineapi.Txn
+	txnEngine string
+}
+
+// NewSession opens a session bound to a worker slot.
+func (f *Frontend) NewSession(worker int) *Session {
+	return &Session{f: f, worker: worker}
+}
+
+// Result is a statement result.
+type Result struct {
+	Rows     []core.Row
+	Columns  []string
+	Affected int
+}
+
+// Exec parses, plans and runs sql with the interpreted execution model: the
+// full stack runs on every call.
+func (s *Session) Exec(sql string, args ...core.Value) (*Result, error) {
+	st, nParams, err := parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if nParams != len(args) {
+		return nil, fmt.Errorf("%w: statement has %d, got %d", ErrParamCount, nParams, len(args))
+	}
+	return s.run(st, args)
+}
+
+// Stmt is a compiled statement: the parse/plan work is done once and the
+// execution closure binds parameters straight into engine calls
+// (full-stack code generation, Section 3.3).
+type Stmt struct {
+	s       *Session
+	nParams int
+	exec    func(args []core.Value) (*Result, error)
+}
+
+// Prepare compiles sql.
+func (s *Session) Prepare(sql string) (*Stmt, error) {
+	st, nParams, err := parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := s.compile(st)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{s: s, nParams: nParams, exec: fn}, nil
+}
+
+// Exec runs the compiled statement.
+func (st *Stmt) Exec(args ...core.Value) (*Result, error) {
+	if len(args) != st.nParams {
+		return nil, fmt.Errorf("%w: statement has %d, got %d", ErrParamCount, st.nParams, len(args))
+	}
+	return st.exec(args)
+}
+
+// --- transaction handling --------------------------------------------------
+
+// begin opens an explicit transaction lazily bound to the first engine used.
+func (s *Session) begin() error {
+	if s.txn != nil {
+		return errors.New("sqlfront: transaction already open")
+	}
+	s.txn = nil
+	// Engine binding is deferred to the first table access.
+	s.txnEngine = "?pending"
+	return nil
+}
+
+// txnFor returns the open transaction bound to ti's engine, opening an
+// auto-commit transaction when none is open. Queries in one transaction
+// cannot span engines (Section 3.4's current limitation).
+func (s *Session) txnFor(ti *tableInfo) (engineapi.Txn, bool, error) {
+	if s.txnEngine == "?pending" {
+		t, err := ti.db.Begin(s.worker)
+		if err != nil {
+			return nil, false, err
+		}
+		s.txn = t
+		s.txnEngine = ti.engine
+		return t, false, nil
+	}
+	if s.txn != nil {
+		if s.txnEngine != ti.engine {
+			return nil, false, fmt.Errorf("%w: open on %q, statement targets %q",
+				ErrCrossEngine, s.txnEngine, ti.engine)
+		}
+		return s.txn, false, nil
+	}
+	t, err := ti.db.Begin(s.worker)
+	if err != nil {
+		return nil, false, err
+	}
+	return t, true, nil
+}
+
+func (s *Session) commit() error {
+	if s.txn == nil {
+		if s.txnEngine == "?pending" { // BEGIN; COMMIT with no statements
+			s.txnEngine = ""
+			return nil
+		}
+		return ErrNoTxn
+	}
+	err := s.txn.Commit()
+	s.txn = nil
+	s.txnEngine = ""
+	return err
+}
+
+func (s *Session) rollback() error {
+	if s.txn == nil {
+		if s.txnEngine == "?pending" {
+			s.txnEngine = ""
+			return nil
+		}
+		return ErrNoTxn
+	}
+	err := s.txn.Abort()
+	s.txn = nil
+	s.txnEngine = ""
+	return err
+}
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.txn != nil || s.txnEngine == "?pending" }
+
+// opFailed cleans up after a failed statement: auto-commit transactions are
+// aborted; explicit transactions that the engine already aborted (conflict
+// or duplicate-key errors abort the whole transaction in every registered
+// engine) are detached from the session so a subsequent ROLLBACK/COMMIT does
+// not trip over a dead handle.
+func (s *Session) opFailed(tx engineapi.Txn, auto bool, err error) {
+	if auto {
+		tx.Abort()
+		return
+	}
+	if errors.Is(err, engineapi.ErrConflict) || errors.Is(err, engineapi.ErrDuplicate) {
+		s.txn = nil
+		s.txnEngine = ""
+	}
+}
+
+// --- planning ----------------------------------------------------------------
+
+// plan resolves a WHERE equality conjunction against the table's indexes:
+// the chosen index is one whose column prefix is fully covered, preferring
+// a full unique match (point lookup) over a prefix (scan).
+type plan struct {
+	idx      int
+	prefix   []expr // values for the matched index-column prefix
+	point    bool   // full unique key covered
+	residual []cond // conditions checked row-by-row
+}
+
+func buildPlan(schema *core.Schema, where []cond) (plan, error) {
+	if len(where) == 0 {
+		return plan{idx: 0, prefix: nil, point: false}, nil
+	}
+	byCol := make(map[int]expr, len(where))
+	used := make(map[int]bool)
+	for _, c := range where {
+		pos := schema.ColumnIndex(c.col)
+		if pos < 0 {
+			return plan{}, fmt.Errorf("sqlfront: unknown column %q in WHERE", c.col)
+		}
+		byCol[pos] = c.rhs
+	}
+	best := plan{idx: -1}
+	for i, def := range schema.Indexes {
+		var prefix []expr
+		for _, colPos := range def.Columns {
+			e, ok := byCol[colPos]
+			if !ok {
+				break
+			}
+			prefix = append(prefix, e)
+		}
+		if len(prefix) == 0 {
+			continue
+		}
+		point := def.Unique && len(prefix) == len(def.Columns)
+		better := best.idx < 0 ||
+			(point && !best.point) ||
+			(point == best.point && len(prefix) > len(best.prefix))
+		if better {
+			best = plan{idx: i, prefix: prefix, point: point}
+			// Track which conditions the index absorbs.
+			used = make(map[int]bool)
+			for j := 0; j < len(prefix); j++ {
+				used[def.Columns[j]] = true
+			}
+		}
+	}
+	if best.idx < 0 {
+		return plan{}, fmt.Errorf("%w (columns: %v)", ErrBadPlan, where)
+	}
+	for _, c := range where {
+		if !used[schema.ColumnIndex(c.col)] {
+			best.residual = append(best.residual, c)
+		}
+	}
+	return best, nil
+}
+
+func bind(e expr, args []core.Value) core.Value {
+	if e.isParam {
+		return args[e.param]
+	}
+	return e.val
+}
+
+func bindAll(es []expr, args []core.Value) []core.Value {
+	out := make([]core.Value, len(es))
+	for i, e := range es {
+		out[i] = bind(e, args)
+	}
+	return out
+}
+
+func matchResidual(schema *core.Schema, row core.Row, residual []cond, args []core.Value) bool {
+	for _, c := range residual {
+		pos := schema.ColumnIndex(c.col)
+		if pos < 0 || !row[pos].Equal(bind(c.rhs, args)) {
+			return false
+		}
+	}
+	return true
+}
+
+func project(schema *core.Schema, row core.Row, cols []string) (core.Row, error) {
+	if cols == nil {
+		return row, nil
+	}
+	out := make(core.Row, len(cols))
+	for i, c := range cols {
+		pos := schema.ColumnIndex(c)
+		if pos < 0 {
+			return nil, fmt.Errorf("sqlfront: unknown column %q", c)
+		}
+		out[i] = row[pos]
+	}
+	return out, nil
+}
+
+// --- execution ----------------------------------------------------------------
+
+// run interprets one parsed statement (interpreted model).
+func (s *Session) run(st stmt, args []core.Value) (*Result, error) {
+	fn, err := s.compile(st)
+	if err != nil {
+		return nil, err
+	}
+	return fn(args)
+}
+
+// compile lowers a statement to an execution closure over pre-resolved
+// handles. Exec calls this per statement; Prepare calls it once.
+func (s *Session) compile(st stmt) (func([]core.Value) (*Result, error), error) {
+	switch st := st.(type) {
+	case *txnStmt:
+		verb := st.verb
+		return func([]core.Value) (*Result, error) {
+			var err error
+			switch verb {
+			case "BEGIN":
+				err = s.begin()
+			case "COMMIT":
+				err = s.commit()
+			default:
+				err = s.rollback()
+			}
+			return &Result{}, err
+		}, nil
+
+	case *createTableStmt:
+		schema := st.schema
+		engine := st.engine
+		return func([]core.Value) (*Result, error) {
+			s.f.mu.Lock()
+			defer s.f.mu.Unlock()
+			name := engine
+			if name == "" {
+				name = s.f.defaultEngine
+			}
+			db, ok := s.f.engines[name]
+			if !ok {
+				return nil, fmt.Errorf("sqlfront: unknown engine %q", name)
+			}
+			if _, dup := s.f.tables[schema.Name]; dup {
+				return nil, fmt.Errorf("sqlfront: table %q exists", schema.Name)
+			}
+			if len(schema.Indexes) == 0 {
+				return nil, fmt.Errorf("sqlfront: table %q needs a PRIMARY KEY", schema.Name)
+			}
+			if err := db.CreateTable(schema); err != nil {
+				return nil, err
+			}
+			s.f.tables[schema.Name] = &tableInfo{engine: name, db: db, schema: schema}
+			return &Result{}, nil
+		}, nil
+
+	case *insertStmt:
+		ti, err := s.f.tableInfo(st.table)
+		if err != nil {
+			return nil, err
+		}
+		if len(st.vals) != len(ti.schema.Columns) {
+			return nil, fmt.Errorf("sqlfront: INSERT arity %d != %d columns",
+				len(st.vals), len(ti.schema.Columns))
+		}
+		vals := st.vals
+		return func(args []core.Value) (*Result, error) {
+			tx, auto, err := s.txnFor(ti)
+			if err != nil {
+				return nil, err
+			}
+			if err := tx.Insert(ti.schema.Name, bindAll(vals, args)); err != nil {
+				s.opFailed(tx, auto, err)
+				return nil, err
+			}
+			if auto {
+				if err := tx.Commit(); err != nil {
+					return nil, err
+				}
+			}
+			return &Result{Affected: 1}, nil
+		}, nil
+
+	case *selectStmt:
+		ti, err := s.f.tableInfo(st.table)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := buildPlan(ti.schema, st.where)
+		if err != nil {
+			return nil, err
+		}
+		cols := st.cols
+		limit := st.limit
+		residual := pl.residual
+		return func(args []core.Value) (*Result, error) {
+			tx, auto, err := s.txnFor(ti)
+			if err != nil {
+				return nil, err
+			}
+			res := &Result{Columns: cols}
+			fail := func(err error) (*Result, error) {
+				s.opFailed(tx, auto, err)
+				return nil, err
+			}
+			if pl.point {
+				row, err := tx.GetByKey(ti.schema.Name, pl.idx, bindAll(pl.prefix, args)...)
+				if err != nil && !errors.Is(err, engineapi.ErrNotFound) {
+					return fail(err)
+				}
+				if err == nil && matchResidual(ti.schema, row, residual, args) {
+					pr, perr := project(ti.schema, row, cols)
+					if perr != nil {
+						return fail(perr)
+					}
+					res.Rows = append(res.Rows, pr)
+				}
+			} else {
+				err := tx.ScanPrefix(ti.schema.Name, pl.idx, bindAll(pl.prefix, args),
+					func(row core.Row) bool {
+						if !matchResidual(ti.schema, row, residual, args) {
+							return true
+						}
+						pr, perr := project(ti.schema, row, cols)
+						if perr != nil {
+							err = perr
+							return false
+						}
+						res.Rows = append(res.Rows, pr)
+						return limit == 0 || len(res.Rows) < limit
+					})
+				if err != nil {
+					return fail(err)
+				}
+			}
+			if auto {
+				if err := tx.Commit(); err != nil {
+					return nil, err
+				}
+			}
+			return res, nil
+		}, nil
+
+	case *updateStmt:
+		ti, err := s.f.tableInfo(st.table)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := buildPlan(ti.schema, st.where)
+		if err != nil {
+			return nil, err
+		}
+		if !pl.point || pl.idx != 0 {
+			return nil, fmt.Errorf("%w: UPDATE requires full primary key equality", ErrBadPlan)
+		}
+		setPos := make([]int, len(st.sets))
+		for i, sc := range st.sets {
+			pos := ti.schema.ColumnIndex(sc.col)
+			if pos < 0 {
+				return nil, fmt.Errorf("sqlfront: unknown column %q in SET", sc.col)
+			}
+			setPos[i] = pos
+		}
+		sets := st.sets
+		residual := pl.residual
+		return func(args []core.Value) (*Result, error) {
+			tx, auto, err := s.txnFor(ti)
+			if err != nil {
+				return nil, err
+			}
+			key := bindAll(pl.prefix, args)
+			row, err := tx.GetByKey(ti.schema.Name, 0, key...)
+			if err != nil {
+				if errors.Is(err, engineapi.ErrNotFound) {
+					if auto {
+						tx.Abort()
+					}
+					return &Result{Affected: 0}, nil
+				}
+				s.opFailed(tx, auto, err)
+				return nil, err
+			}
+			if !matchResidual(ti.schema, row, residual, args) {
+				if auto {
+					tx.Abort()
+				}
+				return &Result{Affected: 0}, nil
+			}
+			newRow := append(core.Row{}, row...)
+			for i, sc := range sets {
+				newRow[setPos[i]] = bind(sc.rhs, args)
+			}
+			if err := tx.UpdateByKey(ti.schema.Name, 0, key, newRow); err != nil {
+				s.opFailed(tx, auto, err)
+				return nil, err
+			}
+			if auto {
+				if err := tx.Commit(); err != nil {
+					return nil, err
+				}
+			}
+			return &Result{Affected: 1}, nil
+		}, nil
+
+	case *deleteStmt:
+		ti, err := s.f.tableInfo(st.table)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := buildPlan(ti.schema, st.where)
+		if err != nil {
+			return nil, err
+		}
+		if !pl.point || pl.idx != 0 {
+			return nil, fmt.Errorf("%w: DELETE requires full primary key equality", ErrBadPlan)
+		}
+		return func(args []core.Value) (*Result, error) {
+			tx, auto, err := s.txnFor(ti)
+			if err != nil {
+				return nil, err
+			}
+			if err := tx.DeleteByKey(ti.schema.Name, bindAll(pl.prefix, args)...); err != nil {
+				if errors.Is(err, engineapi.ErrNotFound) {
+					if auto {
+						tx.Abort()
+					}
+					return &Result{Affected: 0}, nil
+				}
+				s.opFailed(tx, auto, err)
+				return nil, err
+			}
+			if auto {
+				if err := tx.Commit(); err != nil {
+					return nil, err
+				}
+			}
+			return &Result{Affected: 1}, nil
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("sqlfront: unhandled statement %T", st)
+	}
+}

@@ -1,0 +1,110 @@
+// Package sqlfront is HiEngine's SQL engine layer (Section 3.3): a
+// MySQL-compatible-flavored SQL subset with two execution models.
+//
+// Interpreted execution re-runs the full stack -- lexer, parser, planner,
+// plan interpretation -- on every statement, the way a classic SQL layer
+// does. Compiled execution ("full-stack code generation") runs the stack
+// once at Prepare time and emits a closure specialized to the statement:
+// parameters are bound directly into pre-resolved table/index handles and
+// pre-encoded row shapes, so per-execution work collapses to the storage
+// engine calls. The Figure 5 interpreted-vs-compiled gap is exactly the
+// difference between these two paths.
+//
+// Statement coverage: CREATE TABLE (with PRIMARY KEY, INDEX, UNIQUE INDEX
+// and WITH ENGINE=<name> routing), INSERT, point/prefix SELECT, UPDATE and
+// DELETE by key equality, BEGIN/COMMIT/ROLLBACK.
+package sqlfront
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // single characters: ( ) , = * ? ; .
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords uppercased; identifiers as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true, "INDEX": true,
+	"UNIQUE": true, "WITH": true, "ENGINE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "BEGIN": true, "COMMIT": true,
+	"ROLLBACK": true, "INT": true, "BIGINT": true, "FLOAT": true, "DOUBLE": true,
+	"TEXT": true, "VARCHAR": true, "STRING": true, "BYTES": true, "LIMIT": true,
+	"ORDER": true, "BY": true, "NULL": true,
+}
+
+// lex tokenizes the statement.
+func lex(sql string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(sql) {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(sql) {
+				if sql[j] == '\'' {
+					if j+1 < len(sql) && sql[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(sql[j])
+				j++
+			}
+			if j >= len(sql) {
+				return nil, fmt.Errorf("sqlfront: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(sql) && sql[i+1] >= '0' && sql[i+1] <= '9'):
+			j := i + 1
+			for j < len(sql) && (sql[j] >= '0' && sql[j] <= '9' || sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: sql[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i + 1
+			for j < len(sql) && (unicode.IsLetter(rune(sql[j])) || unicode.IsDigit(rune(sql[j])) || sql[j] == '_') {
+				j++
+			}
+			word := sql[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		case strings.IndexByte("(),=*?;.<>", c) >= 0:
+			toks = append(toks, token{kind: tokPunct, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlfront: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(sql)})
+	return toks, nil
+}

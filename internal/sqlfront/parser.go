@@ -1,0 +1,466 @@
+package sqlfront
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hiengine/internal/core"
+)
+
+// Statement ASTs.
+
+type stmt interface{ stmtNode() }
+
+type createTableStmt struct {
+	schema *core.Schema
+	engine string // WITH ENGINE=...; empty = default
+}
+
+type insertStmt struct {
+	table string
+	vals  []expr // one per column
+}
+
+type selectStmt struct {
+	table string
+	cols  []string // nil = *
+	where []cond
+	limit int // 0 = unlimited
+}
+
+type updateStmt struct {
+	table string
+	sets  []setClause
+	where []cond
+}
+
+type deleteStmt struct {
+	table string
+	where []cond
+}
+
+type txnStmt struct{ verb string } // BEGIN / COMMIT / ROLLBACK
+
+func (*createTableStmt) stmtNode() {}
+func (*insertStmt) stmtNode()      {}
+func (*selectStmt) stmtNode()      {}
+func (*updateStmt) stmtNode()      {}
+func (*deleteStmt) stmtNode()      {}
+func (*txnStmt) stmtNode()         {}
+
+// expr is a literal value or a parameter placeholder.
+type expr struct {
+	isParam bool
+	param   int // ordinal among ?s
+	val     core.Value
+}
+
+type cond struct {
+	col string
+	rhs expr
+}
+
+type setClause struct {
+	col string
+	rhs expr
+}
+
+// parser consumes tokens.
+type parser struct {
+	toks   []token
+	pos    int
+	params int
+}
+
+func parse(sql string) (stmt, int, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := &parser{toks: toks}
+	s, err := p.statement()
+	if err != nil {
+		return nil, 0, err
+	}
+	if !p.at(tokEOF, "") && !(p.at(tokPunct, ";") && p.toks[p.pos+1].kind == tokEOF) {
+		return nil, 0, fmt.Errorf("sqlfront: trailing input at %d", p.cur().pos)
+	}
+	return s, p.params, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(k, text) {
+		return t, fmt.Errorf("sqlfront: expected %q at %d, got %q", text, t.pos, t.text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqlfront: expected identifier at %d, got %q", t.pos, t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	switch {
+	case p.accept(tokKeyword, "CREATE"):
+		return p.createTable()
+	case p.accept(tokKeyword, "INSERT"):
+		return p.insert()
+	case p.accept(tokKeyword, "SELECT"):
+		return p.selectStmt()
+	case p.accept(tokKeyword, "UPDATE"):
+		return p.update()
+	case p.accept(tokKeyword, "DELETE"):
+		return p.deleteStmt()
+	case p.accept(tokKeyword, "BEGIN"):
+		return &txnStmt{verb: "BEGIN"}, nil
+	case p.accept(tokKeyword, "COMMIT"):
+		return &txnStmt{verb: "COMMIT"}, nil
+	case p.accept(tokKeyword, "ROLLBACK"):
+		return &txnStmt{verb: "ROLLBACK"}, nil
+	default:
+		return nil, fmt.Errorf("sqlfront: unsupported statement starting with %q", p.cur().text)
+	}
+}
+
+func kindOfType(t string) (core.Kind, error) {
+	switch t {
+	case "INT", "BIGINT":
+		return core.KindInt, nil
+	case "FLOAT", "DOUBLE":
+		return core.KindFloat, nil
+	case "TEXT", "VARCHAR", "STRING":
+		return core.KindString, nil
+	case "BYTES":
+		return core.KindBytes, nil
+	default:
+		return 0, fmt.Errorf("sqlfront: unknown type %q", t)
+	}
+}
+
+func (p *parser) createTable() (stmt, error) {
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	s := &core.Schema{Name: name}
+	for {
+		switch {
+		case p.accept(tokKeyword, "PRIMARY"):
+			if _, err := p.expect(tokKeyword, "KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.columnList(s)
+			if err != nil {
+				return nil, err
+			}
+			s.Indexes = append([]core.IndexDef{{Name: "pk", Columns: cols, Unique: true}}, s.Indexes...)
+		case p.accept(tokKeyword, "UNIQUE"):
+			if _, err := p.expect(tokKeyword, "INDEX"); err != nil {
+				return nil, err
+			}
+			ixName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cols, err := p.columnList(s)
+			if err != nil {
+				return nil, err
+			}
+			s.Indexes = append(s.Indexes, core.IndexDef{Name: ixName, Columns: cols, Unique: true})
+		case p.accept(tokKeyword, "INDEX"):
+			ixName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cols, err := p.columnList(s)
+			if err != nil {
+				return nil, err
+			}
+			s.Indexes = append(s.Indexes, core.IndexDef{Name: ixName, Columns: cols})
+		default:
+			colName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			t := p.cur()
+			if t.kind != tokKeyword {
+				return nil, fmt.Errorf("sqlfront: expected type at %d", t.pos)
+			}
+			p.pos++
+			k, err := kindOfType(t.text)
+			if err != nil {
+				return nil, err
+			}
+			// Optional length suffix: VARCHAR(64).
+			if p.accept(tokPunct, "(") {
+				if _, err := p.expect(tokNumber, p.cur().text); err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokPunct, ")"); err != nil {
+					return nil, err
+				}
+			}
+			s.Columns = append(s.Columns, core.Column{Name: colName, Kind: k})
+		}
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	engine := ""
+	if p.accept(tokKeyword, "WITH") {
+		if _, err := p.expect(tokKeyword, "ENGINE"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		engine, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+		engine = strings.ToLower(engine)
+	}
+	return &createTableStmt{schema: s, engine: engine}, nil
+}
+
+// columnList parses (a, b, c) and resolves positions against s.Columns.
+func (p *parser) columnList(s *core.Schema) ([]int, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var cols []int
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		pos := s.ColumnIndex(name)
+		if pos < 0 {
+			return nil, fmt.Errorf("sqlfront: index references unknown column %q", name)
+		}
+		cols = append(cols, pos)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+func (p *parser) expr() (expr, error) {
+	t := p.cur()
+	switch {
+	case p.accept(tokPunct, "?"):
+		e := expr{isParam: true, param: p.params}
+		p.params++
+		return e, nil
+	case t.kind == tokNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return expr{}, err
+			}
+			return expr{val: core.F(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return expr{}, err
+		}
+		return expr{val: core.I(i)}, nil
+	case t.kind == tokString:
+		p.pos++
+		return expr{val: core.S(t.text)}, nil
+	case p.accept(tokKeyword, "NULL"):
+		return expr{val: core.Null}, nil
+	default:
+		return expr{}, fmt.Errorf("sqlfront: expected value at %d, got %q", t.pos, t.text)
+	}
+}
+
+func (p *parser) insert() (stmt, error) {
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var vals []expr
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, e)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return &insertStmt{table: table, vals: vals}, nil
+}
+
+func (p *parser) whereClause() ([]cond, error) {
+	if !p.accept(tokKeyword, "WHERE") {
+		return nil, nil
+	}
+	var conds []cond
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, cond{col: col, rhs: rhs})
+		if p.accept(tokKeyword, "AND") {
+			continue
+		}
+		break
+	}
+	return conds, nil
+}
+
+func (p *parser) selectStmt() (stmt, error) {
+	s := &selectStmt{}
+	if p.accept(tokPunct, "*") {
+		s.cols = nil
+	} else {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.cols = append(s.cols, c)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.table = table
+	s.where, err = p.whereClause()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sqlfront: LIMIT needs a number at %d", t.pos)
+		}
+		p.pos++
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, err
+		}
+		s.limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) update() (stmt, error) {
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	u := &updateStmt{table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		u.sets = append(u.sets, setClause{col: col, rhs: rhs})
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	u.where, err = p.whereClause()
+	if err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+func (p *parser) deleteStmt() (stmt, error) {
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.whereClause()
+	if err != nil {
+		return nil, err
+	}
+	return &deleteStmt{table: table, where: where}, nil
+}

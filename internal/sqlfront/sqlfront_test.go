@@ -1,0 +1,288 @@
+package sqlfront
+
+import (
+	"errors"
+	"testing"
+
+	"hiengine/internal/adapt"
+	"hiengine/internal/baseline/innosim"
+	"hiengine/internal/core"
+	"hiengine/internal/srss"
+)
+
+func testFrontend(t *testing.T) (*Frontend, *core.Engine) {
+	t.Helper()
+	e, err := core.Open(core.Config{Workers: 16, SegmentSize: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return NewFrontend("hiengine", adapt.New(e)), e
+}
+
+func mustExec(t *testing.T, s *Session, sql string, args ...core.Value) *Result {
+	t.Helper()
+	res, err := s.Exec(sql, args...)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE users (id INT, name TEXT, age INT, PRIMARY KEY(id), INDEX by_name (name))")
+	mustExec(t, s, "INSERT INTO users VALUES (1, 'ada', 36)")
+	mustExec(t, s, "INSERT INTO users VALUES (2, 'bob', 25)")
+	res := mustExec(t, s, "SELECT * FROM users WHERE id = 1")
+	if len(res.Rows) != 1 || res.Rows[0][1].Str() != "ada" {
+		t.Fatalf("select: %+v", res.Rows)
+	}
+	// Projection.
+	res = mustExec(t, s, "SELECT name FROM users WHERE id = 2")
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 || res.Rows[0][0].Str() != "bob" {
+		t.Fatalf("projection: %+v", res.Rows)
+	}
+	// Secondary index scan.
+	res = mustExec(t, s, "SELECT id FROM users WHERE name = 'ada'")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Fatalf("secondary: %+v", res.Rows)
+	}
+	// Full scan.
+	res = mustExec(t, s, "SELECT * FROM users")
+	if len(res.Rows) != 2 {
+		t.Fatalf("full scan: %d rows", len(res.Rows))
+	}
+	// Miss.
+	res = mustExec(t, s, "SELECT * FROM users WHERE id = 99")
+	if len(res.Rows) != 0 {
+		t.Fatalf("miss returned rows: %+v", res.Rows)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE kv (k INT, v TEXT, PRIMARY KEY(k))")
+	mustExec(t, s, "INSERT INTO kv VALUES (1, 'one')")
+	res := mustExec(t, s, "UPDATE kv SET v = 'uno' WHERE k = 1")
+	if res.Affected != 1 {
+		t.Fatalf("update affected %d", res.Affected)
+	}
+	res = mustExec(t, s, "SELECT v FROM kv WHERE k = 1")
+	if res.Rows[0][0].Str() != "uno" {
+		t.Fatalf("update lost: %+v", res.Rows)
+	}
+	res = mustExec(t, s, "UPDATE kv SET v = 'x' WHERE k = 9")
+	if res.Affected != 0 {
+		t.Fatal("phantom update")
+	}
+	res = mustExec(t, s, "DELETE FROM kv WHERE k = 1")
+	if res.Affected != 1 {
+		t.Fatalf("delete affected %d", res.Affected)
+	}
+	res = mustExec(t, s, "SELECT * FROM kv WHERE k = 1")
+	if len(res.Rows) != 0 {
+		t.Fatal("delete lost")
+	}
+}
+
+func TestParameters(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE p (a INT, b TEXT, PRIMARY KEY(a))")
+	mustExec(t, s, "INSERT INTO p VALUES (?, ?)", core.I(5), core.S("five"))
+	res := mustExec(t, s, "SELECT b FROM p WHERE a = ?", core.I(5))
+	if res.Rows[0][0].Str() != "five" {
+		t.Fatalf("param select: %+v", res.Rows)
+	}
+	if _, err := s.Exec("SELECT * FROM p WHERE a = ?"); !errors.Is(err, ErrParamCount) {
+		t.Fatalf("param count: %v", err)
+	}
+}
+
+func TestPreparedStatements(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE c (a INT, b INT, PRIMARY KEY(a))")
+	ins, err := s.Prepare("INSERT INTO c VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := s.Prepare("SELECT b FROM c WHERE a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		if _, err := ins.Exec(core.I(i), core.I(i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 100; i += 13 {
+		res, err := sel.Exec(core.I(i))
+		if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Int() != i*2 {
+			t.Fatalf("compiled select %d: %+v %v", i, res, err)
+		}
+	}
+}
+
+func TestExplicitTransactions(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE t (a INT, b INT, PRIMARY KEY(a))")
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "INSERT INTO t VALUES (1, 10)")
+	mustExec(t, s, "INSERT INTO t VALUES (2, 20)")
+	if !s.InTxn() {
+		t.Fatal("not in txn")
+	}
+	mustExec(t, s, "ROLLBACK")
+	res := mustExec(t, s, "SELECT * FROM t")
+	if len(res.Rows) != 0 {
+		t.Fatal("rollback leaked rows")
+	}
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "INSERT INTO t VALUES (3, 30)")
+	mustExec(t, s, "COMMIT")
+	res = mustExec(t, s, "SELECT * FROM t")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 3 {
+		t.Fatalf("commit: %+v", res.Rows)
+	}
+	if _, err := s.Exec("COMMIT"); !errors.Is(err, ErrNoTxn) {
+		t.Fatalf("commit without begin: %v", err)
+	}
+}
+
+func TestMultiEngineRoutingAndCrossEngineRejection(t *testing.T) {
+	f, _ := testFrontend(t)
+	inno, err := innosim.New(innosim.Config{Service: srss.New(srss.Config{}), SegmentSize: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inno.Close)
+	f.Register("innodb", inno)
+
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE fast (a INT, b TEXT, PRIMARY KEY(a)) WITH ENGINE=hiengine")
+	mustExec(t, s, "CREATE TABLE slow (a INT, b TEXT, PRIMARY KEY(a)) WITH ENGINE=innodb")
+	mustExec(t, s, "INSERT INTO fast VALUES (1, 'hi')")
+	mustExec(t, s, "INSERT INTO slow VALUES (1, 'inno')")
+	r1 := mustExec(t, s, "SELECT b FROM fast WHERE a = 1")
+	r2 := mustExec(t, s, "SELECT b FROM slow WHERE a = 1")
+	if r1.Rows[0][0].Str() != "hi" || r2.Rows[0][0].Str() != "inno" {
+		t.Fatalf("routing: %v %v", r1.Rows, r2.Rows)
+	}
+	// A transaction may not span engines (Section 3.4).
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "INSERT INTO fast VALUES (2, 'x')")
+	if _, err := s.Exec("INSERT INTO slow VALUES (2, 'y')"); !errors.Is(err, ErrCrossEngine) {
+		t.Fatalf("cross-engine: %v", err)
+	}
+	mustExec(t, s, "ROLLBACK")
+}
+
+func TestPlannerErrors(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE t (a INT, b INT, c INT, PRIMARY KEY(a, b))")
+	// UPDATE needs the full primary key.
+	if _, err := s.Exec("UPDATE t SET c = 1 WHERE a = 1"); !errors.Is(err, ErrBadPlan) {
+		t.Fatalf("partial-pk update: %v", err)
+	}
+	// WHERE on an unindexed column.
+	if _, err := s.Exec("SELECT * FROM t WHERE c = 3"); !errors.Is(err, ErrBadPlan) {
+		t.Fatalf("unindexed where: %v", err)
+	}
+	// Unknown table/column.
+	if _, err := s.Exec("SELECT * FROM ghost"); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if _, err := s.Exec("SELECT * FROM t WHERE zz = 1"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestCompositeKeyAndResidualFilter(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE o (w INT, d INT, o INT, v TEXT, PRIMARY KEY(w, d, o))")
+	for w := int64(1); w <= 2; w++ {
+		for d := int64(1); d <= 3; d++ {
+			for o := int64(1); o <= 4; o++ {
+				mustExec(t, s, "INSERT INTO o VALUES (?, ?, ?, 'r')", core.I(w), core.I(d), core.I(o))
+			}
+		}
+	}
+	// Prefix scan on (w, d).
+	res := mustExec(t, s, "SELECT o FROM o WHERE w = 1 AND d = 2")
+	if len(res.Rows) != 4 {
+		t.Fatalf("prefix scan: %d rows", len(res.Rows))
+	}
+	// Point on full key.
+	res = mustExec(t, s, "SELECT v FROM o WHERE w = 2 AND d = 3 AND o = 4")
+	if len(res.Rows) != 1 {
+		t.Fatalf("point: %d rows", len(res.Rows))
+	}
+	// Residual filter: o = 2 is not a contiguous prefix with (w) only...
+	// w = 1 AND o = 2 uses prefix (w) and filters o per row.
+	res = mustExec(t, s, "SELECT d FROM o WHERE w = 1 AND o = 2")
+	if len(res.Rows) != 3 {
+		t.Fatalf("residual filter: %d rows", len(res.Rows))
+	}
+	// LIMIT.
+	res = mustExec(t, s, "SELECT * FROM o WHERE w = 1 LIMIT 5")
+	if len(res.Rows) != 5 {
+		t.Fatalf("limit: %d rows", len(res.Rows))
+	}
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE e (a INT, b TEXT, PRIMARY KEY(a))")
+	// Escaped quote and negative number.
+	mustExec(t, s, "INSERT INTO e VALUES (-5, 'it''s')")
+	res := mustExec(t, s, "SELECT b FROM e WHERE a = -5")
+	if res.Rows[0][0].Str() != "it's" {
+		t.Fatalf("escape: %q", res.Rows[0][0].Str())
+	}
+	// Float literal.
+	mustExec(t, s, "CREATE TABLE fl (a INT, x FLOAT, PRIMARY KEY(a))")
+	mustExec(t, s, "INSERT INTO fl VALUES (1, 3.25)")
+	res = mustExec(t, s, "SELECT x FROM fl WHERE a = 1")
+	if res.Rows[0][0].Float() != 3.25 {
+		t.Fatalf("float: %v", res.Rows[0][0])
+	}
+	// Garbage.
+	if _, err := s.Exec("SELEKT things"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := s.Exec("INSERT INTO e VALUES (1, 'unterminated"); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+}
+
+func TestInterpretedVsCompiledSameResults(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE cmp (a INT, b INT, PRIMARY KEY(a))")
+	for i := int64(0); i < 50; i++ {
+		mustExec(t, s, "INSERT INTO cmp VALUES (?, ?)", core.I(i), core.I(i*i))
+	}
+	stmt, err := s.Prepare("SELECT b FROM cmp WHERE a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 50; i++ {
+		interp := mustExec(t, s, "SELECT b FROM cmp WHERE a = ?", core.I(i))
+		comp, err := stmt.Exec(core.I(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(interp.Rows) != 1 || len(comp.Rows) != 1 ||
+			interp.Rows[0][0].Int() != comp.Rows[0][0].Int() {
+			t.Fatalf("divergence at %d: %v vs %v", i, interp.Rows, comp.Rows)
+		}
+	}
+}

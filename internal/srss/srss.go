@@ -1,0 +1,614 @@
+// Package srss simulates SRSS, Huawei's shared reliable storage service that
+// HiEngine is built on (Sections 2.2-2.3 of the paper).
+//
+// SRSS exposes one abstraction: the persistent log (PLog), a contiguous
+// fixed-maximum-size append-only chunk. PLogs can be created, opened,
+// appended to, read, sealed and deleted; in-place update is impossible by
+// construction. Writes are replicated synchronously to three nodes and
+// acknowledged only when all three replicas are durable. If a replica node
+// fails during a write, the PLog is permanently sealed and the application
+// retries the append on a fresh PLog placed on healthy nodes.
+//
+// SRSS spans two tiers. Compute-tier PLogs live in persistent memory on
+// compute nodes and are replicated over the fast intra-compute RDMA network;
+// this is the compute-side persistence that lets HiEngine commit at
+// microsecond latency. Storage-tier PLogs live on SSDs behind the slower
+// cross-layer network. Either tier supports mmap-style read-only views.
+//
+// The simulation materializes every replica independently (so replication
+// bugs are observable), charges tier-appropriate latencies through a
+// delay.Model, and supports failure injection on individual nodes.
+package srss
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hiengine/internal/delay"
+)
+
+// Tier identifies where a PLog's replicas are placed.
+type Tier int
+
+const (
+	// TierCompute places replicas in persistent memory on compute nodes.
+	TierCompute Tier = iota
+	// TierStorage places replicas on SSDs on storage nodes.
+	TierStorage
+)
+
+// String returns the tier name.
+func (t Tier) String() string {
+	switch t {
+	case TierCompute:
+		return "compute"
+	case TierStorage:
+		return "storage"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// PLogID identifies a PLog. SRSS uses 24-byte identifiers (Section 4.2);
+// the simulation packs a tier tag and a sequence number into the same width.
+type PLogID [24]byte
+
+// String renders the ID compactly for logs and errors.
+func (id PLogID) String() string {
+	return fmt.Sprintf("plog-%x", id[:8])
+}
+
+// IsZero reports whether the ID is the zero (invalid) ID.
+func (id PLogID) IsZero() bool { return id == PLogID{} }
+
+// Errors returned by the service.
+var (
+	// ErrSealed is returned when appending to a sealed PLog. The caller
+	// must create a new PLog and retry the write (Section 2.2).
+	ErrSealed = errors.New("srss: plog is sealed")
+	// ErrFull is returned when an append would exceed the PLog max size.
+	ErrFull = errors.New("srss: plog is full")
+	// ErrNotFound is returned when opening an unknown PLog.
+	ErrNotFound = errors.New("srss: plog not found")
+	// ErrOutOfRange is returned for reads past the durable end of a PLog.
+	ErrOutOfRange = errors.New("srss: read out of range")
+	// ErrNoHealthyNodes is returned when a tier has fewer healthy nodes
+	// than the replication factor.
+	ErrNoHealthyNodes = errors.New("srss: not enough healthy nodes")
+	// ErrDeleted is returned when operating on a deleted PLog.
+	ErrDeleted = errors.New("srss: plog deleted")
+)
+
+// Config configures a simulated SRSS deployment.
+type Config struct {
+	// Model is the latency model; nil means delay.Zero().
+	Model *delay.Model
+	// Waiter charges latencies; nil means a real sleeping waiter.
+	Waiter delay.Waiter
+	// ComputeNodes and StorageNodes size the two tiers. Defaults: 3 and 3.
+	ComputeNodes int
+	StorageNodes int
+	// Replicas is the replication factor (default 3).
+	Replicas int
+	// MaxPLogSize caps each PLog (paper: 4 GiB). Tests use small values.
+	MaxPLogSize int64
+	// ChunkSize is the allocation granularity of replica buffers. Reads
+	// wholly inside one chunk are zero-copy. Default 256 KiB.
+	ChunkSize int
+}
+
+func (c *Config) fill() {
+	if c.Model == nil {
+		c.Model = delay.Zero()
+	}
+	if c.Waiter == nil {
+		c.Waiter = delay.SleepWaiter{}
+	}
+	if c.ComputeNodes == 0 {
+		c.ComputeNodes = 3
+	}
+	if c.StorageNodes == 0 {
+		c.StorageNodes = 3
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.MaxPLogSize == 0 {
+		c.MaxPLogSize = 4 << 30
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 256 << 10
+	}
+}
+
+// Stats counts service activity; all fields are updated atomically.
+type Stats struct {
+	Appends        atomic.Int64
+	AppendBytes    atomic.Int64
+	Reads          atomic.Int64
+	ReadBytes      atomic.Int64
+	Seals          atomic.Int64
+	CrossLayerOps  atomic.Int64
+	ComputeTierOps atomic.Int64
+}
+
+// Service is a simulated SRSS deployment: a set of compute nodes and storage
+// nodes hosting replicated PLogs.
+type Service struct {
+	cfg    Config
+	nextID atomic.Uint64
+
+	mu    sync.RWMutex
+	plogs map[PLogID]*PLog
+
+	computeNodes []*Node
+	storageNodes []*Node
+
+	// rr provides round-robin placement per tier.
+	rrCompute atomic.Uint64
+	rrStorage atomic.Uint64
+
+	// wellKnown is the management-node registry (Section 4.2: bootstrap
+	// PLog IDs are "stored in a well-known location such as management
+	// nodes"). Applications register the identity of metadata PLogs here
+	// so the identity survives PLog seal-and-migrate cycles.
+	wkMu      sync.RWMutex
+	wellKnown map[string]PLogID
+
+	stats Stats
+}
+
+// Node is one simulated compute or storage node.
+type Node struct {
+	ID     int
+	Tier   Tier
+	failed atomic.Bool
+}
+
+// Fail marks the node failed: subsequent replicated writes touching it seal
+// their PLogs.
+func (n *Node) Fail() { n.failed.Store(true) }
+
+// Heal clears the failed state.
+func (n *Node) Heal() { n.failed.Store(false) }
+
+// Failed reports whether the node is marked failed.
+func (n *Node) Failed() bool { return n.failed.Load() }
+
+// New builds a service from cfg.
+func New(cfg Config) *Service {
+	cfg.fill()
+	s := &Service{
+		cfg:       cfg,
+		plogs:     make(map[PLogID]*PLog),
+		wellKnown: make(map[string]PLogID),
+	}
+	for i := 0; i < cfg.ComputeNodes; i++ {
+		s.computeNodes = append(s.computeNodes, &Node{ID: i, Tier: TierCompute})
+	}
+	for i := 0; i < cfg.StorageNodes; i++ {
+		s.storageNodes = append(s.storageNodes, &Node{ID: i, Tier: TierStorage})
+	}
+	return s
+}
+
+// Stats exposes the service counters.
+func (s *Service) Stats() *Stats { return &s.stats }
+
+// SetWellKnown registers a named bootstrap PLog ID with the management
+// nodes.
+func (s *Service) SetWellKnown(name string, id PLogID) {
+	s.wkMu.Lock()
+	s.wellKnown[name] = id
+	s.wkMu.Unlock()
+}
+
+// WellKnown resolves a named bootstrap PLog ID.
+func (s *Service) WellKnown(name string) (PLogID, bool) {
+	s.wkMu.RLock()
+	defer s.wkMu.RUnlock()
+	id, ok := s.wellKnown[name]
+	return id, ok
+}
+
+// Model exposes the latency model so co-simulated devices (e.g. the
+// baseline engine's buffer pool) charge consistent costs.
+func (s *Service) Model() *delay.Model { return s.cfg.Model }
+
+// Waiter exposes the latency sink.
+func (s *Service) Waiter() delay.Waiter { return s.cfg.Waiter }
+
+// ComputeNode returns compute node i (for failure injection in tests).
+func (s *Service) ComputeNode(i int) *Node { return s.computeNodes[i] }
+
+// StorageNode returns storage node i.
+func (s *Service) StorageNode(i int) *Node { return s.storageNodes[i] }
+
+// MaxPLogSize reports the configured PLog capacity.
+func (s *Service) MaxPLogSize() int64 { return s.cfg.MaxPLogSize }
+
+func (s *Service) newID(tier Tier) PLogID {
+	n := s.nextID.Add(1)
+	var id PLogID
+	id[0] = 'P'
+	id[1] = 'L'
+	id[2] = byte(tier) + 1
+	for i := 0; i < 8; i++ {
+		id[8+i] = byte(n >> (8 * (7 - i)))
+	}
+	return id
+}
+
+// pickNodes selects replica hosts for a new PLog, skipping failed nodes.
+func (s *Service) pickNodes(tier Tier) ([]*Node, error) {
+	var pool []*Node
+	var rr *atomic.Uint64
+	if tier == TierCompute {
+		pool, rr = s.computeNodes, &s.rrCompute
+	} else {
+		pool, rr = s.storageNodes, &s.rrStorage
+	}
+	start := int(rr.Add(1))
+	var picked []*Node
+	for i := 0; i < len(pool) && len(picked) < s.cfg.Replicas; i++ {
+		n := pool[(start+i)%len(pool)]
+		if !n.Failed() {
+			picked = append(picked, n)
+		}
+	}
+	if len(picked) < s.cfg.Replicas {
+		return nil, fmt.Errorf("%w: tier %v needs %d, have %d healthy",
+			ErrNoHealthyNodes, tier, s.cfg.Replicas, len(picked))
+	}
+	return picked, nil
+}
+
+// Create allocates a new PLog in the given tier and returns it open.
+func (s *Service) Create(tier Tier) (*PLog, error) {
+	nodes, err := s.pickNodes(tier)
+	if err != nil {
+		return nil, err
+	}
+	p := &PLog{
+		id:   s.newID(tier),
+		tier: tier,
+		svc:  s,
+	}
+	for _, n := range nodes {
+		p.replicas = append(p.replicas, &replica{node: n, chunkSize: s.cfg.ChunkSize})
+	}
+	s.mu.Lock()
+	s.plogs[p.id] = p
+	s.mu.Unlock()
+	return p, nil
+}
+
+// Open returns an existing PLog by ID.
+func (s *Service) Open(id PLogID) (*PLog, error) {
+	s.mu.RLock()
+	p, ok := s.plogs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	if p.deleted.Load() {
+		return nil, fmt.Errorf("%w: %v", ErrDeleted, id)
+	}
+	return p, nil
+}
+
+// Delete removes a PLog and frees its replicas. Space reclaimed this way is
+// how log compaction discards dead segments.
+func (s *Service) Delete(id PLogID) error {
+	s.mu.Lock()
+	p, ok := s.plogs[id]
+	if ok {
+		delete(s.plogs, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	p.deleted.Store(true)
+	return nil
+}
+
+// List returns the IDs of all live PLogs in a tier (directory bootstrap and
+// tests).
+func (s *Service) List(tier Tier) []PLogID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ids []PLogID
+	for id, p := range s.plogs {
+		if p.tier == tier && !p.deleted.Load() {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// chargeAppend applies the tier-appropriate append latency for n bytes.
+func (s *Service) chargeAppend(tier Tier, n int) {
+	m := s.cfg.Model
+	var d time.Duration
+	if tier == TierCompute {
+		// Local PM persist plus parallel RDMA replication to the two
+		// peers: the synchronous wait is the slower of the two.
+		d = m.ComputePMAppend + m.IntraComputeRTT
+		s.stats.ComputeTierOps.Add(1)
+	} else {
+		// Cross the compute->storage network, then the primary
+		// replicates inside the storage tier and persists to SSD.
+		d = m.CrossLayerRTT + m.IntraStorageRTT + m.SSDWrite
+		s.stats.CrossLayerOps.Add(1)
+	}
+	d += time.Duration(n) * m.PerByteAppend
+	s.cfg.Waiter.Wait(d)
+}
+
+// chargeRead applies the tier-appropriate read latency.
+func (s *Service) chargeRead(tier Tier, n int) {
+	m := s.cfg.Model
+	if tier == TierCompute {
+		s.cfg.Waiter.Wait(m.PMRead)
+		s.stats.ComputeTierOps.Add(1)
+	} else {
+		s.cfg.Waiter.Wait(m.CrossLayerRTT + m.SSDRead)
+		s.stats.CrossLayerOps.Add(1)
+	}
+	_ = n
+}
+
+// replica is one node's copy of a PLog, stored in fixed-size chunks so that
+// committed bytes never move (append-only => stable zero-copy views).
+type replica struct {
+	node      *Node
+	chunkSize int
+
+	mu     sync.RWMutex
+	chunks [][]byte
+	size   int64
+}
+
+func (r *replica) append(data []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	off := 0
+	for off < len(data) {
+		last := len(r.chunks) - 1
+		if last < 0 || len(r.chunks[last]) == cap(r.chunks[last]) {
+			r.chunks = append(r.chunks, make([]byte, 0, r.chunkSize))
+			last++
+		}
+		c := r.chunks[last]
+		n := copy(c[len(c):cap(c)], data[off:])
+		r.chunks[last] = c[:len(c)+n]
+		off += n
+	}
+	r.size += int64(len(data))
+}
+
+// readAt copies len(p) bytes at off into p. The caller validated the range.
+func (r *replica) readAt(p []byte, off int64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cs := int64(r.chunkSize)
+	for len(p) > 0 {
+		ci := off / cs
+		co := off % cs
+		c := r.chunks[ci]
+		n := copy(p, c[co:])
+		p = p[n:]
+		off += int64(n)
+	}
+}
+
+// slice returns a zero-copy view of [off, off+n) when it fits in one chunk,
+// else a copy. Safe because appended bytes are immutable.
+func (r *replica) slice(off int64, n int) []byte {
+	r.mu.RLock()
+	cs := int64(r.chunkSize)
+	ci := off / cs
+	co := off % cs
+	if co+int64(n) <= int64(len(r.chunks[ci])) {
+		b := r.chunks[ci][co : co+int64(n) : co+int64(n)]
+		r.mu.RUnlock()
+		return b
+	}
+	r.mu.RUnlock()
+	out := make([]byte, n)
+	r.readAt(out, off)
+	return out
+}
+
+// PLog is one replicated persistent log.
+type PLog struct {
+	id   PLogID
+	tier Tier
+	svc  *Service
+
+	mu       sync.Mutex // serializes appends (SRSS appends are atomic)
+	size     atomic.Int64
+	sealed   atomic.Bool
+	deleted  atomic.Bool
+	replicas []*replica
+}
+
+// ID returns the PLog's identifier.
+func (p *PLog) ID() PLogID { return p.id }
+
+// Tier returns the tier the PLog lives in.
+func (p *PLog) Tier() Tier { return p.tier }
+
+// Size returns the durable length in bytes.
+func (p *PLog) Size() int64 { return p.size.Load() }
+
+// Sealed reports whether the PLog has been permanently sealed.
+func (p *PLog) Sealed() bool { return p.sealed.Load() }
+
+// Seal permanently closes the PLog to writes. Reads remain valid.
+func (p *PLog) Seal() {
+	if !p.sealed.Swap(true) {
+		p.svc.stats.Seals.Add(1)
+	}
+}
+
+// Append atomically appends data to the PLog, replicating it to all replica
+// nodes before returning the offset at which the data landed.
+//
+// If any replica node has failed, the PLog is sealed and ErrSealed is
+// returned; per the SRSS contract the caller must create a fresh PLog and
+// retry the append there.
+func (p *PLog) Append(data []byte) (int64, error) {
+	if len(data) == 0 {
+		return p.size.Load(), nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.deleted.Load() {
+		return 0, fmt.Errorf("%w: %v", ErrDeleted, p.id)
+	}
+	if p.sealed.Load() {
+		return 0, fmt.Errorf("%w: %v", ErrSealed, p.id)
+	}
+	off := p.size.Load()
+	if off+int64(len(data)) > p.svc.cfg.MaxPLogSize {
+		return 0, fmt.Errorf("%w: %v (size %d + %d > %d)",
+			ErrFull, p.id, off, len(data), p.svc.cfg.MaxPLogSize)
+	}
+	for _, r := range p.replicas {
+		if r.node.Failed() {
+			p.sealed.Store(true)
+			p.svc.stats.Seals.Add(1)
+			return 0, fmt.Errorf("%w: %v (replica node %d failed mid-write)",
+				ErrSealed, p.id, r.node.ID)
+		}
+	}
+	p.svc.chargeAppend(p.tier, len(data))
+	for _, r := range p.replicas {
+		r.append(data)
+	}
+	p.size.Store(off + int64(len(data)))
+	p.svc.stats.Appends.Add(1)
+	p.svc.stats.AppendBytes.Add(int64(len(data)))
+	return off, nil
+}
+
+// healthyReplica returns a replica on a healthy node, or any replica if all
+// are failed (data outlives node liveness in the simulation).
+func (p *PLog) healthyReplica() *replica {
+	for _, r := range p.replicas {
+		if !r.node.Failed() {
+			return r
+		}
+	}
+	return p.replicas[0]
+}
+
+// ReadAt copies len(b) bytes from offset off into b, charging read latency.
+// Reads can be served by any replica (routed to a healthy one).
+func (p *PLog) ReadAt(b []byte, off int64) (int, error) {
+	if p.deleted.Load() {
+		return 0, fmt.Errorf("%w: %v", ErrDeleted, p.id)
+	}
+	if off < 0 || off+int64(len(b)) > p.size.Load() {
+		return 0, fmt.Errorf("%w: [%d,+%d) of %d", ErrOutOfRange, off, len(b), p.size.Load())
+	}
+	p.svc.chargeRead(p.tier, len(b))
+	p.healthyReplica().readAt(b, off)
+	p.svc.stats.Reads.Add(1)
+	p.svc.stats.ReadBytes.Add(int64(len(b)))
+	return len(b), nil
+}
+
+// Mmap returns a read-only view of the PLog, mirroring the SRSS kernel
+// module's mmap support (Section 2.3). Views are cheap; each access charges
+// the tier read latency once per "page fault"-sized access.
+func (p *PLog) Mmap() *View {
+	return &View{plog: p}
+}
+
+// View is a read-only mmap-style window into a PLog.
+type View struct {
+	plog *PLog
+}
+
+// Len returns the durable length visible through the view.
+func (v *View) Len() int64 { return v.plog.size.Load() }
+
+// PLog returns the underlying PLog.
+func (v *View) PLog() *PLog { return v.plog }
+
+// At returns n bytes at offset off. The returned slice is valid forever
+// (append-only storage) and is zero-copy when the range does not straddle an
+// internal chunk boundary.
+func (v *View) At(off int64, n int) ([]byte, error) {
+	p := v.plog
+	if p.deleted.Load() {
+		return nil, fmt.Errorf("%w: %v", ErrDeleted, p.id)
+	}
+	if off < 0 || off+int64(n) > p.size.Load() {
+		return nil, fmt.Errorf("%w: [%d,+%d) of %d", ErrOutOfRange, off, n, p.size.Load())
+	}
+	p.svc.chargeRead(p.tier, n)
+	p.svc.stats.Reads.Add(1)
+	p.svc.stats.ReadBytes.Add(int64(n))
+	return p.healthyReplica().slice(off, n), nil
+}
+
+// replicasEqual verifies that all replicas hold identical bytes; used by
+// invariant tests.
+func (p *PLog) replicasEqual() bool {
+	n := p.size.Load()
+	if n == 0 {
+		return true
+	}
+	ref := make([]byte, n)
+	p.replicas[0].readAt(ref, 0)
+	buf := make([]byte, n)
+	for _, r := range p.replicas[1:] {
+		r.readAt(buf, 0)
+		for i := range ref {
+			if ref[i] != buf[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckReplicas is the exported invariant hook for tests.
+func (p *PLog) CheckReplicas() bool { return p.replicasEqual() }
+
+// Destage copies a compute-tier PLog into a new storage-tier PLog and
+// returns it. HiEngine destages the log tail to the storage tier in the
+// background for archival and cross-AZ durability (Section 3.1).
+func (s *Service) Destage(p *PLog) (*PLog, error) {
+	if p.tier != TierCompute {
+		return nil, fmt.Errorf("srss: destage of %v plog", p.tier)
+	}
+	dst, err := s.Create(TierStorage)
+	if err != nil {
+		return nil, err
+	}
+	const batch = 1 << 20
+	buf := make([]byte, batch)
+	size := p.Size()
+	for off := int64(0); off < size; {
+		n := batch
+		if int64(n) > size-off {
+			n = int(size - off)
+		}
+		if _, err := p.ReadAt(buf[:n], off); err != nil {
+			return nil, err
+		}
+		if _, err := dst.Append(buf[:n]); err != nil {
+			return nil, err
+		}
+		off += int64(n)
+	}
+	return dst, nil
+}

@@ -1,0 +1,914 @@
+// Package wal implements HiEngine's reliable, scalable redo-only logging
+// (Section 4.2): a database write-ahead log architected on top of SRSS
+// PLogs.
+//
+// Instead of a centralized log buffer, the manager maintains multiple log
+// streams (one per transaction worker in the paper). Workers accumulate log
+// records in private buffers during forward processing; at commit time the
+// encoded buffer is handed to the stream's I/O goroutine, which batches
+// pending commits (group commit / commit pipelining, Johnson et al.'s
+// Aether) into a single replicated PLog append and then notifies each
+// transaction of its durable location. Only committed transactions ever
+// reach the log, so the log is redo-only and doubles as version storage:
+// every operation record is a full record version addressed by a stable
+// 8-byte address.
+//
+// Physically the log is a sequence of fixed-size segments, each backed by
+// one PLog (the paper's current implementation does the same). A 16-bit
+// segment ID and a 32-bit offset form the permanent address of a log
+// record (Figure 4b). The segment-ID -> PLog-ID mapping is itself persisted
+// by appending to a designated metadata PLog whose ID is the bootstrap
+// handle for recovery.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hiengine/internal/srss"
+)
+
+// Addr is the permanent address of a log record: segment ID in bits [48,64),
+// runtime metadata in bits [32,48) (unused on disk), and the byte offset
+// into the segment's PLog in bits [0,32).
+type Addr uint64
+
+// InvalidAddr is the zero address; no record ever lives at it because every
+// segment PLog begins with a segment header byte.
+const InvalidAddr Addr = 0
+
+// MakeAddr packs a segment ID and offset.
+func MakeAddr(seg uint16, off uint32) Addr {
+	return Addr(uint64(seg)<<48 | uint64(off))
+}
+
+// Segment extracts the segment ID.
+func (a Addr) Segment() uint16 { return uint16(a >> 48) }
+
+// Offset extracts the offset within the segment.
+func (a Addr) Offset() uint32 { return uint32(a) }
+
+// Add returns the address rel bytes further into the same segment.
+func (a Addr) Add(rel uint32) Addr { return MakeAddr(a.Segment(), a.Offset()+rel) }
+
+// String renders seg@off.
+func (a Addr) String() string { return fmt.Sprintf("%d@%d", a.Segment(), a.Offset()) }
+
+// Op tags for log records.
+const (
+	OpInsert byte = 'I'
+	OpUpdate byte = 'U'
+	OpDelete byte = 'D'
+)
+
+// Record is one decoded log record: a full record version (or a delete
+// marker) tagged with its creating transaction's CSN.
+type Record struct {
+	Op      byte
+	CSN     uint64
+	Table   uint32
+	RID     uint64
+	Payload []byte
+}
+
+// fnv1a hashes b with FNV-1a (records carry an integrity checksum; storage
+// and network corruption must not replay as valid data).
+func fnv1a(h uint32, b []byte) uint32 {
+	if h == 0 {
+		h = 2166136261
+	}
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h
+}
+
+// AppendRecord encodes r onto buf and returns the extended buffer plus the
+// record's offset within buf. Workers call this while building their private
+// transaction buffer; the CSN field is patched at commit time via PatchCSN,
+// so it is a fixed-width field excluded from the integrity checksum.
+func AppendRecord(buf []byte, op byte, table uint32, rid uint64, payload []byte) ([]byte, int) {
+	off := len(buf)
+	buf = append(buf, op)
+	// Fixed-width CSN so commit can patch it in place.
+	var csn [8]byte
+	buf = append(buf, csn[:]...)
+	body := len(buf)
+	buf = binary.AppendUvarint(buf, uint64(table))
+	buf = binary.AppendUvarint(buf, rid)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	sum := fnv1a(uint32(op)+1, buf[body:])
+	buf = binary.LittleEndian.AppendUint32(buf, sum)
+	return buf, off
+}
+
+// PatchCSN stamps the commit sequence number into a record previously
+// encoded at off by AppendRecord.
+func PatchCSN(buf []byte, off int, csn uint64) {
+	binary.LittleEndian.PutUint64(buf[off+1:off+9], csn)
+}
+
+// DecodeRecord parses the record at buf[0:] and returns it together with its
+// encoded length. The returned payload aliases buf.
+func DecodeRecord(buf []byte) (Record, int, error) {
+	if len(buf) < 10 {
+		return Record{}, 0, errors.New("wal: short record")
+	}
+	r := Record{Op: buf[0]}
+	switch r.Op {
+	case OpInsert, OpUpdate, OpDelete:
+	default:
+		return Record{}, 0, fmt.Errorf("wal: bad op tag %#x", buf[0])
+	}
+	r.CSN = binary.LittleEndian.Uint64(buf[1:9])
+	pos := 9
+	tbl, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return Record{}, 0, errors.New("wal: bad table id")
+	}
+	pos += n
+	r.Table = uint32(tbl)
+	rid, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return Record{}, 0, errors.New("wal: bad rid")
+	}
+	pos += n
+	r.RID = rid
+	plen, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return Record{}, 0, errors.New("wal: bad payload len")
+	}
+	pos += n
+	if pos+int(plen) > len(buf) {
+		return Record{}, 0, errors.New("wal: truncated payload")
+	}
+	r.Payload = buf[pos : pos+int(plen)]
+	pos += int(plen)
+	if pos+4 > len(buf) {
+		return Record{}, 0, errors.New("wal: missing checksum")
+	}
+	want := binary.LittleEndian.Uint32(buf[pos : pos+4])
+	if got := fnv1a(uint32(r.Op)+1, buf[9:pos]); got != want {
+		return Record{}, 0, fmt.Errorf("wal: record checksum mismatch (%08x != %08x)", got, want)
+	}
+	return r, pos + 4, nil
+}
+
+// segmentHeader is the first byte of every segment PLog, ensuring offset 0
+// is never a record address.
+const segmentHeader byte = 'S'
+
+// Config configures a Manager.
+type Config struct {
+	// Service is the SRSS deployment backing the log.
+	Service *srss.Service
+	// Tier is where log segments are placed. HiEngine commits against
+	// TierCompute; the commit-side ablation flips this to TierStorage.
+	Tier srss.Tier
+	// Streams is the number of independent log streams (paper: one per
+	// worker core). Default 4.
+	Streams int
+	// SegmentSize caps each segment (paper: 128 MiB). Default 8 MiB so
+	// tests exercise rotation; benchmarks raise it.
+	SegmentSize int64
+	// BatchMax bounds the number of commits folded into one group append.
+	// Default 64. A value of 1 disables group commit (ablation).
+	BatchMax int
+	// QueueDepth is the per-stream commit queue length. Default 256.
+	QueueDepth int
+	// OnMetaChange is invoked when the directory's metadata PLog migrates
+	// to a new identity after a seal (node failure); the caller persists
+	// the new bootstrap ID (e.g. in its manifest and the management-node
+	// registry).
+	OnMetaChange func(srss.PLogID) error
+}
+
+func (c *Config) fill() error {
+	if c.Service == nil {
+		return errors.New("wal: Config.Service is required")
+	}
+	if c.Streams <= 0 {
+		c.Streams = 4
+	}
+	if c.SegmentSize <= 0 {
+		c.SegmentSize = 8 << 20
+	}
+	if c.SegmentSize > c.Service.MaxPLogSize() {
+		c.SegmentSize = c.Service.MaxPLogSize()
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return nil
+}
+
+// Directory maintains the segment-ID -> PLog-ID mapping, persisted in a
+// designated metadata PLog (Section 4.2). If the metadata PLog itself is
+// sealed by a node failure, the directory migrates: the full mapping is
+// rewritten into a fresh PLog and the new identity is reported through
+// onMetaChange so the caller can re-anchor its bootstrap reference (the
+// "well-known location" of Section 4.2).
+type Directory struct {
+	svc          *srss.Service
+	onMetaChange func(srss.PLogID) error
+
+	mu   sync.RWMutex
+	m    map[uint16]srss.PLogID
+	meta *srss.PLog
+}
+
+func newDirectory(svc *srss.Service, meta *srss.PLog) *Directory {
+	return &Directory{svc: svc, m: make(map[uint16]srss.PLogID), meta: meta}
+}
+
+func encodeMapping(seg uint16, id srss.PLogID) [2 + 24]byte {
+	var buf [2 + 24]byte
+	binary.LittleEndian.PutUint16(buf[:2], seg)
+	copy(buf[2:], id[:])
+	return buf
+}
+
+// appendMapping writes one record, migrating the metadata PLog on seal.
+// Caller holds d.mu.
+func (d *Directory) appendMapping(seg uint16, id srss.PLogID) error {
+	buf := encodeMapping(seg, id)
+	_, err := d.meta.Append(buf[:])
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, srss.ErrSealed) && !errors.Is(err, srss.ErrFull) {
+		return err
+	}
+	// Migrate: rewrite the whole mapping (it is small -- at most 65536
+	// entries) into a fresh PLog on healthy replicas.
+	fresh, cerr := d.svc.Create(d.meta.Tier())
+	if cerr != nil {
+		return cerr
+	}
+	for s, pid := range d.m {
+		b := encodeMapping(s, pid)
+		if _, werr := fresh.Append(b[:]); werr != nil {
+			return werr
+		}
+	}
+	b := encodeMapping(seg, id)
+	if _, werr := fresh.Append(b[:]); werr != nil {
+		return werr
+	}
+	d.meta = fresh
+	if d.onMetaChange != nil {
+		if nerr := d.onMetaChange(fresh.ID()); nerr != nil {
+			return nerr
+		}
+	}
+	return nil
+}
+
+// record persists and registers one mapping.
+func (d *Directory) record(seg uint16, id srss.PLogID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.appendMapping(seg, id); err != nil {
+		return err
+	}
+	d.m[seg] = id
+	return nil
+}
+
+// drop persists a tombstone mapping for seg and removes it from the map.
+func (d *Directory) drop(seg uint16) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Zero PLog ID = tombstone; load() interprets it as a drop.
+	if err := d.appendMapping(seg, srss.PLogID{}); err != nil {
+		return err
+	}
+	delete(d.m, seg)
+	return nil
+}
+
+// Lookup resolves a segment ID to its PLog ID.
+func (d *Directory) Lookup(seg uint16) (srss.PLogID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.m[seg]
+	return id, ok
+}
+
+// Segments returns all registered segment IDs in ascending order.
+func (d *Directory) Segments() []uint16 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]uint16, 0, len(d.m))
+	for s := range d.m {
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// MetaID returns the bootstrap PLog ID holding the directory.
+func (d *Directory) MetaID() srss.PLogID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.meta.ID()
+}
+
+// RefreshDirectory re-reads the metadata PLog, picking up segments created
+// by another manager (the primary) since the last load. Read-only managers
+// call this before catch-up scans.
+func (m *Manager) RefreshDirectory() error { return m.dir.load() }
+
+// load rebuilds the mapping from the metadata PLog.
+func (d *Directory) load() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	size := d.meta.Size()
+	const recLen = 2 + 24
+	buf := make([]byte, recLen)
+	for off := int64(0); off+recLen <= size; off += recLen {
+		if _, err := d.meta.ReadAt(buf, off); err != nil {
+			return err
+		}
+		seg := binary.LittleEndian.Uint16(buf[:2])
+		var id srss.PLogID
+		copy(id[:], buf[2:])
+		if id.IsZero() {
+			delete(d.m, seg) // tombstone written by DropSegment
+		} else {
+			d.m[seg] = id
+		}
+	}
+	return nil
+}
+
+// commitReq is one transaction buffer queued for durability, or a rotation
+// request (payload nil, rotate true).
+type commitReq struct {
+	payload []byte
+	done    func(base Addr, err error)
+	rotate  bool
+}
+
+// Stream is one log stream with its own open segment and I/O goroutine.
+type Stream struct {
+	id  int
+	mgr *Manager
+
+	ch   chan commitReq
+	wg   sync.WaitGroup
+	once sync.Once
+
+	// I/O-goroutine-owned state.
+	seg    uint16
+	plog   *srss.PLog
+	offset int64
+	batch  []commitReq
+	concat []byte
+
+	// Stats.
+	appends      atomic.Int64
+	batchedTxns  atomic.Int64
+	bytesWritten atomic.Int64
+}
+
+// Manager is the log manager.
+type Manager struct {
+	cfg     Config
+	dir     *Directory
+	streams []*Stream
+
+	nextSeg atomic.Uint32
+
+	mu    sync.RWMutex
+	views map[uint16]*srss.View
+
+	destageMu sync.Mutex
+	destaged  map[uint16]srss.PLogID
+
+	closed atomic.Bool
+}
+
+// ErrClosed is returned for operations on a closed manager.
+var ErrClosed = errors.New("wal: manager closed")
+
+// ErrTooLarge is returned when one transaction's log exceeds the segment
+// size.
+var ErrTooLarge = errors.New("wal: transaction log exceeds segment size")
+
+// Open creates a fresh log with a new metadata PLog.
+func Open(cfg Config) (*Manager, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	meta, err := cfg.Service.Create(cfg.Tier)
+	if err != nil {
+		return nil, err
+	}
+	dir := newDirectory(cfg.Service, meta)
+	dir.onMetaChange = cfg.OnMetaChange
+	return build(cfg, dir, 0)
+}
+
+// OpenReadOnly attaches to an existing log for reading only: the directory
+// is loaded but no streams (and hence no new segments) are created. Used by
+// read-only replicas that follow a primary's log (Section 3.1).
+func OpenReadOnly(cfg Config, metaID srss.PLogID) (*Manager, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	meta, err := cfg.Service.Open(metaID)
+	if err != nil {
+		return nil, err
+	}
+	dir := newDirectory(cfg.Service, meta)
+	if err := dir.load(); err != nil {
+		return nil, err
+	}
+	return &Manager{cfg: cfg, dir: dir, views: make(map[uint16]*srss.View)}, nil
+}
+
+// Reopen attaches to an existing log via its metadata PLog ID (recovery).
+// The returned manager appends new segments after the highest existing one.
+func Reopen(cfg Config, metaID srss.PLogID) (*Manager, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	meta, err := cfg.Service.Open(metaID)
+	if err != nil {
+		return nil, err
+	}
+	dir := newDirectory(cfg.Service, meta)
+	dir.onMetaChange = cfg.OnMetaChange
+	if err := dir.load(); err != nil {
+		return nil, err
+	}
+	next := uint32(0)
+	for _, s := range dir.Segments() {
+		if uint32(s)+1 > next {
+			next = uint32(s) + 1
+		}
+	}
+	return build(cfg, dir, next)
+}
+
+func build(cfg Config, dir *Directory, nextSeg uint32) (*Manager, error) {
+	m := &Manager{cfg: cfg, dir: dir, views: make(map[uint16]*srss.View)}
+	m.nextSeg.Store(nextSeg)
+	for i := 0; i < cfg.Streams; i++ {
+		st := &Stream{id: i, mgr: m, ch: make(chan commitReq, cfg.QueueDepth)}
+		if err := st.rotate(); err != nil {
+			return nil, err
+		}
+		st.wg.Add(1)
+		go st.ioLoop()
+		m.streams = append(m.streams, st)
+	}
+	return m, nil
+}
+
+// Directory exposes the segment directory.
+func (m *Manager) Directory() *Directory { return m.dir }
+
+// Streams returns the stream count.
+func (m *Manager) Streams() int { return len(m.streams) }
+
+// Stream returns stream i.
+func (m *Manager) Stream(i int) *Stream { return m.streams[i] }
+
+// ErrReadOnly is returned when appending through a read-only manager.
+var ErrReadOnly = errors.New("wal: manager is read-only")
+
+// Append queues a pre-encoded transaction buffer on stream i. done is
+// invoked from the I/O goroutine with the base address of the buffer once
+// it is durable (or with an error). The payload must not be reused until
+// done fires.
+func (m *Manager) Append(stream int, payload []byte, done func(base Addr, err error)) {
+	if m.closed.Load() {
+		done(InvalidAddr, ErrClosed)
+		return
+	}
+	if len(m.streams) == 0 {
+		done(InvalidAddr, ErrReadOnly)
+		return
+	}
+	st := m.streams[stream%len(m.streams)]
+	st.ch <- commitReq{payload: payload, done: done}
+}
+
+// AppendSync appends and waits for durability.
+func (m *Manager) AppendSync(stream int, payload []byte) (Addr, error) {
+	type res struct {
+		base Addr
+		err  error
+	}
+	ch := make(chan res, 1)
+	m.Append(stream, payload, func(base Addr, err error) { ch <- res{base, err} })
+	r := <-ch
+	return r.base, r.err
+}
+
+// Close drains and stops all streams. Pending commits complete first.
+func (m *Manager) Close() {
+	if m.closed.Swap(true) {
+		return
+	}
+	for _, st := range m.streams {
+		st.once.Do(func() { close(st.ch) })
+		st.wg.Wait()
+	}
+}
+
+// rotate opens a fresh segment (PLog) for the stream. Called by the I/O
+// goroutine and during setup.
+func (st *Stream) rotate() error {
+	if st.plog != nil {
+		st.plog.Seal()
+	}
+	seg := uint16(st.mgr.nextSeg.Add(1) - 1)
+	p, err := st.mgr.cfg.Service.Create(st.mgr.cfg.Tier)
+	if err != nil {
+		return err
+	}
+	if _, err := p.Append([]byte{segmentHeader}); err != nil {
+		return err
+	}
+	if err := st.mgr.dir.record(seg, p.ID()); err != nil {
+		return err
+	}
+	st.seg, st.plog, st.offset = seg, p, 1
+	return nil
+}
+
+// ioLoop is the stream's I/O goroutine: drain a batch, append once, notify.
+func (st *Stream) ioLoop() {
+	defer st.wg.Done()
+	for req := range st.ch {
+		if req.rotate {
+			// Rotation requests (checkpoint/compaction fencing) skip
+			// streams whose segment is still empty -- there is nothing
+			// to fence and rotating would litter one-byte segments.
+			var err error
+			if st.offset > 1 {
+				err = st.rotate()
+			}
+			req.done(InvalidAddr, err)
+			continue
+		}
+		st.batch = st.batch[:0]
+		st.batch = append(st.batch, req)
+		for len(st.batch) < st.mgr.cfg.BatchMax {
+			select {
+			case r, ok := <-st.ch:
+				if !ok {
+					st.flushBatch()
+					return
+				}
+				if r.rotate {
+					st.flushBatch()
+					var rerr error
+					if st.offset > 1 {
+						rerr = st.rotate()
+					}
+					r.done(InvalidAddr, rerr)
+					st.batch = st.batch[:0]
+					goto next
+				}
+				st.batch = append(st.batch, r)
+			default:
+				goto drained
+			}
+		}
+	drained:
+		st.flushBatch()
+	next:
+	}
+}
+
+// flushBatch persists the gathered batch as one append (splitting only at
+// segment boundaries) and completes each request.
+func (st *Stream) flushBatch() {
+	if len(st.batch) == 0 {
+		return
+	}
+	segSize := st.mgr.cfg.SegmentSize
+	i := 0
+	for i < len(st.batch) {
+		// Take the largest prefix of requests fitting the open segment.
+		st.concat = st.concat[:0]
+		j := i
+		for j < len(st.batch) {
+			pl := int64(len(st.batch[j].payload))
+			if pl+1 > segSize {
+				// Can never fit: fail this request.
+				if j == i {
+					st.batch[j].done(InvalidAddr, ErrTooLarge)
+					i++
+					j++
+					continue
+				}
+				break
+			}
+			if st.offset+int64(len(st.concat))+pl > segSize {
+				break
+			}
+			st.concat = append(st.concat, st.batch[j].payload...)
+			j++
+		}
+		if len(st.concat) == 0 {
+			// Open segment too full for even one request: rotate.
+			if err := st.rotate(); err != nil {
+				st.failRest(i, err)
+				return
+			}
+			continue
+		}
+		base, err := st.appendWithRetry(st.concat)
+		if err != nil {
+			st.failRest(i, err)
+			return
+		}
+		off := uint32(base)
+		for k := i; k < j; k++ {
+			if st.batch[k].done != nil {
+				st.batch[k].done(MakeAddr(st.seg, off), nil)
+			}
+			off += uint32(len(st.batch[k].payload))
+		}
+		st.appends.Add(1)
+		st.batchedTxns.Add(int64(j - i))
+		st.bytesWritten.Add(int64(len(st.concat)))
+		i = j
+	}
+}
+
+// appendWithRetry appends data to the open segment, transparently retrying
+// on a sealed PLog (node failure) by rotating to a fresh segment, per the
+// SRSS contract.
+func (st *Stream) appendWithRetry(data []byte) (int64, error) {
+	for attempt := 0; attempt < 8; attempt++ {
+		off, err := st.plog.Append(data)
+		if err == nil {
+			st.offset = off + int64(len(data))
+			return off, nil
+		}
+		if errors.Is(err, srss.ErrSealed) || errors.Is(err, srss.ErrFull) {
+			if rerr := st.rotate(); rerr != nil {
+				return 0, rerr
+			}
+			continue
+		}
+		return 0, err
+	}
+	return 0, fmt.Errorf("wal: append retries exhausted on stream %d", st.id)
+}
+
+func (st *Stream) failRest(from int, err error) {
+	for k := from; k < len(st.batch); k++ {
+		if st.batch[k].done != nil {
+			st.batch[k].done(InvalidAddr, err)
+		}
+	}
+}
+
+// Stats reports a stream's activity.
+func (st *Stream) Stats() (appends, txns, bytes int64) {
+	return st.appends.Load(), st.batchedTxns.Load(), st.bytesWritten.Load()
+}
+
+// view returns (and caches) an mmap view of a segment.
+func (m *Manager) view(seg uint16) (*srss.View, error) {
+	m.mu.RLock()
+	v, ok := m.views[seg]
+	m.mu.RUnlock()
+	if ok {
+		return v, nil
+	}
+	id, ok := m.dir.Lookup(seg)
+	if !ok {
+		return nil, fmt.Errorf("wal: unknown segment %d", seg)
+	}
+	p, err := m.cfg.Service.Open(id)
+	if err != nil {
+		return nil, err
+	}
+	v = p.Mmap()
+	m.mu.Lock()
+	m.views[seg] = v
+	m.mu.Unlock()
+	return v, nil
+}
+
+// ReadRecord materializes the log record at addr through the segment's mmap
+// view. This is the path that serves reads of evicted versions (Section
+// 4.2): the returned payload references storage-backed memory.
+func (m *Manager) ReadRecord(addr Addr) (Record, error) {
+	v, err := m.view(addr.Segment())
+	if err != nil {
+		return Record{}, err
+	}
+	// Read a bounded window; extend if the record is larger.
+	want := 512
+	for {
+		n := int64(want)
+		if rem := v.Len() - int64(addr.Offset()); n > rem {
+			n = rem
+		}
+		b, err := v.At(int64(addr.Offset()), int(n))
+		if err != nil {
+			return Record{}, err
+		}
+		rec, _, derr := DecodeRecord(b)
+		if derr == nil {
+			return rec, nil
+		}
+		if int64(want) >= v.Len()-int64(addr.Offset()) {
+			return Record{}, derr
+		}
+		want *= 4
+	}
+}
+
+// ScanSegment iterates the records of one segment in append order, calling
+// fn with each record's permanent address. Replay threads run one scan per
+// segment in parallel (Section 4.3).
+func (m *Manager) ScanSegment(seg uint16, fn func(addr Addr, rec Record) bool) error {
+	_, err := m.ScanSegmentFrom(seg, 0, fn)
+	return err
+}
+
+// ScanSegmentFrom scans a segment starting at byte offset from (0 = the
+// beginning) and returns the offset just past the last record seen, which a
+// follower passes back on its next catch-up scan.
+func (m *Manager) ScanSegmentFrom(seg uint16, from int64, fn func(addr Addr, rec Record) bool) (int64, error) {
+	v, err := m.view(seg)
+	if err != nil {
+		return from, err
+	}
+	size := v.Len()
+	if size == 0 || from >= size {
+		return from, nil
+	}
+	if from == 0 {
+		from = 1 // skip the segment header byte
+		h, err := v.At(0, 1)
+		if err != nil {
+			return 0, err
+		}
+		if h[0] != segmentHeader {
+			return 0, fmt.Errorf("wal: segment %d missing header", seg)
+		}
+	}
+	// One bulk read: replay is a sequential scan, the cheapest access
+	// pattern on log-structured storage.
+	b, err := v.At(from, int(size-from))
+	if err != nil {
+		return from, err
+	}
+	pos := 0
+	for pos < len(b) {
+		rec, n, err := DecodeRecord(b[pos:])
+		if err != nil {
+			return from + int64(pos), fmt.Errorf("wal: segment %d at %d: %w", seg, from+int64(pos), err)
+		}
+		if !fn(MakeAddr(seg, uint32(from+int64(pos))), rec) {
+			return from + int64(pos), nil
+		}
+		pos += n
+	}
+	return from + int64(pos), nil
+}
+
+// RotateAll forces every stream onto a fresh segment and returns once all
+// rotations are complete. Log compaction calls this to fence the "old"
+// segment set: all subsequent commits land in new segments (Section 4.4).
+func (m *Manager) RotateAll() error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	type res struct{ err error }
+	ch := make(chan res, len(m.streams))
+	for _, st := range m.streams {
+		st.ch <- commitReq{rotate: true, done: func(_ Addr, err error) { ch <- res{err} }}
+	}
+	var first error
+	for range m.streams {
+		if r := <-ch; r.err != nil && first == nil {
+			first = r.err
+		}
+	}
+	return first
+}
+
+// DropSegment removes a segment from the directory (persisting a tombstone
+// mapping) and deletes its backing PLog, reclaiming its storage. The caller
+// guarantees no live record address still points into the segment.
+func (m *Manager) DropSegment(seg uint16) error {
+	id, ok := m.dir.Lookup(seg)
+	if !ok {
+		return fmt.Errorf("wal: unknown segment %d", seg)
+	}
+	if err := m.dir.drop(seg); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.views, seg)
+	m.mu.Unlock()
+	return m.cfg.Service.Delete(id)
+}
+
+// Segments lists all segment IDs known to the directory.
+func (m *Manager) Segments() []uint16 { return m.dir.Segments() }
+
+// SealedSegments lists segments whose PLogs are sealed: they can never
+// receive another record, so a checkpoint taken after RotateAll may fence
+// them for recovery.
+func (m *Manager) SealedSegments() []uint16 {
+	var out []uint16
+	for _, seg := range m.dir.Segments() {
+		id, ok := m.dir.Lookup(seg)
+		if !ok {
+			continue
+		}
+		p, err := m.cfg.Service.Open(id)
+		if err != nil || !p.Sealed() {
+			continue
+		}
+		out = append(out, seg)
+	}
+	return out
+}
+
+// DestageSealed copies every sealed, not-yet-destaged segment to the
+// storage tier (Section 3.1: the log is flushed to the storage layer in the
+// background for archival and cross-AZ reliability; reads keep being served
+// from the compute side). Returns the number of segments destaged. Safe to
+// call periodically.
+func (m *Manager) DestageSealed() (int, error) {
+	if m.cfg.Tier != srss.TierCompute {
+		return 0, nil // already storage-resident
+	}
+	n := 0
+	for _, seg := range m.dir.Segments() {
+		m.destageMu.Lock()
+		_, done := m.destaged[seg]
+		m.destageMu.Unlock()
+		if done {
+			continue
+		}
+		id, ok := m.dir.Lookup(seg)
+		if !ok {
+			continue
+		}
+		p, err := m.cfg.Service.Open(id)
+		if err != nil {
+			continue // dropped concurrently
+		}
+		if !p.Sealed() {
+			continue // still the open segment of some stream
+		}
+		archive, err := m.cfg.Service.Destage(p)
+		if err != nil {
+			return n, err
+		}
+		m.destageMu.Lock()
+		if m.destaged == nil {
+			m.destaged = make(map[uint16]srss.PLogID)
+		}
+		m.destaged[seg] = archive.ID()
+		m.destageMu.Unlock()
+		n++
+	}
+	return n, nil
+}
+
+// DestagedSegments returns the segment -> archive PLog mapping.
+func (m *Manager) DestagedSegments() map[uint16]srss.PLogID {
+	m.destageMu.Lock()
+	defer m.destageMu.Unlock()
+	out := make(map[uint16]srss.PLogID, len(m.destaged))
+	for k, v := range m.destaged {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalBytes sums bytes written across streams.
+func (m *Manager) TotalBytes() int64 {
+	var n int64
+	for _, st := range m.streams {
+		n += st.bytesWritten.Load()
+	}
+	return n
+}

@@ -1,0 +1,315 @@
+// Package sysbench implements the OLTP microbenchmarks of Section 6.1.3:
+// sysbench-style point-read / point-write workloads modeled after YCSB,
+// with short transactions of configurable query count over a single keyed
+// table. These drive the Figure 5 comparisons between HiEngine and the
+// storage-centric baselines under interpreted and compiled execution.
+package sysbench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hiengine/internal/core"
+	"hiengine/internal/engineapi"
+)
+
+// TableName is the benchmark table.
+const TableName = "sbtest"
+
+// Schema returns the sysbench table: id (pk), k, c, pad.
+func Schema() *core.Schema {
+	return &core.Schema{
+		Name: TableName,
+		Columns: []core.Column{
+			{Name: "id", Kind: core.KindInt},
+			{Name: "k", Kind: core.KindInt},
+			{Name: "c", Kind: core.KindString},
+			{Name: "pad", Kind: core.KindString},
+		},
+		Indexes: []core.IndexDef{{Name: "pk", Columns: []int{0}, Unique: true}},
+	}
+}
+
+// Mix selects the operation mix.
+type Mix int
+
+const (
+	// ReadOnly issues point selects only.
+	ReadOnly Mix = iota
+	// WriteOnly issues point updates only.
+	WriteOnly
+	// ReadWrite issues a mixed transaction (default sysbench-ish ratio:
+	// 70% reads, 30% writes).
+	ReadWrite
+)
+
+// String names the mix.
+func (m Mix) String() string {
+	switch m {
+	case ReadOnly:
+		return "read-only"
+	case WriteOnly:
+		return "write-only"
+	default:
+		return "read-write"
+	}
+}
+
+// Config configures a run.
+type Config struct {
+	DB        engineapi.DB
+	TableSize int
+	Threads   int
+	// QueriesPerTxn is the number of point operations per transaction
+	// (Figure 5(b)'s "simple transactions" use 1).
+	QueriesPerTxn int
+	Mix           Mix
+	// TxnsPerThread bounds the run (used when Duration is zero).
+	TxnsPerThread int
+	// Duration bounds the run by wall-clock time when non-zero.
+	Duration time.Duration
+	// Seed makes runs reproducible.
+	Seed int64
+	// OnOp, when set, is invoked once per point operation (NUMA
+	// accounting hooks).
+	OnOp func(thread int, key int64)
+}
+
+// Result summarizes a run.
+type Result struct {
+	Mix     Mix
+	Txns    int64
+	Queries int64
+	Aborts  int64
+	Elapsed time.Duration
+	LatP50  time.Duration
+	LatP99  time.Duration
+	LatMean time.Duration
+}
+
+// TPS returns transactions per second.
+func (r Result) TPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Txns) / r.Elapsed.Seconds()
+}
+
+// QPS returns queries per second.
+func (r Result) QPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Queries) / r.Elapsed.Seconds()
+}
+
+// String renders the result.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %.0f tps (%.0f qps), p50=%v p99=%v aborts=%d",
+		r.Mix, r.TPS(), r.QPS(), r.LatP50, r.LatP99, r.Aborts)
+}
+
+// cValue builds the sysbench 120-char c column.
+func cValue(rng *rand.Rand) string {
+	const chars = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, 120)
+	for i := range b {
+		b[i] = chars[rng.Intn(len(chars))]
+	}
+	return string(b)
+}
+
+// Load populates the table with rows 1..size using `threads` loaders.
+func Load(db engineapi.DB, size, threads int) error {
+	if err := db.CreateTable(Schema()); err != nil {
+		return err
+	}
+	if threads <= 0 {
+		threads = 4
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	per := (size + threads - 1) / threads
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			lo, hi := w*per+1, (w+1)*per
+			if hi > size {
+				hi = size
+			}
+			const batch = 100
+			for id := lo; id <= hi; {
+				tx, err := db.Begin(w)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for j := 0; j < batch && id <= hi; j++ {
+					err := tx.Insert(TableName, core.Row{
+						core.I(int64(id)),
+						core.I(int64(rng.Intn(size) + 1)),
+						core.S(cValue(rng)),
+						core.S("sysbench-pad-sysbench-pad-sysbench-pad"),
+					})
+					if err != nil {
+						tx.Abort()
+						errCh <- err
+						return
+					}
+					id++
+				}
+				if err := tx.Commit(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Run executes the configured workload and returns aggregate results.
+func Run(cfg Config) (Result, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.QueriesPerTxn <= 0 {
+		cfg.QueriesPerTxn = 10
+	}
+	if cfg.TxnsPerThread <= 0 && cfg.Duration <= 0 {
+		cfg.TxnsPerThread = 1000
+	}
+	var txns, queries, aborts atomic.Int64
+	var latMu sync.Mutex
+	var lats []time.Duration
+
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Threads)
+	start := time.Now()
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919 + 1))
+			local := make([]time.Duration, 0, 4096)
+			for i := 0; ; i++ {
+				if cfg.Duration > 0 {
+					if time.Now().After(deadline) {
+						break
+					}
+				} else if i >= cfg.TxnsPerThread {
+					break
+				}
+				t0 := time.Now()
+				q, err := runTxn(cfg, w, rng)
+				if err != nil {
+					if errors.Is(err, engineapi.ErrConflict) {
+						aborts.Add(1)
+						continue
+					}
+					errCh <- err
+					return
+				}
+				txns.Add(1)
+				queries.Add(int64(q))
+				if len(local) < cap(local) {
+					local = append(local, time.Since(t0))
+				}
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return Result{}, err
+	default:
+	}
+	res := Result{
+		Mix:     cfg.Mix,
+		Txns:    txns.Load(),
+		Queries: queries.Load(),
+		Aborts:  aborts.Load(),
+		Elapsed: elapsed,
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res.LatP50 = lats[len(lats)/2]
+		res.LatP99 = lats[len(lats)*99/100]
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		res.LatMean = sum / time.Duration(len(lats))
+	}
+	return res, nil
+}
+
+// runTxn executes one transaction and returns the query count.
+func runTxn(cfg Config, w int, rng *rand.Rand) (int, error) {
+	tx, err := cfg.DB.Begin(w)
+	if err != nil {
+		return 0, err
+	}
+	q := 0
+	for j := 0; j < cfg.QueriesPerTxn; j++ {
+		key := int64(rng.Intn(cfg.TableSize) + 1)
+		if cfg.OnOp != nil {
+			cfg.OnOp(w, key)
+		}
+		write := false
+		switch cfg.Mix {
+		case WriteOnly:
+			write = true
+		case ReadWrite:
+			write = rng.Intn(10) < 3
+		}
+		if write {
+			row, err := tx.GetByKey(TableName, 0, core.I(key))
+			if err != nil {
+				if errors.Is(err, engineapi.ErrNotFound) {
+					continue
+				}
+				tx.Abort()
+				return 0, err
+			}
+			err = tx.UpdateByKey(TableName, 0, []core.Value{core.I(key)},
+				core.Row{core.I(key), row[1], core.S(cValue(rng)), row[3]})
+			if err != nil {
+				return 0, err // conflict paths already aborted
+			}
+		} else {
+			if _, err := tx.GetByKey(TableName, 0, core.I(key)); err != nil &&
+				!errors.Is(err, engineapi.ErrNotFound) {
+				tx.Abort()
+				return 0, err
+			}
+		}
+		q++
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return q, nil
+}

@@ -1,0 +1,120 @@
+package sysbench
+
+import (
+	"sync"
+	"testing"
+
+	"hiengine/internal/adapt"
+	"hiengine/internal/baseline/innosim"
+	"hiengine/internal/baseline/memocc"
+	"hiengine/internal/core"
+	"hiengine/internal/engineapi"
+	"hiengine/internal/srss"
+)
+
+func engines(t *testing.T) map[string]engineapi.DB {
+	t.Helper()
+	e, err := core.Open(core.Config{Workers: 16, SegmentSize: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	inno, err := innosim.New(innosim.Config{Service: srss.New(srss.Config{}), SegmentSize: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inno.Close)
+	mysql, err := innosim.New(innosim.Config{Service: srss.New(srss.Config{}),
+		Variant: innosim.VariantMySQL, SegmentSize: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mysql.Close)
+	mo, err := memocc.New(memocc.Config{Service: srss.New(srss.Config{}), Workers: 16, SegmentSize: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mo.Close)
+	return map[string]engineapi.DB{
+		"hiengine": adapt.New(e),
+		"dbms-t":   inno,
+		"mysql":    mysql,
+		"memocc":   mo,
+	}
+}
+
+func TestLoadAndRunAllEnginesAllMixes(t *testing.T) {
+	for name, db := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			const size = 500
+			if err := Load(db, size, 4); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			for _, mix := range []Mix{ReadOnly, WriteOnly, ReadWrite} {
+				res, err := Run(Config{
+					DB: db, TableSize: size, Threads: 4,
+					QueriesPerTxn: 5, Mix: mix, TxnsPerThread: 50, Seed: 7,
+				})
+				if err != nil {
+					t.Fatalf("%v run: %v", mix, err)
+				}
+				if res.Txns == 0 {
+					t.Fatalf("%v: no transactions committed", mix)
+				}
+				if res.Queries < res.Txns {
+					t.Fatalf("%v: queries %d < txns %d", mix, res.Queries, res.Txns)
+				}
+				if res.TPS() <= 0 || res.LatP50 <= 0 {
+					t.Fatalf("%v: bogus metrics %+v", mix, res)
+				}
+			}
+		})
+	}
+}
+
+func TestWritesActuallyPersist(t *testing.T) {
+	e, err := core.Open(core.Config{Workers: 8, SegmentSize: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	db := adapt.New(e)
+	if err := Load(db, 100, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{DB: db, TableSize: 100, Threads: 2, QueriesPerTxn: 3,
+		Mix: WriteOnly, TxnsPerThread: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Txns == 0 {
+		t.Fatal("no write transactions")
+	}
+	// Writes reached the log (redo-only durability).
+	if e.Log().TotalBytes() == 0 {
+		t.Fatal("write-only workload produced no log bytes")
+	}
+}
+
+func TestOnOpHookFires(t *testing.T) {
+	e, err := core.Open(core.Config{Workers: 8, SegmentSize: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	db := adapt.New(e)
+	if err := Load(db, 50, 2); err != nil {
+		t.Fatal(err)
+	}
+	var ops int64
+	var mu sync.Mutex
+	res, err := Run(Config{DB: db, TableSize: 50, Threads: 2, QueriesPerTxn: 4,
+		Mix: ReadOnly, TxnsPerThread: 25, Seed: 2,
+		OnOp: func(int, int64) { mu.Lock(); ops++; mu.Unlock() }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != res.Queries {
+		t.Fatalf("hook fired %d times for %d queries", ops, res.Queries)
+	}
+}

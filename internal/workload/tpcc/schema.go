@@ -1,0 +1,167 @@
+// Package tpcc implements the TPC-C benchmark (Section 6.1.3): the full
+// nine-table schema, standard data generation, and all five transaction
+// types at the paper's mix (NewOrder 45%, Payment 43%, OrderStatus 4%,
+// Delivery 4%, StockLevel 4%), runnable against any engineapi.DB.
+package tpcc
+
+import "hiengine/internal/core"
+
+// Table names.
+const (
+	TWarehouse = "warehouse"
+	TDistrict  = "district"
+	TCustomer  = "customer"
+	THistory   = "history"
+	TNewOrder  = "new_order"
+	TOrder     = "orders"
+	TOrderLine = "order_line"
+	TItem      = "item"
+	TStock     = "stock"
+)
+
+// DistrictsPerWarehouse and friends are the TPC-C scale constants.
+const (
+	DistrictsPerWarehouse = 10
+	CustomersPerDistrict  = 3000
+	ItemCount             = 100000
+	InitialOrdersPerDist  = 3000
+	StockPerWarehouse     = ItemCount
+)
+
+// Schemas returns all nine table schemas. Engines that support secondary
+// indexes get the customer last-name index and the order customer index;
+// set secondaries false for primary-key-only engines (the drivers then use
+// primary-key fallbacks).
+func Schemas(secondaries bool) []*core.Schema {
+	warehouse := &core.Schema{
+		Name: TWarehouse,
+		Columns: []core.Column{
+			{Name: "w_id", Kind: core.KindInt},
+			{Name: "w_name", Kind: core.KindString},
+			{Name: "w_street", Kind: core.KindString},
+			{Name: "w_city", Kind: core.KindString},
+			{Name: "w_state", Kind: core.KindString},
+			{Name: "w_zip", Kind: core.KindString},
+			{Name: "w_tax", Kind: core.KindFloat},
+			{Name: "w_ytd", Kind: core.KindFloat},
+		},
+		Indexes: []core.IndexDef{{Name: "pk", Columns: []int{0}, Unique: true}},
+	}
+	district := &core.Schema{
+		Name: TDistrict,
+		Columns: []core.Column{
+			{Name: "d_w_id", Kind: core.KindInt},
+			{Name: "d_id", Kind: core.KindInt},
+			{Name: "d_name", Kind: core.KindString},
+			{Name: "d_street", Kind: core.KindString},
+			{Name: "d_tax", Kind: core.KindFloat},
+			{Name: "d_ytd", Kind: core.KindFloat},
+			{Name: "d_next_o_id", Kind: core.KindInt},
+		},
+		Indexes: []core.IndexDef{{Name: "pk", Columns: []int{0, 1}, Unique: true}},
+	}
+	customer := &core.Schema{
+		Name: TCustomer,
+		Columns: []core.Column{
+			{Name: "c_w_id", Kind: core.KindInt},
+			{Name: "c_d_id", Kind: core.KindInt},
+			{Name: "c_id", Kind: core.KindInt},
+			{Name: "c_first", Kind: core.KindString},
+			{Name: "c_middle", Kind: core.KindString},
+			{Name: "c_last", Kind: core.KindString},
+			{Name: "c_credit", Kind: core.KindString},
+			{Name: "c_discount", Kind: core.KindFloat},
+			{Name: "c_balance", Kind: core.KindFloat},
+			{Name: "c_ytd_payment", Kind: core.KindFloat},
+			{Name: "c_payment_cnt", Kind: core.KindInt},
+			{Name: "c_delivery_cnt", Kind: core.KindInt},
+			{Name: "c_data", Kind: core.KindString},
+		},
+		Indexes: []core.IndexDef{{Name: "pk", Columns: []int{0, 1, 2}, Unique: true}},
+	}
+	if secondaries {
+		customer.Indexes = append(customer.Indexes,
+			core.IndexDef{Name: "by_last", Columns: []int{0, 1, 5}, Unique: false})
+	}
+	history := &core.Schema{
+		Name: THistory,
+		Columns: []core.Column{
+			{Name: "h_id", Kind: core.KindInt}, // synthetic key (TPC-C history has none)
+			{Name: "h_c_w_id", Kind: core.KindInt},
+			{Name: "h_c_d_id", Kind: core.KindInt},
+			{Name: "h_c_id", Kind: core.KindInt},
+			{Name: "h_amount", Kind: core.KindFloat},
+			{Name: "h_data", Kind: core.KindString},
+		},
+		Indexes: []core.IndexDef{{Name: "pk", Columns: []int{0}, Unique: true}},
+	}
+	newOrder := &core.Schema{
+		Name: TNewOrder,
+		Columns: []core.Column{
+			{Name: "no_w_id", Kind: core.KindInt},
+			{Name: "no_d_id", Kind: core.KindInt},
+			{Name: "no_o_id", Kind: core.KindInt},
+		},
+		Indexes: []core.IndexDef{{Name: "pk", Columns: []int{0, 1, 2}, Unique: true}},
+	}
+	orders := &core.Schema{
+		Name: TOrder,
+		Columns: []core.Column{
+			{Name: "o_w_id", Kind: core.KindInt},
+			{Name: "o_d_id", Kind: core.KindInt},
+			{Name: "o_id", Kind: core.KindInt},
+			{Name: "o_c_id", Kind: core.KindInt},
+			{Name: "o_entry_d", Kind: core.KindInt},
+			{Name: "o_carrier_id", Kind: core.KindInt},
+			{Name: "o_ol_cnt", Kind: core.KindInt},
+			{Name: "o_all_local", Kind: core.KindInt},
+		},
+		Indexes: []core.IndexDef{{Name: "pk", Columns: []int{0, 1, 2}, Unique: true}},
+	}
+	if secondaries {
+		orders.Indexes = append(orders.Indexes,
+			core.IndexDef{Name: "by_cust", Columns: []int{0, 1, 3, 2}, Unique: false})
+	}
+	orderLine := &core.Schema{
+		Name: TOrderLine,
+		Columns: []core.Column{
+			{Name: "ol_w_id", Kind: core.KindInt},
+			{Name: "ol_d_id", Kind: core.KindInt},
+			{Name: "ol_o_id", Kind: core.KindInt},
+			{Name: "ol_number", Kind: core.KindInt},
+			{Name: "ol_i_id", Kind: core.KindInt},
+			{Name: "ol_supply_w_id", Kind: core.KindInt},
+			{Name: "ol_delivery_d", Kind: core.KindInt},
+			{Name: "ol_quantity", Kind: core.KindInt},
+			{Name: "ol_amount", Kind: core.KindFloat},
+			{Name: "ol_dist_info", Kind: core.KindString},
+		},
+		Indexes: []core.IndexDef{{Name: "pk", Columns: []int{0, 1, 2, 3}, Unique: true}},
+	}
+	item := &core.Schema{
+		Name: TItem,
+		Columns: []core.Column{
+			{Name: "i_id", Kind: core.KindInt},
+			{Name: "i_im_id", Kind: core.KindInt},
+			{Name: "i_name", Kind: core.KindString},
+			{Name: "i_price", Kind: core.KindFloat},
+			{Name: "i_data", Kind: core.KindString},
+		},
+		Indexes: []core.IndexDef{{Name: "pk", Columns: []int{0}, Unique: true}},
+	}
+	stock := &core.Schema{
+		Name: TStock,
+		Columns: []core.Column{
+			{Name: "s_w_id", Kind: core.KindInt},
+			{Name: "s_i_id", Kind: core.KindInt},
+			{Name: "s_quantity", Kind: core.KindInt},
+			{Name: "s_dist", Kind: core.KindString},
+			{Name: "s_ytd", Kind: core.KindInt},
+			{Name: "s_order_cnt", Kind: core.KindInt},
+			{Name: "s_remote_cnt", Kind: core.KindInt},
+			{Name: "s_data", Kind: core.KindString},
+		},
+		Indexes: []core.IndexDef{{Name: "pk", Columns: []int{0, 1}, Unique: true}},
+	}
+	return []*core.Schema{warehouse, district, customer, history, newOrder, orders, orderLine, item, stock}
+}
