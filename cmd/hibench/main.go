@@ -26,6 +26,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced dataset sizes and durations")
 		threads  = flag.Int("threads", 0, "override worker thread count (0 = per-experiment default)")
 		duration = flag.Duration("duration", 0, "override per-measurement duration (0 = default)")
+		stats    = flag.Bool("stats", false, "append the HiEngine obs snapshot (latency percentiles, batch sizes, GC) to each report")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		verbose  = flag.Bool("v", false, "print progress lines")
 	)
@@ -38,7 +39,7 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Quick: *quick, Threads: *threads, Duration: *duration}
+	opts := bench.Options{Quick: *quick, Threads: *threads, Duration: *duration, Stats: *stats}
 	if *verbose {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
 	}

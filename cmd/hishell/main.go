@@ -72,6 +72,7 @@ func main() {
 				s.Commits.Load(), s.Aborts.Load(), s.Conflicts.Load(),
 				s.ReclaimedVersions.Load(), s.Checkpoints.Load(), s.Compactions.Load(),
 				engine.Log().TotalBytes())
+			fmt.Print(engine.Obs().Snapshot())
 			continue
 		case line == `\checkpoint`:
 			csn, err := engine.Checkpoint()

@@ -24,12 +24,14 @@ func Ablations(o Options) (*Report, error) {
 		Header:   []string{"ablation", "variant", "per-op"},
 	}
 
+	reg := o.statsReg("ablations:hiengine")
 	newEngine := func(tier srss.Tier, batch int) (*core.Engine, *core.Table, error) {
 		e, err := core.Open(core.Config{
 			Service:          srss.New(srss.Config{Model: delay.CloudProfile()}),
 			Workers:          8,
 			LogTier:          tier,
 			GroupCommitBatch: batch,
+			Obs:              reg,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -151,6 +153,7 @@ func Ablations(o Options) (*Report, error) {
 		r.Rows = append(r.Rows, []string{"checkpoint", "full-data", fulldata.Round(time.Microsecond).String()})
 		r.Notes = append(r.Notes, fmt.Sprintf("checkpoint table had %d rows; full-data/dataless = %s", rows, ratio(float64(fulldata), float64(dataless))))
 	}
+	r.attachStats(reg) // aggregated across the ablation engines
 	return r, nil
 }
 

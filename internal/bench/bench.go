@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"hiengine/internal/obs"
 )
 
 // Options tunes experiment scale.
@@ -24,6 +26,10 @@ type Options struct {
 	Threads int
 	// Duration overrides per-measurement run time (0 = default).
 	Duration time.Duration
+	// Stats attaches an obs registry to the HiEngine instances under test
+	// and appends its snapshot (commit latency percentiles, group-commit
+	// batch sizes, GC/checkpoint activity) to the report.
+	Stats bool
 	// Out receives progress lines (nil = silent).
 	Progress func(string)
 }
@@ -32,6 +38,15 @@ func (o Options) progress(format string, args ...interface{}) {
 	if o.Progress != nil {
 		o.Progress(fmt.Sprintf(format, args...))
 	}
+}
+
+// statsReg returns a registry for this run when Stats is set, nil otherwise
+// (a nil registry makes every metric a no-op).
+func (o Options) statsReg(id string) *obs.Registry {
+	if !o.Stats {
+		return nil
+	}
+	return obs.NewRegistry(id)
 }
 
 func (o Options) dur(full, quick time.Duration) time.Duration {
@@ -52,6 +67,16 @@ type Report struct {
 	Header   []string
 	Rows     [][]string
 	Notes    []string
+	// Stats is the rendered obs snapshot of the HiEngine instance(s) under
+	// test, present when Options.Stats was set.
+	Stats string
+}
+
+// attachStats renders reg's snapshot into the report (no-op for nil reg).
+func (r *Report) attachStats(reg *obs.Registry) {
+	if reg != nil {
+		r.Stats = reg.Snapshot().String()
+	}
 }
 
 // String renders the report as an aligned text table.
@@ -92,6 +117,9 @@ func (r *Report) String() string {
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if r.Stats != "" {
+		b.WriteString(r.Stats)
 	}
 	return b.String()
 }

@@ -13,6 +13,7 @@ import (
 	"hiengine/internal/core"
 	"hiengine/internal/delay"
 	"hiengine/internal/engineapi"
+	"hiengine/internal/obs"
 	"hiengine/internal/sqlfront"
 	"hiengine/internal/srss"
 )
@@ -35,7 +36,7 @@ type fig5Engine struct {
 	close func()
 }
 
-func buildFig5Engines(o Options) ([]fig5Engine, error) {
+func buildFig5Engines(o Options) ([]fig5Engine, *obs.Registry, error) {
 	model := delay.CloudProfile()
 	var out []fig5Engine
 
@@ -43,9 +44,10 @@ func buildFig5Engines(o Options) ([]fig5Engine, error) {
 		Service:     srss.New(srss.Config{Model: model}),
 		Workers:     64,
 		SegmentSize: 64 << 20,
+		Obs:         o.statsReg("fig5:hiengine"),
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out = append(out, fig5Engine{
 		name:  "HiEngine",
@@ -59,7 +61,7 @@ func buildFig5Engines(o Options) ([]fig5Engine, error) {
 		SegmentSize: 64 << 20,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out = append(out, fig5Engine{
 		name:  "DBMS-T",
@@ -73,14 +75,14 @@ func buildFig5Engines(o Options) ([]fig5Engine, error) {
 		SegmentSize: 64 << 20,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out = append(out, fig5Engine{
 		name:  "MySQL",
 		front: sqlfront.NewFrontend("mysql", mysql),
 		close: mysql.Close,
 	})
-	return out, nil
+	return out, he.Obs(), nil
 }
 
 const fig5Table = "CREATE TABLE sbtest (id INT, k INT, c TEXT, pad TEXT, PRIMARY KEY(id))"
@@ -230,7 +232,7 @@ func fig5(o Options, compiled bool) (*Report, error) {
 	}
 	dur := o.dur(3*time.Second, 300*time.Millisecond)
 
-	engines, err := buildFig5Engines(o)
+	engines, heReg, err := buildFig5Engines(o)
 	if err != nil {
 		return nil, err
 	}
@@ -300,6 +302,9 @@ func fig5(o Options, compiled bool) (*Report, error) {
 		r.Notes = append(r.Notes, fmt.Sprintf(
 			"HiEngine 1-query write txns: compiled %.0f TPS vs interpreted %.0f TPS (%s; paper: compiled ~2x prepare+execute, up to ~1M TPS on 128 ARM cores)",
 			simple, interp, ratio(simple, interp)))
+	}
+	if o.Stats {
+		r.attachStats(heReg)
 	}
 	return r, nil
 }

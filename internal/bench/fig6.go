@@ -10,6 +10,7 @@ import (
 	"hiengine/internal/delay"
 	"hiengine/internal/engineapi"
 	"hiengine/internal/numa"
+	"hiengine/internal/obs"
 	"hiengine/internal/srss"
 	"hiengine/internal/workload/tpcc"
 )
@@ -38,7 +39,7 @@ type fig6Engine struct {
 	build   func() (engineapi.DB, func(), error)
 }
 
-func fig6Engines(model *delay.Model, workers int) []fig6Engine {
+func fig6Engines(model *delay.Model, workers int, reg *obs.Registry) []fig6Engine {
 	return []fig6Engine{
 		{
 			name:    "HiEngine",
@@ -48,6 +49,7 @@ func fig6Engines(model *delay.Model, workers int) []fig6Engine {
 					Service:     srss.New(srss.Config{Model: model}),
 					Workers:     workers,
 					SegmentSize: 64 << 20,
+					Obs:         reg,
 				})
 				if err != nil {
 					return nil, nil, err
@@ -163,6 +165,7 @@ func Fig6(o Options) (*Report, error) {
 		x86Counts = []int{8, 24}
 	}
 	model := delay.CloudProfile()
+	reg := o.statsReg("fig6:hiengine")
 
 	r := &Report{
 		ID:       "fig6",
@@ -180,7 +183,7 @@ func Fig6(o Options) (*Report, error) {
 	run := func(platform string, topo numa.Topology, counts []int) error {
 		for _, cores := range counts {
 			warehouses := cores
-			engines := fig6Engines(model, cores)
+			engines := fig6Engines(model, cores, reg)
 			for _, eng := range engines {
 				o.progress("fig6: %s %d cores %s", platform, cores, eng.name)
 				res, acct, err := runTPCC(eng, topo, cores, warehouses, sc, dur, true, numa.PolicyLocal)
@@ -228,5 +231,6 @@ func Fig6(o Options) (*Report, error) {
 	emit("x86", x86Counts)
 	r.Notes = append(r.Notes,
 		"threads are bound to simulated cores; physical parallelism is capped by the host CPU, so curves flatten where the host saturates -- the HiEngine/DBMS-M ratio and the remote-access growth past one socket are the reproduced signals")
+	r.attachStats(reg) // aggregated across HiEngine runs at every core count
 	return r, nil
 }

@@ -59,10 +59,11 @@ func Fig7(o Options) (*Report, error) {
 		tpmc   float64
 		remote float64
 	}
+	reg := o.statsReg("fig7:hiengine")
 	all := map[string]map[string]meas{}
 	for _, c := range combos {
 		all[c.label] = map[string]meas{}
-		for _, eng := range fig6Engines(model, threads) {
+		for _, eng := range fig6Engines(model, threads, reg) {
 			o.progress("fig7: %s %s", c.label, eng.name)
 			res, acct, err := runTPCC(eng, topo, threads, warehouses, sc, dur, c.partitioned, c.policy)
 			if err != nil {
@@ -93,5 +94,6 @@ func Fig7(o Options) (*Report, error) {
 			"partitioning effect (HiEngine): remote accesses %s -> %s, tpmC %sx vs random placement",
 			pct(rnd.remote), pct(best.remote), f2(best.tpmc/rnd.tpmc)))
 	}
+	r.attachStats(reg) // aggregated across HiEngine runs in every combo
 	return r, nil
 }

@@ -31,6 +31,7 @@ func Fig8(o Options) (*Report, error) {
 		Service:     svc,
 		Workers:     threads + 2,
 		SegmentSize: 1 << 20, // many segments => parallel replay has work units
+		Obs:         o.statsReg("fig8:hiengine"),
 	})
 	if err != nil {
 		return nil, err
@@ -52,6 +53,7 @@ func Fig8(o Options) (*Report, error) {
 	logBytes := e.Log().TotalBytes()
 	segs := len(e.Log().Segments())
 	manifestID := e.ManifestID()
+	heReg := e.Obs()
 	e.Close() // crash point
 
 	r := &Report{
@@ -106,5 +108,8 @@ func Fig8(o Options) (*Report, error) {
 		statsCk.CheckpointEntries, statsCk.ReplayDuration.Round(time.Microsecond)))
 	r.Notes = append(r.Notes,
 		"recovery here rebuilds PIAs only (dataless); record data faults in lazily via SRSS mmap views, and index rebuild is measured separately")
+	if o.Stats {
+		r.attachStats(heReg) // log-generation phase of the crashed engine
+	}
 	return r, nil
 }

@@ -22,6 +22,7 @@ import (
 
 	"hiengine/internal/core"
 	"hiengine/internal/engineapi"
+	"hiengine/internal/obs"
 )
 
 // Mode selects how committed writes reach the backing engine.
@@ -58,6 +59,9 @@ type Config struct {
 	// LoaderWorker is the front-engine worker slot reserved for fault-in
 	// loads (default 7). Application sessions must not use it.
 	LoaderWorker int
+	// Obs, when non-nil, receives cache metrics (fault-ins, negative
+	// entries, write-behind throughput and queue depth).
+	Obs *obs.Registry
 }
 
 // DB is the cache deployment.
@@ -77,6 +81,12 @@ type DB struct {
 
 	wbMu  sync.Mutex
 	wbErr error
+
+	mFaultIns    *obs.Counter
+	mNegatives   *obs.Counter
+	mPreloadRows *obs.Counter
+	mWBApplied   *obs.Counter
+	mWBErrors    *obs.Counter
 }
 
 type backWrite struct {
@@ -102,6 +112,19 @@ func New(cfg Config) (*DB, error) {
 		schemas:   make(map[string]*core.Schema),
 		cached:    make(map[string]bool),
 		preloaded: make(map[string]bool),
+	}
+	if reg := cfg.Obs; reg != nil {
+		db.mFaultIns = reg.Counter("cache.fault_ins")
+		db.mNegatives = reg.Counter("cache.negative_entries")
+		db.mPreloadRows = reg.Counter("cache.preload_rows")
+		db.mWBApplied = reg.Counter("cache.write_behind_applied")
+		db.mWBErrors = reg.Counter("cache.write_behind_errors")
+		reg.GaugeFunc("cache.write_behind_queue_depth", func() int64 {
+			if db.queue == nil {
+				return 0
+			}
+			return int64(len(db.queue))
+		})
 	}
 	if cfg.Mode == WriteBehind {
 		db.queue = make(chan backWrite, cfg.QueueDepth)
@@ -194,6 +217,7 @@ func (db *DB) ensureCached(table string, pk []core.Value) error {
 	if errors.Is(err, engineapi.ErrNotFound) {
 		btx.Abort()
 		db.markCached(key) // negative entry: the back has nothing either
+		db.mNegatives.Inc()
 		return nil
 	}
 	if err != nil {
@@ -206,6 +230,7 @@ func (db *DB) ensureCached(table string, pk []core.Value) error {
 		return err
 	}
 	db.markCached(key)
+	db.mFaultIns.Inc()
 	return nil
 }
 
@@ -277,6 +302,7 @@ func (db *DB) Preload(table string) (int, error) {
 			return n, err
 		}
 		db.markCached(key)
+		db.mPreloadRows.Inc()
 		n++
 	}
 	db.mu.Lock()
@@ -343,11 +369,14 @@ func (db *DB) writeBehindLoop() {
 			continue
 		}
 		if err := db.applyToBack(w); err != nil {
+			db.mWBErrors.Inc()
 			db.wbMu.Lock()
 			if db.wbErr == nil {
 				db.wbErr = err
 			}
 			db.wbMu.Unlock()
+		} else {
+			db.mWBApplied.Inc()
 		}
 	}
 }

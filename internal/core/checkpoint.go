@@ -50,6 +50,8 @@ func (e *Engine) Checkpoint() (uint64, error) {
 // checkpointLocked is Checkpoint's body; the caller holds ckptMu (log
 // compaction takes a fresh checkpoint while already holding it).
 func (e *Engine) checkpointLocked() (uint64, error) {
+	ckptStart := time.Now()
+	defer func() { e.mCheckpointDur.Record(int64(time.Since(ckptStart))) }()
 	// Fence: after rotating every stream, all sealed segments are
 	// permanently closed, and every record in them carries a CSN below
 	// the reading of the clock that follows (appends carry CSNs acquired
@@ -158,6 +160,7 @@ func (e *Engine) checkpointLocked() (uint64, error) {
 	}
 	e.lastCkpt.Store(ckptCSN)
 	e.stats.Checkpoints.Add(1)
+	e.mCheckpoints.Inc()
 	return ckptCSN, nil
 }
 
@@ -234,6 +237,7 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 	if c, ok := cfg.Clock.(*clock.Counter); ok {
 		e.counter = c
 	}
+	e.initObs()
 	manifest, err := e.svc.Open(manifestID)
 	if err != nil {
 		return nil, nil, err
@@ -315,6 +319,7 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 		OnMetaChange: func(id srss.PLogID) error {
 			return e.appendManifest(manifestWAL, id[:])
 		},
+		Obs: e.obs,
 	}
 	var log *wal.Manager
 	if opt.readOnly {

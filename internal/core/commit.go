@@ -46,18 +46,27 @@ func (t *Txn) commitStart(durable func(error)) (bool, error) {
 	if t.finished {
 		return false, ErrTxnDone
 	}
+	// Fail-stop: once any commit's log append has failed durability, no
+	// further commit may be acknowledged -- the client-visible history
+	// would silently diverge from what recovery can reconstruct.
+	if t.e.durabilityLost.Load() {
+		_ = t.Abort()
+		return false, ErrDurabilityLost
+	}
 	// Register-and-report (Section 5.2): wait for every transaction whose
 	// uncommitted data we read; abort if any of them aborted.
 	for _, dep := range t.deps {
 		<-dep.doneCh
 		if st, _ := dep.state(); st == txAborted {
 			_ = t.Abort()
+			t.e.mDepAborts.Inc()
 			return false, ErrDependencyAborted
 		}
 	}
 	if len(t.writes) == 0 {
 		t.finish(txCommitted, 0)
 		t.e.stats.Commits.Add(1)
+		t.e.mCommits.Inc()
 		return false, nil
 	}
 
@@ -96,6 +105,13 @@ func (t *Txn) commitStart(durable func(error)) (bool, error) {
 				we := &writes[i]
 				we.newV.addr.Store(uint64(base.Add(uint32(we.logOff))))
 			}
+		} else {
+			// The transaction is already visible to other workers, but
+			// its log records will never be durable: latch the sticky
+			// fail-stop flag so no later Begin/Commit is acknowledged
+			// against the diverged state.
+			e.durabilityLost.Store(true)
+			e.mDurabilityFail.Inc()
 		}
 		e.commitsDurable.Add(1)
 		durable(err)
@@ -106,6 +122,7 @@ func (t *Txn) commitStart(durable func(error)) (bool, error) {
 	t.finishSlot()
 	t.markFinished()
 	t.e.stats.Commits.Add(1)
+	t.e.mCommits.Inc()
 
 	// Interleave incremental GC with forward processing (Section 4.4).
 	e.maybeGC(worker)
@@ -138,6 +155,7 @@ func (t *Txn) Abort() error {
 	t.e.status.remove(t.tid)
 	t.finish(txAborted, 0)
 	t.e.stats.Aborts.Add(1)
+	t.e.mAborts.Inc()
 	return nil
 }
 

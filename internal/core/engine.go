@@ -10,6 +10,7 @@ import (
 	"hiengine/internal/clock"
 	"hiengine/internal/delay"
 	"hiengine/internal/index"
+	"hiengine/internal/obs"
 	"hiengine/internal/pia"
 	"hiengine/internal/srss"
 	"hiengine/internal/wal"
@@ -35,6 +36,11 @@ var (
 	ErrNoTable = errors.New("core: no such table")
 	// ErrClosed is returned after Engine.Close.
 	ErrClosed = errors.New("core: engine closed")
+	// ErrDurabilityLost is returned by Begin and Commit after a commit's
+	// log append failed durability: the in-memory state may already have
+	// diverged from what any recovery can reconstruct, so the engine
+	// fail-stops rather than silently acknowledging more transactions.
+	ErrDurabilityLost = errors.New("core: durability failure; engine is fail-stopped")
 )
 
 // Config configures an Engine.
@@ -75,6 +81,10 @@ type Config struct {
 	// forward processing every N commits per worker (default 64; 0
 	// disables automatic GC).
 	GCEveryNCommits int
+	// Obs is the observability registry the engine (and the WAL and SRSS
+	// layers under it) records into. A fresh registry named after the
+	// engine is created when nil.
+	Obs *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -104,6 +114,9 @@ func (c *Config) fill() {
 	}
 	if c.GCEveryNCommits == 0 {
 		c.GCEveryNCommits = 64
+	}
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry(c.Name)
 	}
 }
 
@@ -167,6 +180,25 @@ type Engine struct {
 	commitsStarted atomic.Int64
 	commitsDurable atomic.Int64
 
+	// durabilityLost latches the fail-stop state: once any commit's log
+	// append fails durability, every subsequent Begin/Commit returns
+	// ErrDurabilityLost (the sticky durability-error contract; see
+	// DESIGN.md).
+	durabilityLost atomic.Bool
+
+	// obs is the unified metrics registry; the handles below are cached
+	// so hot paths record without map lookups.
+	obs             *obs.Registry
+	mCommits        *obs.Counter
+	mAborts         *obs.Counter
+	mConflicts      *obs.Counter
+	mDepAborts      *obs.Counter
+	mDurabilityFail *obs.Counter
+	mReclaimed      *obs.Counter
+	mCheckpoints    *obs.Counter
+	mGCPause        *obs.Histogram // nanoseconds per GC drain
+	mCheckpointDur  *obs.Histogram // nanoseconds per checkpoint
+
 	stats  Stats
 	closed atomic.Bool
 
@@ -191,6 +223,7 @@ func Open(cfg Config) (*Engine, error) {
 	if c, ok := cfg.Clock.(*clock.Counter); ok {
 		e.counter = c
 	}
+	e.initObs()
 	manifest, err := e.svc.Create(srss.TierCompute)
 	if err != nil {
 		return nil, err
@@ -206,6 +239,7 @@ func Open(cfg Config) (*Engine, error) {
 		OnMetaChange: func(id srss.PLogID) error {
 			return e.appendManifest(manifestWAL, id[:])
 		},
+		Obs: e.obs,
 	})
 	if err != nil {
 		return nil, err
@@ -218,6 +252,29 @@ func Open(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// initObs caches metric handles and hooks the engine into the registry
+// (along with the SRSS service under it). All handles are nil-safe, so an
+// explicitly-nil registry simply disables recording.
+func (e *Engine) initObs() {
+	reg := e.cfg.Obs
+	e.obs = reg
+	e.mCommits = reg.Counter("core.commits")
+	e.mAborts = reg.Counter("core.aborts")
+	e.mConflicts = reg.Counter("core.conflicts")
+	e.mDepAborts = reg.Counter("core.dependency_aborts")
+	e.mDurabilityFail = reg.Counter("core.durability_failures")
+	e.mReclaimed = reg.Counter("core.gc_reclaimed_versions")
+	e.mCheckpoints = reg.Counter("core.checkpoints")
+	e.mGCPause = reg.Histogram("core.gc_pause_ns")
+	e.mCheckpointDur = reg.Histogram("core.checkpoint_ns")
+	// Durability lag: commits acknowledged to the pipeline but not yet
+	// durable (commitsStarted - commitsDurable), sampled at snapshot time.
+	reg.GaugeFunc("core.durability_lag", func() int64 {
+		return e.commitsStarted.Load() - e.commitsDurable.Load()
+	})
+	e.svc.AttachObs(reg)
+}
+
 // Service returns the underlying SRSS deployment.
 func (e *Engine) Service() *srss.Service { return e.svc }
 
@@ -226,6 +283,13 @@ func (e *Engine) Log() *wal.Manager { return e.log }
 
 // Stats returns the engine counters.
 func (e *Engine) Stats() *Stats { return &e.stats }
+
+// Obs returns the engine's observability registry (nil when disabled).
+func (e *Engine) Obs() *obs.Registry { return e.obs }
+
+// DurabilityLost reports whether the engine has fail-stopped after a
+// durability failure.
+func (e *Engine) DurabilityLost() bool { return e.durabilityLost.Load() }
 
 // ManifestID returns the bootstrap PLog ID used by Recover.
 func (e *Engine) ManifestID() srss.PLogID {

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hiengine/internal/srss"
+)
+
+// TestDurabilityFailureFailStops exercises the fail-stop contract: when a
+// commit's log append fails durability (every compute node down, so sealed
+// segments cannot migrate), the engine latches a sticky error and refuses
+// all later transactions. Acknowledging them would let the client-visible
+// history silently diverge from what recovery can reconstruct.
+func TestDurabilityFailureFailStops(t *testing.T) {
+	svc := srss.New(srss.Config{ComputeNodes: 3})
+	e, err := Open(Config{Name: "failstop-test", Service: svc, Workers: 8, SegmentSize: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tbl := mustTable(t, e, usersSchema())
+	insertUser(t, e, tbl, 0, 1, "pre-failure", 1)
+
+	// A transaction opened before the failure, committed after it.
+	straggler, err := e.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := straggler.Insert(tbl, Row{I(2), S("straggler"), I(0)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the whole compute tier: the next append seals the open segment
+	// and rotation cannot find a healthy replica set.
+	for i := 0; i < 3; i++ {
+		svc.ComputeNode(i).Fail()
+	}
+
+	tx, err := e.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert(tbl, Row{I(3), S("doomed"), I(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit acknowledged without durability")
+	} else if errors.Is(err, ErrDurabilityLost) {
+		t.Fatalf("first failing commit should surface the append error, got %v", err)
+	}
+
+	if !e.DurabilityLost() {
+		t.Fatal("engine did not latch the durability-lost flag")
+	}
+	if _, err := e.Begin(2); !errors.Is(err, ErrDurabilityLost) {
+		t.Fatalf("Begin after durability loss: got %v, want ErrDurabilityLost", err)
+	}
+	if err := straggler.Commit(); !errors.Is(err, ErrDurabilityLost) {
+		t.Fatalf("straggler commit: got %v, want ErrDurabilityLost", err)
+	}
+	if got := e.Obs().Counter("core.durability_failures").Load(); got < 1 {
+		t.Fatalf("durability_failures counter = %d, want >= 1", got)
+	}
+}
+
+// TestGCDeleteCountsFullChain is a white-box regression for the GC delete
+// path: clearing the indirection entry unlinks the delete marker AND every
+// version still chained below it, but the accounting only counted one.
+// The undercount needs the cross-worker interleaving where the isDelete
+// entry is drained without the update-pair entry (which normally prunes the
+// chain below the marker first), so the test filters the bag by hand.
+func TestGCDeleteCountsFullChain(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.GCEveryNCommits = 0 }) // manual GC
+	tbl := mustTable(t, e, usersSchema())
+	rid := insertUser(t, e, tbl, 0, 1, "ada", 1)
+	tx, _ := e.Begin(0)
+	if err := tx.Delete(tbl, rid); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, tx)
+
+	// Keep only the isDelete entry: the delete marker still has the
+	// superseded insert version chained below it when the PIA entry is
+	// cleared.
+	slot := &e.workers[0]
+	slot.mu.Lock()
+	var only []retiredVersion
+	for _, r := range slot.retired {
+		if r.isDelete {
+			only = append(only, r)
+		}
+	}
+	if len(only) != 1 {
+		slot.mu.Unlock()
+		t.Fatalf("expected one isDelete bag entry, got %d", len(only))
+	}
+	slot.retired = only
+	slot.mu.Unlock()
+
+	if got := e.RunGC(); got != 2 {
+		t.Fatalf("RunGC reclaimed %d versions, want 2 (delete marker + superseded insert)", got)
+	}
+	if tbl.Rows().Get(rid) != nil {
+		t.Fatal("PIA entry survives delete GC")
+	}
+}
+
+// TestEngineObsSnapshot checks the end-to-end wiring: commits, aborts and
+// WAL activity all land in the engine's registry, and the derived
+// durability-lag gauge reads zero once everything is durable.
+func TestEngineObsSnapshot(t *testing.T) {
+	e := testEngine(t)
+	tbl := mustTable(t, e, usersSchema())
+	for i := int64(1); i <= 10; i++ {
+		insertUser(t, e, tbl, 0, i, "row", i)
+	}
+	tx, _ := e.Begin(1)
+	if _, err := tx.Insert(tbl, Row{I(99), S("aborted"), I(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := e.Obs()
+	if got := reg.Counter("core.commits").Load(); got < 10 {
+		t.Fatalf("core.commits = %d, want >= 10", got)
+	}
+	if got := reg.Counter("core.aborts").Load(); got != 1 {
+		t.Fatalf("core.aborts = %d, want 1", got)
+	}
+	if got := reg.Histogram("wal.commit_latency_ns").Count(); got < 10 {
+		t.Fatalf("wal.commit_latency_ns count = %d, want >= 10", got)
+	}
+	snap := reg.Snapshot()
+	lag := int64(-1)
+	for _, m := range snap.Metrics {
+		if m.Name == "core.durability_lag" {
+			lag = m.Value
+		}
+	}
+	if lag != 0 {
+		t.Fatalf("core.durability_lag = %d after all commits returned, want 0", lag)
+	}
+}

@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // Epoch-based garbage collection (Section 4.4). Each worker keeps a bag of
 // retired versions stamped with the CSN of the transaction that superseded
 // them. A version is reclaimable once that CSN is at or below the low
@@ -59,6 +61,8 @@ func (e *Engine) RunGC() int {
 
 // gcWorker reclaims every entry in worker w's bag with retireCSN <= wm.
 func (e *Engine) gcWorker(w int, wm uint64) int {
+	gcStart := time.Now()
+	defer func() { e.mGCPause.Record(int64(time.Since(gcStart))) }()
 	slot := &e.workers[w]
 	slot.mu.Lock()
 	bag := slot.retired
@@ -79,10 +83,15 @@ func (e *Engine) gcWorker(w int, wm uint64) int {
 		if r.isDelete {
 			// The delete marker is invisible to every active snapshot:
 			// clear the indirection entry if the marker is still the
-			// head (a later insert may have reused the RID).
+			// head (a later insert may have reused the RID). Clearing
+			// unlinks the marker AND every version still chained below
+			// it, so count the full chain -- mirroring the update path
+			// -- not just the cleared entry.
 			if ok, _ := r.table.rows.CompareAndSwap(r.rid, r.victim, nil); ok {
 				_ = r.table.rows.Delete(r.rid) // bumps the entry epoch
-				reclaimed++
+				for v := r.victim; v != nil; v = v.next.Load() {
+					reclaimed++
+				}
 			}
 			for _, ok := range r.oldKeys {
 				e.removeStaleKey(r.table, r.rid, ok)
@@ -108,6 +117,7 @@ func (e *Engine) gcWorker(w int, wm uint64) int {
 	}
 	if reclaimed > 0 {
 		e.stats.ReclaimedVersions.Add(int64(reclaimed))
+		e.mReclaimed.Add(int64(reclaimed))
 	}
 	return reclaimed
 }

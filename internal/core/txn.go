@@ -59,6 +59,9 @@ func (e *Engine) Begin(worker int) (*Txn, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
+	if e.durabilityLost.Load() {
+		return nil, ErrDurabilityLost
+	}
 	if worker < 0 || worker >= len(e.workers) {
 		return nil, fmt.Errorf("core: worker %d out of range [0,%d)", worker, len(e.workers))
 	}
@@ -571,11 +574,13 @@ func (t *Txn) fetchForWrite(tbl *Table, rid RID) (Row, *Version, error) {
 	raw := head.tmin.Load()
 	if isTID(raw) && raw != t.tid {
 		t.e.stats.Conflicts.Add(1)
+		t.e.mConflicts.Inc()
 		return nil, nil, t.failWith(ErrConflict)
 	}
 	if !isTID(raw) && raw > t.begin {
 		// Committed after our snapshot: first committer wins.
 		t.e.stats.Conflicts.Add(1)
+		t.e.mConflicts.Inc()
 		return nil, nil, t.failWith(ErrConflict)
 	}
 	// head is now our own write or a version visible to us.

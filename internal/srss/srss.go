@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"hiengine/internal/delay"
+	"hiengine/internal/obs"
 )
 
 // Tier identifies where a PLog's replicas are placed.
@@ -158,7 +159,38 @@ type Service struct {
 	wkMu      sync.RWMutex
 	wellKnown map[string]PLogID
 
+	// obsM holds observability handles; an atomic pointer because an
+	// engine may attach a registry while another engine is already
+	// driving traffic through the shared service.
+	obsM atomic.Pointer[obsMetrics]
+
 	stats Stats
+}
+
+// obsMetrics is the set of handles recorded on the service hot paths.
+type obsMetrics struct {
+	appendLatency *obs.Histogram // charged append+replication latency, ns
+	readLatency   *obs.Histogram // charged read latency, ns
+	crossLayerOps *obs.Counter
+	computeOps    *obs.Counter
+	seals         *obs.Counter
+}
+
+// AttachObs wires the service's hot paths to an observability registry.
+// The first attachment wins; later calls (e.g. a replica engine sharing
+// the deployment) are no-ops so counters are not split across registries.
+func (s *Service) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &obsMetrics{
+		appendLatency: reg.Histogram("srss.append_latency_ns"),
+		readLatency:   reg.Histogram("srss.read_latency_ns"),
+		crossLayerOps: reg.Counter("srss.cross_layer_ops"),
+		computeOps:    reg.Counter("srss.compute_tier_ops"),
+		seals:         reg.Counter("srss.seals"),
+	}
+	s.obsM.CompareAndSwap(nil, m)
 }
 
 // Node is one simulated compute or storage node.
@@ -346,19 +378,37 @@ func (s *Service) chargeAppend(tier Tier, n int) {
 		s.stats.CrossLayerOps.Add(1)
 	}
 	d += time.Duration(n) * m.PerByteAppend
+	if om := s.obsM.Load(); om != nil {
+		om.appendLatency.Record(int64(d))
+		if tier == TierCompute {
+			om.computeOps.Inc()
+		} else {
+			om.crossLayerOps.Inc()
+		}
+	}
 	s.cfg.Waiter.Wait(d)
 }
 
 // chargeRead applies the tier-appropriate read latency.
 func (s *Service) chargeRead(tier Tier, n int) {
 	m := s.cfg.Model
+	var d time.Duration
 	if tier == TierCompute {
-		s.cfg.Waiter.Wait(m.PMRead)
+		d = m.PMRead
 		s.stats.ComputeTierOps.Add(1)
 	} else {
-		s.cfg.Waiter.Wait(m.CrossLayerRTT + m.SSDRead)
+		d = m.CrossLayerRTT + m.SSDRead
 		s.stats.CrossLayerOps.Add(1)
 	}
+	if om := s.obsM.Load(); om != nil {
+		om.readLatency.Record(int64(d))
+		if tier == TierCompute {
+			om.computeOps.Inc()
+		} else {
+			om.crossLayerOps.Inc()
+		}
+	}
+	s.cfg.Waiter.Wait(d)
 	_ = n
 }
 
@@ -453,6 +503,9 @@ func (p *PLog) Sealed() bool { return p.sealed.Load() }
 func (p *PLog) Seal() {
 	if !p.sealed.Swap(true) {
 		p.svc.stats.Seals.Add(1)
+		if om := p.svc.obsM.Load(); om != nil {
+			om.seals.Inc()
+		}
 	}
 }
 
@@ -483,6 +536,9 @@ func (p *PLog) Append(data []byte) (int64, error) {
 		if r.node.Failed() {
 			p.sealed.Store(true)
 			p.svc.stats.Seals.Add(1)
+			if om := p.svc.obsM.Load(); om != nil {
+				om.seals.Inc()
+			}
 			return 0, fmt.Errorf("%w: %v (replica node %d failed mid-write)",
 				ErrSealed, p.id, r.node.ID)
 		}

@@ -27,7 +27,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"hiengine/internal/obs"
 	"hiengine/internal/srss"
 )
 
@@ -51,8 +53,17 @@ func (a Addr) Segment() uint16 { return uint16(a >> 48) }
 // Offset extracts the offset within the segment.
 func (a Addr) Offset() uint32 { return uint32(a) }
 
-// Add returns the address rel bytes further into the same segment.
-func (a Addr) Add(rel uint32) Addr { return MakeAddr(a.Segment(), a.Offset()+rel) }
+// Add returns the address rel bytes further into the same segment. It
+// panics if the offset addition wraps uint32: a wrapped sum would silently
+// produce a bogus but well-formed address (e.g. from a corrupt logOff),
+// and every later read through it would return the wrong record.
+func (a Addr) Add(rel uint32) Addr {
+	off := a.Offset() + rel
+	if off < a.Offset() {
+		panic(fmt.Sprintf("wal: address offset overflow: %v + %d wraps uint32", a, rel))
+	}
+	return MakeAddr(a.Segment(), off)
+}
 
 // String renders seg@off.
 func (a Addr) String() string { return fmt.Sprintf("%d@%d", a.Segment(), a.Offset()) }
@@ -185,6 +196,9 @@ type Config struct {
 	// the new bootstrap ID (e.g. in its manifest and the management-node
 	// registry).
 	OnMetaChange func(srss.PLogID) error
+	// Obs receives commit-path metrics (latency, batch sizes, rotations).
+	// Nil disables recording.
+	Obs *obs.Registry
 }
 
 func (c *Config) fill() error {
@@ -359,6 +373,9 @@ type commitReq struct {
 	payload []byte
 	done    func(base Addr, err error)
 	rotate  bool
+	// enqueuedNS is the wall-clock enqueue time; the I/O goroutine records
+	// the commit-to-durable latency against it at completion.
+	enqueuedNS int64
 }
 
 // Stream is one log stream with its own open segment and I/O goroutine.
@@ -388,6 +405,15 @@ type Manager struct {
 	cfg     Config
 	dir     *Directory
 	streams []*Stream
+
+	// Metric handles cached at build time; nil-safe no-ops when no
+	// registry is configured (see internal/obs).
+	mCommitLatency *obs.Histogram // commit-to-durable, nanoseconds
+	mBatchTxns     *obs.Histogram // transactions per group append
+	mBatchBytes    *obs.Histogram // bytes per group append
+	mRotates       *obs.Counter
+	mRetries       *obs.Counter // sealed/full appends retried on a fresh segment
+	mOversized     *obs.Counter // transactions rejected with ErrTooLarge
 
 	nextSeg atomic.Uint32
 
@@ -465,6 +491,12 @@ func Reopen(cfg Config, metaID srss.PLogID) (*Manager, error) {
 
 func build(cfg Config, dir *Directory, nextSeg uint32) (*Manager, error) {
 	m := &Manager{cfg: cfg, dir: dir, views: make(map[uint16]*srss.View)}
+	m.mCommitLatency = cfg.Obs.Histogram("wal.commit_latency_ns")
+	m.mBatchTxns = cfg.Obs.Histogram("wal.batch_txns")
+	m.mBatchBytes = cfg.Obs.Histogram("wal.batch_bytes")
+	m.mRotates = cfg.Obs.Counter("wal.rotates")
+	m.mRetries = cfg.Obs.Counter("wal.append_retries")
+	m.mOversized = cfg.Obs.Counter("wal.oversized_rejects")
 	m.nextSeg.Store(nextSeg)
 	for i := 0; i < cfg.Streams; i++ {
 		st := &Stream{id: i, mgr: m, ch: make(chan commitReq, cfg.QueueDepth)}
@@ -504,7 +536,7 @@ func (m *Manager) Append(stream int, payload []byte, done func(base Addr, err er
 		return
 	}
 	st := m.streams[stream%len(m.streams)]
-	st.ch <- commitReq{payload: payload, done: done}
+	st.ch <- commitReq{payload: payload, done: done, enqueuedNS: time.Now().UnixNano()}
 }
 
 // AppendSync appends and waits for durability.
@@ -548,6 +580,7 @@ func (st *Stream) rotate() error {
 		return err
 	}
 	st.seg, st.plog, st.offset = seg, p, 1
+	st.mgr.mRotates.Inc()
 	return nil
 }
 
@@ -611,9 +644,14 @@ func (st *Stream) flushBatch() {
 		for j < len(st.batch) {
 			pl := int64(len(st.batch[j].payload))
 			if pl+1 > segSize {
-				// Can never fit: fail this request.
+				// Can never fit: fail this request. The done guard
+				// matters: an oversized record appended with a nil
+				// callback must not panic (and wedge) the I/O goroutine.
 				if j == i {
-					st.batch[j].done(InvalidAddr, ErrTooLarge)
+					if st.batch[j].done != nil {
+						st.batch[j].done(InvalidAddr, ErrTooLarge)
+					}
+					st.mgr.mOversized.Inc()
 					i++
 					j++
 					continue
@@ -640,12 +678,16 @@ func (st *Stream) flushBatch() {
 			return
 		}
 		off := uint32(base)
+		durableNS := time.Now().UnixNano()
 		for k := i; k < j; k++ {
 			if st.batch[k].done != nil {
 				st.batch[k].done(MakeAddr(st.seg, off), nil)
 			}
+			st.mgr.mCommitLatency.Record(durableNS - st.batch[k].enqueuedNS)
 			off += uint32(len(st.batch[k].payload))
 		}
+		st.mgr.mBatchTxns.Record(int64(j - i))
+		st.mgr.mBatchBytes.Record(int64(len(st.concat)))
 		st.appends.Add(1)
 		st.batchedTxns.Add(int64(j - i))
 		st.bytesWritten.Add(int64(len(st.concat)))
@@ -664,6 +706,7 @@ func (st *Stream) appendWithRetry(data []byte) (int64, error) {
 			return off, nil
 		}
 		if errors.Is(err, srss.ErrSealed) || errors.Is(err, srss.ErrFull) {
+			st.mgr.mRetries.Inc()
 			if rerr := st.rotate(); rerr != nil {
 				return 0, rerr
 			}

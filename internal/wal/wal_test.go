@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"hiengine/internal/obs"
 	"hiengine/internal/srss"
 )
 
@@ -598,5 +599,83 @@ func TestRecordChecksumDetectsCorruption(t *testing.T) {
 	swapped[0] = OpUpdate
 	if _, _, err := DecodeRecord(swapped); err == nil {
 		t.Fatal("op tag swap undetected")
+	}
+}
+
+func TestAddrAddOverflowPanics(t *testing.T) {
+	// In range: offset can reach the 32-bit maximum exactly.
+	if got := MakeAddr(1, ^uint32(0)-1).Add(1).Offset(); got != ^uint32(0) {
+		t.Fatalf("Add to max offset: got %#x", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add past the 32-bit offset limit did not panic")
+		}
+	}()
+	MakeAddr(1, ^uint32(0)-1).Add(2) // wraps: must panic, not mint a bogus address
+}
+
+// Regression: the ErrTooLarge path in flushBatch invoked the completion
+// callback unconditionally; an oversized fire-and-forget append (nil done)
+// panicked and wedged the stream's I/O goroutine, hanging every later commit
+// on that stream.
+func TestOversizedAppendNilDoneDoesNotWedgeStream(t *testing.T) {
+	reg := obs.NewRegistry("wal-test")
+	_, m := testManager(t, Config{Streams: 1, SegmentSize: 1 << 12, Obs: reg})
+
+	m.Append(0, make([]byte, 1<<13), nil) // oversized, no callback
+
+	// The I/O goroutine must survive and keep serving the stream.
+	if _, err := m.AppendSync(0, []byte("after-oversized")); err != nil {
+		t.Fatalf("stream wedged after oversized nil-done append: %v", err)
+	}
+	// With a callback the same condition is reported, not panicked.
+	if _, err := m.AppendSync(0, make([]byte, 1<<13)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append: got %v, want ErrTooLarge", err)
+	}
+	m.Close() // drain so metric writes are visible
+	if got := reg.Counter("wal.oversized_rejects").Load(); got != 2 {
+		t.Fatalf("oversized_rejects = %d, want 2", got)
+	}
+}
+
+// The group-commit batch-size histogram must agree with the streams' own
+// accounting: Sum == total batched transactions, Count == physical appends.
+func TestBatchHistogramMatchesStreamStats(t *testing.T) {
+	reg := obs.NewRegistry("wal-test")
+	_, m := testManager(t, Config{Streams: 2, Obs: reg})
+
+	const n = 400
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		m.Append(i%2, []byte(fmt.Sprintf("txn-%04d-payload", i)), func(_ Addr, err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	m.Close() // metric records land before ioLoop exit; Close joins it
+
+	var appends, txns int64
+	for i := 0; i < m.Streams(); i++ {
+		a, tx, _ := m.Stream(i).Stats()
+		appends += a
+		txns += tx
+	}
+	if txns != n {
+		t.Fatalf("stream stats report %d txns, want %d", txns, n)
+	}
+	h := reg.Histogram("wal.batch_txns")
+	if h.Sum() != txns {
+		t.Fatalf("batch_txns histogram sum = %d, want %d (stream stats)", h.Sum(), txns)
+	}
+	if h.Count() != appends {
+		t.Fatalf("batch_txns histogram count = %d, want %d physical appends", h.Count(), appends)
+	}
+	if lat := reg.Histogram("wal.commit_latency_ns"); lat.Count() != n {
+		t.Fatalf("commit_latency_ns count = %d, want one sample per txn (%d)", lat.Count(), n)
 	}
 }
