@@ -1,0 +1,261 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestNilEngineInert verifies a nil *Engine is free and harmless at every
+// injection point (production configuration).
+func TestNilEngineInert(t *testing.T) {
+	var e *Engine
+	if err := e.Check("any.site"); err != nil {
+		t.Fatalf("nil engine Check: %v", err)
+	}
+	if _, ok := e.TearPlan("any.site", 100, 3); ok {
+		t.Fatal("nil engine tore a write")
+	}
+	if e.Crashed() {
+		t.Fatal("nil engine crashed")
+	}
+	e.ClearCrash()
+	e.Arm(Rule{Site: "x", Action: Crash, Prob: 1})
+	if e.Hits("x") != 0 || e.Fired("x") != 0 {
+		t.Fatal("nil engine counted")
+	}
+	if e.Rand("s") == nil {
+		t.Fatal("nil engine Rand returned nil")
+	}
+}
+
+// TestDeterministicSchedule: the same seed fires the same faults at the
+// same hit indices; a different seed produces a different schedule.
+func TestDeterministicSchedule(t *testing.T) {
+	fires := func(seed uint64) []int64 {
+		e := New(seed)
+		e.Arm(Rule{Site: "s", Action: Crash, Prob: 0.05})
+		var out []int64
+		for i := int64(1); i <= 400; i++ {
+			if err := e.Check("s"); err != nil {
+				out = append(out, i)
+				e.ClearCrash() // keep sampling the schedule
+			}
+		}
+		return out
+	}
+	a, b := fires(42), fires(42)
+	if len(a) == 0 {
+		t.Fatal("p=0.05 over 400 hits fired nothing; decision hash broken")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different fire counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fire %d: hit %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := fires(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestOnHitFiresExactlyOnce targets one specific hit.
+func TestOnHitFiresExactlyOnce(t *testing.T) {
+	e := New(7)
+	e.Arm(Rule{Site: "s", Action: Crash, OnHit: 3})
+	for i := 1; i <= 2; i++ {
+		if err := e.Check("s"); err != nil {
+			t.Fatalf("fired early at hit %d: %v", i, err)
+		}
+	}
+	if err := e.Check("s"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("hit 3: %v", err)
+	}
+	e.ClearCrash()
+	for i := 4; i <= 10; i++ {
+		if err := e.Check("s"); err != nil {
+			t.Fatalf("OnHit refired at hit %d: %v", i, err)
+		}
+	}
+	if got := e.Fired("s"); got != 1 {
+		t.Fatalf("fired %d times, want 1", got)
+	}
+}
+
+// TestCrashLatch: after a crash fires, every site fails until ClearCrash.
+func TestCrashLatch(t *testing.T) {
+	e := New(1)
+	e.Arm(Rule{Site: "a", Action: Crash, OnHit: 1})
+	if err := e.Check("a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash point did not fire: %v", err)
+	}
+	if err := e.Check("b"); !errors.Is(err, ErrCrashed) {
+		t.Fatal("unrelated site survived the latched crash")
+	}
+	if _, ok := e.TearPlan("c", 10, 3); ok {
+		t.Fatal("tear fired while crashed")
+	}
+	e.ClearCrash()
+	if err := e.Check("b"); err != nil {
+		t.Fatalf("after ClearCrash: %v", err)
+	}
+}
+
+// TestTearPlanShape checks torn-cut invariants across many draws.
+func TestTearPlanShape(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		e := New(seed)
+		e.Arm(Rule{Site: "t", Action: Tear, OnHit: 1})
+		n := 10 + int(seed%500)
+		cuts, ok := e.TearPlan("t", n, 3)
+		if !ok {
+			t.Fatalf("seed %d: tear did not fire", seed)
+		}
+		if !e.Crashed() {
+			t.Fatalf("seed %d: tear did not latch crash", seed)
+		}
+		if len(cuts) != 3 {
+			t.Fatalf("seed %d: %d cuts", seed, len(cuts))
+		}
+		max := 0
+		for _, c := range cuts {
+			if c < 0 || c >= n {
+				t.Fatalf("seed %d: cut %d outside [0,%d)", seed, c, n)
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max < 1 {
+			t.Fatalf("seed %d: no replica kept any bytes (maxCut=%d)", seed, max)
+		}
+		// Determinism: a fresh engine with the same seed tears identically.
+		e2 := New(seed)
+		e2.Arm(Rule{Site: "t", Action: Tear, OnHit: 1})
+		cuts2, _ := e2.TearPlan("t", n, 3)
+		for i := range cuts {
+			if cuts[i] != cuts2[i] {
+				t.Fatalf("seed %d: cuts diverged: %v vs %v", seed, cuts, cuts2)
+			}
+		}
+	}
+}
+
+// TestDelayRuleDoesNotCrash: delays fire and continue.
+func TestDelayRuleDoesNotCrash(t *testing.T) {
+	e := New(9)
+	e.Arm(Rule{Site: "d", Action: Delay, Prob: 1, Delay: time.Microsecond})
+	for i := 0; i < 5; i++ {
+		if err := e.Check("d"); err != nil {
+			t.Fatalf("delay rule returned error: %v", err)
+		}
+	}
+	if e.Crashed() {
+		t.Fatal("delay latched a crash")
+	}
+	if e.Fired("d") != 5 {
+		t.Fatalf("fired %d, want 5", e.Fired("d"))
+	}
+}
+
+// TestCountCap bounds probabilistic rules.
+func TestCountCap(t *testing.T) {
+	e := New(3)
+	e.Arm(Rule{Site: "s", Action: Crash, Prob: 1, Count: 2})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if err := e.Check("s"); err != nil {
+			fired++
+			e.ClearCrash()
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d, want 2 (Count cap)", fired)
+	}
+}
+
+// TestSiteCatalog: registration is idempotent, listed sorted, conflicting
+// docs panic.
+func TestSiteCatalog(t *testing.T) {
+	RegisterSite("test.site.b", "b doc")
+	RegisterSite("test.site.a", "a doc")
+	RegisterSite("test.site.a", "a doc") // idempotent
+	if d, ok := SiteDoc("test.site.a"); !ok || d != "a doc" {
+		t.Fatalf("doc lookup: %q %v", d, ok)
+	}
+	names := Sites()
+	ia, ib := -1, -1
+	for i, n := range names {
+		if n == "test.site.a" {
+			ia = i
+		}
+		if n == "test.site.b" {
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("catalog ordering: a=%d b=%d in %v", ia, ib, names)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting re-registration did not panic")
+		}
+	}()
+	RegisterSite("test.site.a", "different doc")
+}
+
+// TestRandStreams: derived streams are deterministic per (seed, name) and
+// distinct across names.
+func TestRandStreams(t *testing.T) {
+	a1, a2 := NewRand(5, "x"), NewRand(5, "x")
+	for i := 0; i < 100; i++ {
+		if a1.Uint64() != a2.Uint64() {
+			t.Fatal("same stream diverged")
+		}
+	}
+	b := NewRand(5, "y")
+	if NewRand(5, "x").Uint64() == b.Uint64() {
+		t.Fatal("distinct streams collided on first draw")
+	}
+	r := NewRand(5, "z")
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+// TestSeedFromEnv parses decimal and hex.
+func TestSeedFromEnv(t *testing.T) {
+	t.Setenv("CHAOS_SEED", "")
+	if _, ok := SeedFromEnv(); ok {
+		t.Fatal("empty env parsed")
+	}
+	t.Setenv("CHAOS_SEED", "123")
+	if s, ok := SeedFromEnv(); !ok || s != 123 {
+		t.Fatalf("decimal: %d %v", s, ok)
+	}
+	t.Setenv("CHAOS_SEED", "0xff")
+	if s, ok := SeedFromEnv(); !ok || s != 255 {
+		t.Fatalf("hex: %d %v", s, ok)
+	}
+	t.Setenv("CHAOS_SEED", "nope")
+	if _, ok := SeedFromEnv(); ok {
+		t.Fatal("garbage parsed")
+	}
+}

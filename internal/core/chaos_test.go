@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hiengine/internal/chaos"
+	"hiengine/internal/srss"
+)
+
+// TestTornTailRecovery injects a torn replicated write into the final log
+// append, crashes the engine, and verifies recovery truncates the invalid
+// tail and replays every acknowledged commit.
+func TestTornTailRecovery(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		ch := chaos.New(seed)
+		svc := srss.New(srss.Config{ComputeNodes: 5, Chaos: ch})
+		e, err := Open(Config{Name: "torn-test", Service: svc, Workers: 2, LogStreams: 1, SegmentSize: 1 << 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := mustTable(t, e, usersSchema())
+		for i := int64(0); i < 50; i++ {
+			insertUser(t, e, tbl, int(i%2), i, "acked", i)
+		}
+		want := snapshotTable(t, e, "users")
+
+		// Arm the tear for the very next replicated append: the commit's
+		// group append is half-replicated when the "process" dies.
+		ch.Arm(chaos.Rule{Site: srss.SiteAppendTear, Action: chaos.Tear,
+			OnHit: ch.Hits(srss.SiteAppendTear) + 1})
+		tx, err := e.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Insert(tbl, Row{I(999), S("torn"), I(0)}); err != nil {
+			t.Fatal(err)
+		}
+		if cerr := tx.Commit(); !errors.Is(cerr, chaos.ErrCrashed) {
+			t.Fatalf("seed %d: torn commit error = %v, want ErrCrashed", seed, cerr)
+		}
+		if !e.DurabilityLost() {
+			t.Fatalf("seed %d: torn commit did not latch fail-stop", seed)
+		}
+		e.Close()
+
+		// Restart: clear the crash latch and recover.
+		ch.ClearCrash()
+		ch.Disarm(srss.SiteAppendTear)
+		e2, stats, err := RecoverByName(Config{Name: "torn-test", Service: svc, Workers: 2, LogStreams: 1, SegmentSize: 1 << 16},
+			RecoverOptions{ReplayThreads: 2})
+		if err != nil {
+			t.Fatalf("seed %d: recover: %v", seed, err)
+		}
+		if stats.TornTails != 1 || stats.TruncatedBytes <= 0 {
+			t.Fatalf("seed %d: recovery stats %+v, want 1 torn tail with >0 bytes", seed, stats)
+		}
+		got := snapshotTable(t, e2, "users")
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: recovered %d rows, want %d", seed, len(got), len(want))
+		}
+		for id, w := range want {
+			if got[id] != w {
+				t.Fatalf("seed %d: row %d: got %v want %v", seed, id, got[id], w)
+			}
+		}
+		// The torn row was never acknowledged; it must not resurrect.
+		if _, ok := got[999]; ok {
+			t.Fatalf("seed %d: unacknowledged torn insert resurrected", seed)
+		}
+		// Writable after recovery.
+		tbl2, _ := e2.Table("users")
+		tx2, err := e2.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx2.Insert(tbl2, Row{I(1000), S("post-recovery"), I(1)}); err != nil {
+			t.Fatal(err)
+		}
+		commit(t, tx2)
+		e2.Close()
+	}
+}
+
+// TestCommitBeginCrashSite: a crash at the head of the commit pipeline
+// aborts cleanly -- nothing visible, nothing logged, no fail-stop.
+func TestCommitBeginCrashSite(t *testing.T) {
+	ch := chaos.New(3)
+	svc := srss.New(srss.Config{Chaos: ch})
+	e, err := Open(Config{Name: "cb-test", Service: svc, Workers: 2, LogStreams: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tbl := mustTable(t, e, usersSchema())
+	insertUser(t, e, tbl, 0, 1, "before", 1)
+
+	ch.Arm(chaos.Rule{Site: SiteCommitBegin, Action: chaos.Crash,
+		OnHit: ch.Hits(SiteCommitBegin) + 1})
+	tx, err := e.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert(tbl, Row{I(2), S("crashed"), I(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if cerr := tx.Commit(); !errors.Is(cerr, chaos.ErrCrashed) {
+		t.Fatalf("commit error = %v, want ErrCrashed", cerr)
+	}
+	if e.DurabilityLost() {
+		t.Fatal("commit-begin crash latched fail-stop; nothing diverged")
+	}
+	ch.ClearCrash()
+	// The aborted row is invisible; the engine keeps working.
+	got := snapshotTable(t, e, "users")
+	if len(got) != 1 {
+		t.Fatalf("%d rows visible, want 1", len(got))
+	}
+	insertUser(t, e, tbl, 0, 3, "after", 3)
+}
+
+// TestCheckpointMidCrashSite: a crash between checkpoint flushes fails the
+// checkpoint; the previous checkpoint stays the recovery anchor and a
+// post-restart checkpoint succeeds.
+func TestCheckpointMidCrashSite(t *testing.T) {
+	ch := chaos.New(4)
+	svc := srss.New(srss.Config{Chaos: ch})
+	e, err := Open(Config{Name: "ckpt-test", Service: svc, Workers: 2, LogStreams: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tbl := mustTable(t, e, usersSchema())
+	// Enough rows for several 64 KiB image flushes (~10 bytes per entry).
+	for i := int64(0); i < 15000; i++ {
+		insertUser(t, e, tbl, int(i%2), i, "row-payload-for-checkpoint-size", i)
+	}
+	first, err := e.Checkpoint()
+	if err != nil {
+		t.Fatalf("baseline checkpoint: %v", err)
+	}
+	ch.Arm(chaos.Rule{Site: SiteCheckpointMid, Action: chaos.Crash,
+		OnHit: ch.Hits(SiteCheckpointMid) + 1})
+	if _, err := e.Checkpoint(); !errors.Is(err, chaos.ErrCrashed) {
+		t.Fatalf("mid-crash checkpoint error = %v", err)
+	}
+	if e.LastCheckpointCSN() != first {
+		t.Fatalf("failed checkpoint advanced the anchor: %d != %d", e.LastCheckpointCSN(), first)
+	}
+	ch.ClearCrash()
+	insertUser(t, e, tbl, 0, 20000, "after-crash", 1)
+	second, err := e.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint after restart: %v", err)
+	}
+	if second <= first {
+		t.Fatalf("second checkpoint CSN %d <= first %d", second, first)
+	}
+}
+
+// TestWalGiveupLatchesFailStop: when the whole compute tier is down, the
+// bounded WAL retry gives up and the engine fail-stops with an error
+// wrapping srss.ErrNoHealthyNodes.
+func TestWalGiveupLatchesFailStop(t *testing.T) {
+	svc := srss.New(srss.Config{ComputeNodes: 3})
+	e, err := Open(Config{Name: "giveup-test", Service: svc, Workers: 2, LogStreams: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tbl := mustTable(t, e, usersSchema())
+	insertUser(t, e, tbl, 0, 1, "pre", 1)
+	for i := 0; i < 3; i++ {
+		svc.ComputeNode(i).Fail()
+	}
+	tx, err := e.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert(tbl, Row{I(2), S("doomed"), I(2)}); err != nil {
+		t.Fatal(err)
+	}
+	cerr := tx.Commit()
+	if !errors.Is(cerr, srss.ErrNoHealthyNodes) {
+		t.Fatalf("commit with tier down: %v, want wrapped ErrNoHealthyNodes", cerr)
+	}
+	if !e.DurabilityLost() {
+		t.Fatal("WAL giveup did not latch the fail-stop flag")
+	}
+	if _, err := e.Begin(0); !errors.Is(err, ErrDurabilityLost) {
+		t.Fatalf("Begin after giveup: %v, want ErrDurabilityLost", err)
+	}
+}

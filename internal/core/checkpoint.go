@@ -81,10 +81,20 @@ func (e *Engine) checkpointLocked() (uint64, error) {
 	buf := make([]byte, 0, 64<<10)
 	buf = append(buf, checkpointHeader)
 	entries := int64(0)
+	flushes := 0
 	flush := func() error {
 		if len(buf) == 0 {
 			return nil
 		}
+		if flushes > 0 {
+			if err := e.svc.Chaos().Check(SiteCheckpointMid); err != nil {
+				// Crash between image flushes: the partial checkpoint PLog
+				// is never registered in the manifest, so recovery anchors
+				// on the previous checkpoint.
+				return err
+			}
+		}
+		flushes++
 		_, err := plog.Append(buf)
 		buf = buf[:0]
 		return err
@@ -193,6 +203,12 @@ type RecoveryStats struct {
 	MaxCSN            uint64
 	ReplayDuration    time.Duration
 	IndexDuration     time.Duration
+	// TornTails counts checksum-invalid segment tails (torn writes from a
+	// crash mid-replication) that replay truncated at the last valid
+	// record; TruncatedBytes is the total tail bytes dropped. Truncated
+	// bytes were never acknowledged to any committer.
+	TornTails      int64
+	TruncatedBytes int64
 
 	// fenced carries the checkpoint-covered segment set to OpenReplica.
 	fenced []uint16
@@ -431,6 +447,7 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 	}
 	stats.RecordsScanned = scanned.Load()
 	stats.RecordsApplied = applied.Load()
+	stats.TornTails, stats.TruncatedBytes = log.TailTruncations()
 	stats.MaxCSN = maxCSN.Load()
 	if stats.CheckpointCSN > stats.MaxCSN {
 		stats.MaxCSN = stats.CheckpointCSN
@@ -462,6 +479,9 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 			return nil, nil, err
 		}
 		stats.IndexDuration = time.Since(ixStart)
+	}
+	if cfg.RepairInterval > 0 && !opt.readOnly {
+		e.stopRepair = e.svc.StartRepairer(cfg.RepairInterval)
 	}
 	return e, stats, nil
 }
@@ -645,10 +665,19 @@ func scanManifest(p *srss.PLog, fn func(typ byte, payload []byte) error) error {
 	}
 	pos := 0
 	for pos < len(b) {
+		start := pos
 		typ := b[pos]
 		pos++
 		l, w := binary.Uvarint(b[pos:])
 		if w <= 0 || pos+w+int(l) > len(b) {
+			// A record cut short at the very tail of a torn (half-replicated)
+			// PLog was never acknowledged: the append crashed mid-replication
+			// and the operation it was part of failed with it. Truncate
+			// logically, exactly like the WAL torn-tail rule. Genuine
+			// corruption (replicas agree on the bytes) still errors.
+			if p.Torn() || !p.ReplicasConsistentFrom(int64(start)) {
+				return nil
+			}
 			return fmt.Errorf("core: corrupt manifest at %d", pos)
 		}
 		pos += w

@@ -69,6 +69,12 @@ func (t *Txn) commitStart(durable func(error)) (bool, error) {
 		t.e.mCommits.Inc()
 		return false, nil
 	}
+	if err := t.e.svc.Chaos().Check(SiteCommitBegin); err != nil {
+		// Crash at the head of the commit pipeline: no CSN acquired, no
+		// version stamped, nothing handed to the log -- a clean abort.
+		_ = t.Abort()
+		return false, err
+	}
 
 	// Acquire the commit sequence number (atomic fetch-add on the global
 	// counter, Section 3.5).

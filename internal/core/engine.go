@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"hiengine/internal/chaos"
 	"hiengine/internal/clock"
 	"hiengine/internal/delay"
 	"hiengine/internal/index"
@@ -15,6 +17,24 @@ import (
 	"hiengine/internal/srss"
 	"hiengine/internal/wal"
 )
+
+// Chaos injection sites owned by this package. The engine inherits the
+// fault schedule from its SRSS service (srss.Config.Chaos).
+const (
+	// SiteCommitBegin fires at the head of the commit pipeline, before the
+	// CSN is acquired or any version is stamped: a crash here aborts the
+	// transaction cleanly -- nothing became visible and nothing was logged.
+	SiteCommitBegin = "core.commit.begin"
+	// SiteCheckpointMid fires between checkpoint-image flushes: a crash
+	// leaves a partial, unregistered checkpoint PLog; the previous
+	// checkpoint (if any) remains the recovery anchor.
+	SiteCheckpointMid = "core.checkpoint.mid"
+)
+
+func init() {
+	chaos.RegisterSite(SiteCommitBegin, "crash at commit start: clean abort, nothing visible or logged")
+	chaos.RegisterSite(SiteCheckpointMid, "crash between checkpoint flushes: partial unregistered image")
+}
 
 // Errors surfaced by the engine.
 var (
@@ -81,6 +101,11 @@ type Config struct {
 	// forward processing every N commits per worker (default 64; 0
 	// disables automatic GC).
 	GCEveryNCommits int
+	// RepairInterval starts the SRSS background replica repairer with the
+	// given sweep period: PLogs degraded by node failures are
+	// re-replicated onto healthy spares. 0 (the default) disables it;
+	// tests drive srss.Service.RepairOnce directly.
+	RepairInterval time.Duration
 	// Obs is the observability registry the engine (and the WAL and SRSS
 	// layers under it) records into. A fresh registry named after the
 	// engine is created when nil.
@@ -199,6 +224,10 @@ type Engine struct {
 	mGCPause        *obs.Histogram // nanoseconds per GC drain
 	mCheckpointDur  *obs.Histogram // nanoseconds per checkpoint
 
+	// stopRepair halts the background replica repairer (nil when
+	// RepairInterval is 0).
+	stopRepair func()
+
 	stats  Stats
 	closed atomic.Bool
 
@@ -248,6 +277,9 @@ func Open(cfg Config) (*Engine, error) {
 	metaID := log.Directory().MetaID()
 	if err := e.appendManifest(manifestWAL, metaID[:]); err != nil {
 		return nil, err
+	}
+	if cfg.RepairInterval > 0 {
+		e.stopRepair = e.svc.StartRepairer(cfg.RepairInterval)
 	}
 	return e, nil
 }
@@ -309,6 +341,9 @@ func (e *Engine) Workers() int { return len(e.workers) }
 func (e *Engine) Close() {
 	if e.closed.Swap(true) {
 		return
+	}
+	if e.stopRepair != nil {
+		e.stopRepair()
 	}
 	e.log.Close()
 }

@@ -21,15 +21,47 @@
 package srss
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hiengine/internal/chaos"
 	"hiengine/internal/delay"
 	"hiengine/internal/obs"
 )
+
+// Chaos injection sites owned by this package. See internal/chaos and the
+// DESIGN.md fault-model section for rule semantics.
+const (
+	// SiteAppendBefore fires before any replica receives bytes: a crash
+	// here loses the append entirely (nothing persisted, nothing acked).
+	SiteAppendBefore = "srss.append.before"
+	// SiteAppendTear fires mid-replication: each replica keeps an
+	// independently chosen prefix of the data, the PLog seals and is
+	// marked torn, and the crash latches. Recovery must detect and
+	// truncate the resulting checksum-invalid tail.
+	SiteAppendTear = "srss.append.tear"
+	// SiteAppendAfter fires after all replicas are durable but before the
+	// offset is returned: the data survives recovery, the ack is lost.
+	SiteAppendAfter = "srss.append.after"
+	// SiteRead fires on PLog reads and mmap-view accesses (crash or
+	// transient slowness on the read path).
+	SiteRead = "srss.read"
+	// SiteDestageMid fires between destage copy batches: a crash leaves a
+	// partial, unregistered storage-tier PLog behind.
+	SiteDestageMid = "srss.destage.mid"
+)
+
+func init() {
+	chaos.RegisterSite(SiteAppendBefore, "crash before replication: append lost entirely")
+	chaos.RegisterSite(SiteAppendTear, "torn replicated write: divergent replica prefixes, PLog seals, crash latches")
+	chaos.RegisterSite(SiteAppendAfter, "crash after replication: append durable, ack lost")
+	chaos.RegisterSite(SiteRead, "crash or slowness on PLog read / mmap access")
+	chaos.RegisterSite(SiteDestageMid, "crash between destage copy batches: partial archive PLog")
+}
 
 // Tier identifies where a PLog's replicas are placed.
 type Tier int
@@ -83,6 +115,24 @@ var (
 	ErrDeleted = errors.New("srss: plog deleted")
 )
 
+// PlacementError is the typed failure of replica placement: a tier had
+// fewer healthy nodes than the replication factor. It unwraps to
+// ErrNoHealthyNodes, so errors.Is checks keep working.
+type PlacementError struct {
+	Tier Tier
+	Need int // replication factor requested
+	Have int // healthy nodes available
+}
+
+// Error renders the placement failure.
+func (e *PlacementError) Error() string {
+	return fmt.Sprintf("srss: not enough healthy nodes: tier %v needs %d, have %d healthy",
+		e.Tier, e.Need, e.Have)
+}
+
+// Unwrap ties the typed error into the ErrNoHealthyNodes chain.
+func (e *PlacementError) Unwrap() error { return ErrNoHealthyNodes }
+
 // Config configures a simulated SRSS deployment.
 type Config struct {
 	// Model is the latency model; nil means delay.Zero().
@@ -99,6 +149,11 @@ type Config struct {
 	// ChunkSize is the allocation granularity of replica buffers. Reads
 	// wholly inside one chunk are zero-copy. Default 256 KiB.
 	ChunkSize int
+	// Chaos is the fault-injection engine driving the deployment's fault
+	// schedule. Nil (the default) disables injection entirely; layers
+	// above SRSS (wal, core) share this engine via Service.Chaos so one
+	// seed governs the whole stack.
+	Chaos *chaos.Engine
 }
 
 func (c *Config) fill() {
@@ -134,6 +189,15 @@ type Stats struct {
 	Seals          atomic.Int64
 	CrossLayerOps  atomic.Int64
 	ComputeTierOps atomic.Int64
+	// TornAppends counts chaos-injected torn replicated writes.
+	TornAppends atomic.Int64
+	// Repairs counts replicas re-replicated onto healthy nodes.
+	Repairs atomic.Int64
+	// RepairedPLogs counts PLogs restored to a fully healthy replica set.
+	RepairedPLogs atomic.Int64
+	// PlacementFailures counts replica placements rejected for lack of
+	// healthy nodes (PLog creation and repair).
+	PlacementFailures atomic.Int64
 }
 
 // Service is a simulated SRSS deployment: a set of compute nodes and storage
@@ -169,11 +233,14 @@ type Service struct {
 
 // obsMetrics is the set of handles recorded on the service hot paths.
 type obsMetrics struct {
-	appendLatency *obs.Histogram // charged append+replication latency, ns
-	readLatency   *obs.Histogram // charged read latency, ns
-	crossLayerOps *obs.Counter
-	computeOps    *obs.Counter
-	seals         *obs.Counter
+	appendLatency     *obs.Histogram // charged append+replication latency, ns
+	readLatency       *obs.Histogram // charged read latency, ns
+	crossLayerOps     *obs.Counter
+	computeOps        *obs.Counter
+	seals             *obs.Counter
+	tornAppends       *obs.Counter
+	repairs           *obs.Counter
+	placementFailures *obs.Counter
 }
 
 // AttachObs wires the service's hot paths to an observability registry.
@@ -184,11 +251,14 @@ func (s *Service) AttachObs(reg *obs.Registry) {
 		return
 	}
 	m := &obsMetrics{
-		appendLatency: reg.Histogram("srss.append_latency_ns"),
-		readLatency:   reg.Histogram("srss.read_latency_ns"),
-		crossLayerOps: reg.Counter("srss.cross_layer_ops"),
-		computeOps:    reg.Counter("srss.compute_tier_ops"),
-		seals:         reg.Counter("srss.seals"),
+		appendLatency:     reg.Histogram("srss.append_latency_ns"),
+		readLatency:       reg.Histogram("srss.read_latency_ns"),
+		crossLayerOps:     reg.Counter("srss.cross_layer_ops"),
+		computeOps:        reg.Counter("srss.compute_tier_ops"),
+		seals:             reg.Counter("srss.seals"),
+		tornAppends:       reg.Counter("srss.torn_appends"),
+		repairs:           reg.Counter("srss.repairs"),
+		placementFailures: reg.Counter("srss.placement_failures"),
 	}
 	s.obsM.CompareAndSwap(nil, m)
 }
@@ -253,6 +323,10 @@ func (s *Service) Model() *delay.Model { return s.cfg.Model }
 // Waiter exposes the latency sink.
 func (s *Service) Waiter() delay.Waiter { return s.cfg.Waiter }
 
+// Chaos exposes the fault-injection engine (nil when injection is off).
+// The wal and core layers share it so one seed drives the whole stack.
+func (s *Service) Chaos() *chaos.Engine { return s.cfg.Chaos }
+
 // ComputeNode returns compute node i (for failure injection in tests).
 func (s *Service) ComputeNode(i int) *Node { return s.computeNodes[i] }
 
@@ -292,8 +366,11 @@ func (s *Service) pickNodes(tier Tier) ([]*Node, error) {
 		}
 	}
 	if len(picked) < s.cfg.Replicas {
-		return nil, fmt.Errorf("%w: tier %v needs %d, have %d healthy",
-			ErrNoHealthyNodes, tier, s.cfg.Replicas, len(picked))
+		s.stats.PlacementFailures.Add(1)
+		if om := s.obsM.Load(); om != nil {
+			om.placementFailures.Inc()
+		}
+		return nil, &PlacementError{Tier: tier, Need: s.cfg.Replicas, Have: len(picked)}
 	}
 	return picked, nil
 }
@@ -309,9 +386,11 @@ func (s *Service) Create(tier Tier) (*PLog, error) {
 		tier: tier,
 		svc:  s,
 	}
+	reps := make([]*replica, 0, len(nodes))
 	for _, n := range nodes {
-		p.replicas = append(p.replicas, &replica{node: n, chunkSize: s.cfg.ChunkSize})
+		reps = append(reps, &replica{node: n, chunkSize: s.cfg.ChunkSize})
 	}
+	p.reps.Store(&reps)
 	s.mu.Lock()
 	s.plogs[p.id] = p
 	s.mu.Unlock()
@@ -441,6 +520,15 @@ func (r *replica) append(data []byte) {
 	r.size += int64(len(data))
 }
 
+// extent returns the replica's persisted length. Replica extents can
+// diverge from the PLog size (and from each other) only after a torn
+// write.
+func (r *replica) extent() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.size
+}
+
 // readAt copies len(p) bytes at off into p. The caller validated the range.
 func (r *replica) readAt(p []byte, off int64) {
 	r.mu.RLock()
@@ -480,12 +568,22 @@ type PLog struct {
 	tier Tier
 	svc  *Service
 
-	mu       sync.Mutex // serializes appends (SRSS appends are atomic)
-	size     atomic.Int64
-	sealed   atomic.Bool
-	deleted  atomic.Bool
-	replicas []*replica
+	mu      sync.Mutex // serializes appends and repair (SRSS appends are atomic)
+	size    atomic.Int64
+	sealed  atomic.Bool
+	deleted atomic.Bool
+	// torn marks a chaos-injected torn write: replica extents (and the
+	// bytes past the last acked append) may diverge; readers must route
+	// by extent and recovery must truncate the invalid tail.
+	torn atomic.Bool
+	// reps is the current replica set, an immutable slice swapped
+	// atomically so readers never lock; repair replaces failed-node
+	// replicas under p.mu (serialized against appends).
+	reps atomic.Pointer[[]*replica]
 }
+
+// replicaList returns the current replica set (immutable snapshot).
+func (p *PLog) replicaList() []*replica { return *p.reps.Load() }
 
 // ID returns the PLog's identifier.
 func (p *PLog) ID() PLogID { return p.id }
@@ -519,6 +617,11 @@ func (p *PLog) Append(data []byte) (int64, error) {
 	if len(data) == 0 {
 		return p.size.Load(), nil
 	}
+	ch := p.svc.cfg.Chaos
+	if err := ch.Check(SiteAppendBefore); err != nil {
+		// Crash before replication: the append is lost entirely.
+		return 0, fmt.Errorf("append to %v: %w", p.id, err)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.deleted.Load() {
@@ -532,41 +635,105 @@ func (p *PLog) Append(data []byte) (int64, error) {
 		return 0, fmt.Errorf("%w: %v (size %d + %d > %d)",
 			ErrFull, p.id, off, len(data), p.svc.cfg.MaxPLogSize)
 	}
-	for _, r := range p.replicas {
+	reps := p.replicaList()
+	for _, r := range reps {
 		if r.node.Failed() {
-			p.sealed.Store(true)
-			p.svc.stats.Seals.Add(1)
-			if om := p.svc.obsM.Load(); om != nil {
-				om.seals.Inc()
-			}
+			p.sealTornLocked(false)
 			return 0, fmt.Errorf("%w: %v (replica node %d failed mid-write)",
 				ErrSealed, p.id, r.node.ID)
 		}
 	}
+	if cuts, torn := ch.TearPlan(SiteAppendTear, len(data), len(reps)); torn {
+		// Torn replicated write: the writer died mid-replication. Each
+		// replica keeps its own prefix; the physical extent recovery will
+		// scan is the longest prefix, and it was never acked.
+		ext := 0
+		for i, r := range reps {
+			if cuts[i] > 0 {
+				r.append(data[:cuts[i]])
+			}
+			if cuts[i] > ext {
+				ext = cuts[i]
+			}
+		}
+		p.sealTornLocked(true)
+		p.size.Store(off + int64(ext))
+		p.svc.stats.TornAppends.Add(1)
+		if om := p.svc.obsM.Load(); om != nil {
+			om.tornAppends.Inc()
+		}
+		return 0, fmt.Errorf("torn append to %v (%d/%d bytes replicated): %w",
+			p.id, ext, len(data), chaos.ErrCrashed)
+	}
 	p.svc.chargeAppend(p.tier, len(data))
-	for _, r := range p.replicas {
+	for _, r := range reps {
 		r.append(data)
 	}
 	p.size.Store(off + int64(len(data)))
 	p.svc.stats.Appends.Add(1)
 	p.svc.stats.AppendBytes.Add(int64(len(data)))
+	if err := ch.Check(SiteAppendAfter); err != nil {
+		// Crash after replication: the bytes are durable on every
+		// replica (recovery will see them) but the ack never reaches the
+		// caller -- the classic ambiguous-commit window.
+		return 0, fmt.Errorf("append to %v durable but unacked: %w", p.id, err)
+	}
 	return off, nil
 }
 
-// healthyReplica returns a replica on a healthy node, or any replica if all
-// are failed (data outlives node liveness in the simulation).
-func (p *PLog) healthyReplica() *replica {
-	for _, r := range p.replicas {
+// sealTornLocked seals the PLog (and optionally marks it torn) under p.mu,
+// keeping the seal stats in one place.
+func (p *PLog) sealTornLocked(torn bool) {
+	if torn {
+		p.torn.Store(true)
+	}
+	if !p.sealed.Swap(true) {
+		p.svc.stats.Seals.Add(1)
+		if om := p.svc.obsM.Load(); om != nil {
+			om.seals.Inc()
+		}
+	}
+}
+
+// Torn reports whether a torn write was injected into this PLog: replica
+// contents past the last acked append may diverge.
+func (p *PLog) Torn() bool { return p.torn.Load() }
+
+// replicaFor returns a replica whose extent covers [0, end), preferring
+// healthy nodes; if none covers it (possible only on torn PLogs), the
+// longest replica wins. Data outlives node liveness in the simulation, so
+// an all-failed replica set still serves reads.
+func (p *PLog) replicaFor(end int64) *replica {
+	reps := p.replicaList()
+	var anyCovering, longest *replica
+	var longestExt int64 = -1
+	for _, r := range reps {
+		ext := r.extent()
+		if ext > longestExt {
+			longest, longestExt = r, ext
+		}
+		if ext < end {
+			continue
+		}
 		if !r.node.Failed() {
 			return r
 		}
+		if anyCovering == nil {
+			anyCovering = r
+		}
 	}
-	return p.replicas[0]
+	if anyCovering != nil {
+		return anyCovering
+	}
+	return longest
 }
 
 // ReadAt copies len(b) bytes from offset off into b, charging read latency.
 // Reads can be served by any replica (routed to a healthy one).
 func (p *PLog) ReadAt(b []byte, off int64) (int, error) {
+	if err := p.svc.cfg.Chaos.Check(SiteRead); err != nil {
+		return 0, fmt.Errorf("read of %v: %w", p.id, err)
+	}
 	if p.deleted.Load() {
 		return 0, fmt.Errorf("%w: %v", ErrDeleted, p.id)
 	}
@@ -574,7 +741,12 @@ func (p *PLog) ReadAt(b []byte, off int64) (int, error) {
 		return 0, fmt.Errorf("%w: [%d,+%d) of %d", ErrOutOfRange, off, len(b), p.size.Load())
 	}
 	p.svc.chargeRead(p.tier, len(b))
-	p.healthyReplica().readAt(b, off)
+	r := p.replicaFor(off + int64(len(b)))
+	if r.extent() < off+int64(len(b)) {
+		// Only reachable on a torn PLog: no replica covers the range.
+		return 0, fmt.Errorf("%w: [%d,+%d) torn at %d", ErrOutOfRange, off, len(b), r.extent())
+	}
+	r.readAt(b, off)
 	p.svc.stats.Reads.Add(1)
 	p.svc.stats.ReadBytes.Add(int64(len(b)))
 	return len(b), nil
@@ -603,6 +775,9 @@ func (v *View) PLog() *PLog { return v.plog }
 // internal chunk boundary.
 func (v *View) At(off int64, n int) ([]byte, error) {
 	p := v.plog
+	if err := p.svc.cfg.Chaos.Check(SiteRead); err != nil {
+		return nil, fmt.Errorf("view read of %v: %w", p.id, err)
+	}
 	if p.deleted.Load() {
 		return nil, fmt.Errorf("%w: %v", ErrDeleted, p.id)
 	}
@@ -610,34 +785,103 @@ func (v *View) At(off int64, n int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: [%d,+%d) of %d", ErrOutOfRange, off, n, p.size.Load())
 	}
 	p.svc.chargeRead(p.tier, n)
+	r := p.replicaFor(off + int64(n))
+	if r.extent() < off+int64(n) {
+		return nil, fmt.Errorf("%w: [%d,+%d) torn at %d", ErrOutOfRange, off, n, r.extent())
+	}
 	p.svc.stats.Reads.Add(1)
 	p.svc.stats.ReadBytes.Add(int64(n))
-	return p.healthyReplica().slice(off, n), nil
+	return r.slice(off, n), nil
 }
 
-// replicasEqual verifies that all replicas hold identical bytes; used by
-// invariant tests.
+// replicasEqual verifies that all replicas hold identical bytes over the
+// full durable extent; used by invariant tests. Torn PLogs fail this check
+// by design (replica extents diverge past the last acked append).
 func (p *PLog) replicasEqual() bool {
-	n := p.size.Load()
-	if n == 0 {
-		return true
-	}
-	ref := make([]byte, n)
-	p.replicas[0].readAt(ref, 0)
-	buf := make([]byte, n)
-	for _, r := range p.replicas[1:] {
-		r.readAt(buf, 0)
-		for i := range ref {
-			if ref[i] != buf[i] {
-				return false
-			}
-		}
-	}
-	return true
+	return p.ReplicasConsistentFrom(0)
 }
 
 // CheckReplicas is the exported invariant hook for tests.
 func (p *PLog) CheckReplicas() bool { return p.replicasEqual() }
+
+// Replicas returns the current replica count.
+func (p *PLog) Replicas() int { return len(p.replicaList()) }
+
+// ReplicaNodes returns the node IDs currently hosting replicas, in replica
+// order. Repair changes this set.
+func (p *PLog) ReplicaNodes() []int {
+	reps := p.replicaList()
+	ids := make([]int, len(reps))
+	for i, r := range reps {
+		ids[i] = r.node.ID
+	}
+	return ids
+}
+
+// ReplicaExtent returns the persisted length of replica i. Extents diverge
+// from Size (and from each other) only on torn PLogs.
+func (p *PLog) ReplicaExtent(i int) int64 {
+	reps := p.replicaList()
+	if i < 0 || i >= len(reps) {
+		return -1
+	}
+	return reps[i].extent()
+}
+
+// ReadReplicaAt reads from one specific replica, bypassing routing; recovery
+// uses it to cross-check replicas around a suspected torn tail. Returns the
+// number of bytes the replica could serve (short on torn replicas).
+func (p *PLog) ReadReplicaAt(i int, b []byte, off int64) (int, error) {
+	reps := p.replicaList()
+	if i < 0 || i >= len(reps) {
+		return 0, fmt.Errorf("%w: replica %d of %d", ErrOutOfRange, i, len(reps))
+	}
+	r := reps[i]
+	ext := r.extent()
+	if off < 0 || off > ext {
+		return 0, fmt.Errorf("%w: replica %d offset %d of %d", ErrOutOfRange, i, off, ext)
+	}
+	n := len(b)
+	if int64(n) > ext-off {
+		n = int(ext - off)
+	}
+	if n > 0 {
+		r.readAt(b[:n], off)
+	}
+	return n, nil
+}
+
+// ReplicasConsistentFrom reports whether every replica agrees byte-for-byte
+// from off to the physical end of the PLog: equal extents and equal
+// contents. A torn write leaves divergent suffixes, so recovery calls this
+// to distinguish "record half-written then crashed" (inconsistent or short
+// replicas => truncate) from genuine corruption.
+func (p *PLog) ReplicasConsistentFrom(off int64) bool {
+	reps := p.replicaList()
+	if len(reps) == 0 {
+		return true
+	}
+	ext := reps[0].extent()
+	for _, r := range reps[1:] {
+		if r.extent() != ext {
+			return false
+		}
+	}
+	if off >= ext {
+		return true
+	}
+	n := ext - off
+	ref := make([]byte, n)
+	reps[0].readAt(ref, off)
+	buf := make([]byte, n)
+	for _, r := range reps[1:] {
+		r.readAt(buf, off)
+		if !bytes.Equal(ref, buf) {
+			return false
+		}
+	}
+	return true
+}
 
 // Destage copies a compute-tier PLog into a new storage-tier PLog and
 // returns it. HiEngine destages the log tail to the storage tier in the
@@ -654,6 +898,13 @@ func (s *Service) Destage(p *PLog) (*PLog, error) {
 	buf := make([]byte, batch)
 	size := p.Size()
 	for off := int64(0); off < size; {
+		if off > 0 {
+			if err := s.cfg.Chaos.Check(SiteDestageMid); err != nil {
+				// Crash between copy batches: dst is a partial,
+				// unregistered storage PLog the directory never records.
+				return nil, fmt.Errorf("destage of %v at %d/%d: %w", p.id, off, size, err)
+			}
+		}
 		n := batch
 		if int64(n) > size-off {
 			n = int(size - off)
@@ -667,4 +918,178 @@ func (s *Service) Destage(p *PLog) (*PLog, error) {
 		off += int64(n)
 	}
 	return dst, nil
+}
+
+// ---------------------------------------------------------------------------
+// Replica repair
+//
+// When a replica node fails, the PLog seals and the writer moves on to a
+// fresh PLog -- but the sealed PLog keeps serving reads with a degraded
+// replica set. The repairer restores full redundancy in the background: for
+// each PLog with a failed replica node it copies the longest replica's
+// extent onto a healthy spare node and swaps the new replica into the set.
+// ---------------------------------------------------------------------------
+
+// degraded reports whether any replica sits on a failed node.
+func (p *PLog) degraded() bool {
+	for _, r := range p.replicaList() {
+		if r.node.Failed() {
+			return true
+		}
+	}
+	return false
+}
+
+// spareNodes returns healthy nodes in p's tier not already hosting a
+// replica of p.
+func (s *Service) spareNodes(p *PLog) []*Node {
+	pool := s.computeNodes
+	if p.tier == TierStorage {
+		pool = s.storageNodes
+	}
+	hosting := make(map[int]bool)
+	for _, r := range p.replicaList() {
+		hosting[r.node.ID] = true
+	}
+	var spares []*Node
+	for _, n := range pool {
+		if !n.Failed() && !hosting[n.ID] {
+			spares = append(spares, n)
+		}
+	}
+	return spares
+}
+
+// repairPLog re-replicates p onto healthy spare nodes until every replica
+// is healthy (or spares run out). It returns the number of replicas
+// replaced. Runs under p.mu so repair serializes with appends; readers keep
+// going lock-free against the old immutable replica slice until the swap.
+func (s *Service) repairPLog(p *PLog) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.deleted.Load() {
+		return 0, nil
+	}
+	old := p.replicaList()
+	// Source: the longest replica. After a torn write the longest prefix is
+	// the physical extent recovery scans, so repair must preserve it; node
+	// failure does not destroy data in the simulation (or in SRSS, where
+	// "failed" means unreachable, not erased), so reading from a failed
+	// node's replica is the degraded-but-correct path when it is longest.
+	var src *replica
+	for _, r := range old {
+		if src == nil || r.extent() > src.extent() {
+			src = r
+		}
+	}
+	if src == nil {
+		return 0, nil
+	}
+	spares := s.spareNodes(p)
+	replaced := 0
+	next := make([]*replica, len(old))
+	copy(next, old)
+	for i, r := range next {
+		if !r.node.Failed() {
+			continue
+		}
+		if len(spares) == 0 {
+			break
+		}
+		node := spares[0]
+		spares = spares[1:]
+		nr := &replica{node: node, chunkSize: s.cfg.ChunkSize}
+		ext := src.extent()
+		const batch = 1 << 20
+		buf := make([]byte, batch)
+		for off := int64(0); off < ext; {
+			n := batch
+			if int64(n) > ext-off {
+				n = int(ext - off)
+			}
+			src.readAt(buf[:n], off)
+			nr.append(buf[:n])
+			off += int64(n)
+		}
+		s.chargeAppend(p.tier, int(ext))
+		next[i] = nr
+		replaced++
+		s.stats.Repairs.Add(1)
+		if om := s.obsM.Load(); om != nil {
+			om.repairs.Inc()
+		}
+	}
+	if replaced == 0 {
+		if len(s.spareNodes(p)) == 0 {
+			return 0, &PlacementError{Tier: p.tier, Need: s.cfg.Replicas, Have: len(spares)}
+		}
+		return 0, nil
+	}
+	p.reps.Store(&next)
+	healthy := true
+	for _, r := range next {
+		if r.node.Failed() {
+			healthy = false
+			break
+		}
+	}
+	if healthy {
+		p.svc.stats.RepairedPLogs.Add(1)
+	}
+	return replaced, nil
+}
+
+// RepairOnce sweeps every live PLog and re-replicates degraded ones onto
+// healthy spares. It returns the number of replicas replaced. PLogs that
+// cannot be repaired (no spares) are skipped, not failed: the sweep is
+// best-effort and the next pass retries.
+func (s *Service) RepairOnce() (int, error) {
+	s.mu.RLock()
+	var degraded []*PLog
+	for _, p := range s.plogs {
+		if !p.deleted.Load() && p.degraded() {
+			degraded = append(degraded, p)
+		}
+	}
+	s.mu.RUnlock()
+	total := 0
+	var firstErr error
+	for _, p := range degraded {
+		n, err := s.repairPLog(p)
+		total += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
+}
+
+// StartRepairer runs RepairOnce every interval until the returned stop
+// function is called. Stop blocks until the loop exits.
+func (s *Service) StartRepairer(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.RepairOnce() //nolint:errcheck // best-effort sweep; next tick retries
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-exited
+		})
+	}
 }

@@ -29,9 +29,29 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hiengine/internal/chaos"
 	"hiengine/internal/obs"
 	"hiengine/internal/srss"
 )
+
+// Chaos injection sites owned by this package. The engine comes from the
+// backing srss.Service (Service.Chaos), so one seed drives the whole stack.
+const (
+	// SiteFlushBefore fires in the I/O goroutine before the group append:
+	// a crash here loses the whole batch (nothing durable, all commits
+	// failed).
+	SiteFlushBefore = "wal.flush.before_append"
+	// SiteFlushAfter fires after the group append is durable but before
+	// any commit is acknowledged: recovery replays the batch, but every
+	// caller saw an error -- the ambiguous-commit window at batch
+	// granularity.
+	SiteFlushAfter = "wal.flush.after_append"
+)
+
+func init() {
+	chaos.RegisterSite(SiteFlushBefore, "crash before group append: batch lost, commits failed")
+	chaos.RegisterSite(SiteFlushAfter, "crash after group append: batch durable, acks lost")
+}
 
 // Addr is the permanent address of a log record: segment ID in bits [48,64),
 // runtime metadata in bits [32,48) (unused on disk), and the byte offset
@@ -236,10 +256,19 @@ type Directory struct {
 	mu   sync.RWMutex
 	m    map[uint16]srss.PLogID
 	meta *srss.PLog
+
+	// metaID mirrors meta.ID() so MetaID never takes d.mu: the manifest
+	// migration path reads it from inside an onMetaChange callback that
+	// already holds d.mu (same goroutine), and an RLock there would
+	// self-deadlock.
+	metaID atomic.Pointer[srss.PLogID]
 }
 
 func newDirectory(svc *srss.Service, meta *srss.PLog) *Directory {
-	return &Directory{svc: svc, m: make(map[uint16]srss.PLogID), meta: meta}
+	d := &Directory{svc: svc, m: make(map[uint16]srss.PLogID), meta: meta}
+	id := meta.ID()
+	d.metaID.Store(&id)
+	return d
 }
 
 func encodeMapping(seg uint16, id srss.PLogID) [2 + 24]byte {
@@ -277,8 +306,13 @@ func (d *Directory) appendMapping(seg uint16, id srss.PLogID) error {
 		return werr
 	}
 	d.meta = fresh
+	fid := fresh.ID()
+	d.metaID.Store(&fid)
 	if d.onMetaChange != nil {
-		if nerr := d.onMetaChange(fresh.ID()); nerr != nil {
+		// The callback may itself migrate (e.g. a sealed manifest) and read
+		// MetaID; MetaID is lock-free so this re-entry is safe even though
+		// d.mu is still held here.
+		if nerr := d.onMetaChange(fid); nerr != nil {
 			return nerr
 		}
 	}
@@ -332,11 +366,11 @@ func (d *Directory) Segments() []uint16 {
 	return out
 }
 
-// MetaID returns the bootstrap PLog ID holding the directory.
+// MetaID returns the bootstrap PLog ID holding the directory. It is
+// lock-free (atomic mirror of d.meta) because manifest migration can call
+// it from inside the onMetaChange callback while d.mu is held.
 func (d *Directory) MetaID() srss.PLogID {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.meta.ID()
+	return *d.metaID.Load()
 }
 
 // RefreshDirectory re-reads the metadata PLog, picking up segments created
@@ -393,6 +427,9 @@ type Stream struct {
 	offset int64
 	batch  []commitReq
 	concat []byte
+	// backoff draws jitter for placement-failure retries; seeded from the
+	// chaos engine (or 0) so schedules stay reproducible.
+	backoff *chaos.Rand
 
 	// Stats.
 	appends      atomic.Int64
@@ -414,6 +451,13 @@ type Manager struct {
 	mRotates       *obs.Counter
 	mRetries       *obs.Counter // sealed/full appends retried on a fresh segment
 	mOversized     *obs.Counter // transactions rejected with ErrTooLarge
+	mGiveups       *obs.Counter // appends abandoned after exhausting retries
+	mTornTails     *obs.Counter // checksum-invalid tails truncated during scans
+
+	// Torn-tail truncation totals (also mirrored to obs); recovery reports
+	// them in its stats.
+	tailTruncs     atomic.Int64
+	tailTruncBytes atomic.Int64
 
 	nextSeg atomic.Uint32
 
@@ -497,9 +541,16 @@ func build(cfg Config, dir *Directory, nextSeg uint32) (*Manager, error) {
 	m.mRotates = cfg.Obs.Counter("wal.rotates")
 	m.mRetries = cfg.Obs.Counter("wal.append_retries")
 	m.mOversized = cfg.Obs.Counter("wal.oversized_rejects")
+	m.mGiveups = cfg.Obs.Counter("wal.append_giveups")
+	m.mTornTails = cfg.Obs.Counter("wal.torn_tail_truncations")
 	m.nextSeg.Store(nextSeg)
+	var seed uint64
+	if ch := cfg.Service.Chaos(); ch != nil {
+		seed = ch.Seed()
+	}
 	for i := 0; i < cfg.Streams; i++ {
 		st := &Stream{id: i, mgr: m, ch: make(chan commitReq, cfg.QueueDepth)}
+		st.backoff = chaos.NewRand(seed, fmt.Sprintf("wal.stream.%d.backoff", i))
 		if err := st.rotate(); err != nil {
 			return nil, err
 		}
@@ -672,8 +723,20 @@ func (st *Stream) flushBatch() {
 			}
 			continue
 		}
+		ch := st.mgr.cfg.Service.Chaos()
+		if err := ch.Check(SiteFlushBefore); err != nil {
+			// Crash before the group append: the whole batch is lost.
+			st.failRest(i, err)
+			return
+		}
 		base, err := st.appendWithRetry(st.concat)
 		if err != nil {
+			st.failRest(i, err)
+			return
+		}
+		if err := ch.Check(SiteFlushAfter); err != nil {
+			// Crash after the append: the batch is durable (recovery will
+			// replay it) but no commit is ever acknowledged.
 			st.failRest(i, err)
 			return
 		}
@@ -695,26 +758,59 @@ func (st *Stream) flushBatch() {
 	}
 }
 
+// maxAppendAttempts bounds appendWithRetry. Each failed attempt backs off
+// with seeded jitter, so a transient no-healthy-nodes window (nodes failing
+// and healing, or repair racing placement) can clear; if the outage
+// persists the stream gives up with a wrapped srss.ErrNoHealthyNodes that
+// the engine's fail-stop path latches.
+const maxAppendAttempts = 8
+
 // appendWithRetry appends data to the open segment, transparently retrying
 // on a sealed PLog (node failure) by rotating to a fresh segment, per the
-// SRSS contract.
+// SRSS contract. Retries are bounded: after maxAppendAttempts the append
+// fails with an error wrapping srss.ErrNoHealthyNodes rather than looping
+// while the whole tier is down.
 func (st *Stream) appendWithRetry(data []byte) (int64, error) {
-	for attempt := 0; attempt < 8; attempt++ {
+	var lastErr error
+	for attempt := 1; attempt <= maxAppendAttempts; attempt++ {
 		off, err := st.plog.Append(data)
 		if err == nil {
 			st.offset = off + int64(len(data))
 			return off, nil
 		}
-		if errors.Is(err, srss.ErrSealed) || errors.Is(err, srss.ErrFull) {
-			st.mgr.mRetries.Inc()
-			if rerr := st.rotate(); rerr != nil {
-				return 0, rerr
-			}
+		if errors.Is(err, chaos.ErrCrashed) {
+			// Simulated crash: the process is dead, retrying is meaningless.
+			return 0, err
+		}
+		if !errors.Is(err, srss.ErrSealed) && !errors.Is(err, srss.ErrFull) {
+			return 0, err
+		}
+		st.mgr.mRetries.Inc()
+		rerr := st.rotate()
+		if rerr == nil {
 			continue
 		}
-		return 0, err
+		if errors.Is(rerr, chaos.ErrCrashed) {
+			return 0, rerr
+		}
+		if !errors.Is(rerr, srss.ErrNoHealthyNodes) {
+			return 0, rerr
+		}
+		// Transient placement failure: back off with seeded jitter before
+		// retrying (a node may heal or repair may free a spare).
+		lastErr = rerr
+		d := time.Duration(attempt)*50*time.Microsecond +
+			time.Duration(st.backoff.Intn(150))*time.Microsecond
+		time.Sleep(d)
 	}
-	return 0, fmt.Errorf("wal: append retries exhausted on stream %d", st.id)
+	st.mgr.mGiveups.Inc()
+	if lastErr == nil {
+		// Every rotation succeeded but every append hit a freshly failed
+		// node: the tier is effectively unavailable.
+		lastErr = srss.ErrNoHealthyNodes
+	}
+	return 0, fmt.Errorf("wal: stream %d gave up after %d append attempts: %w",
+		st.id, maxAppendAttempts, lastErr)
 }
 
 func (st *Stream) failRest(from int, err error) {
@@ -823,7 +919,18 @@ func (m *Manager) ScanSegmentFrom(seg uint16, from int64, fn func(addr Addr, rec
 	for pos < len(b) {
 		rec, n, err := DecodeRecord(b[pos:])
 		if err != nil {
-			return from + int64(pos), fmt.Errorf("wal: segment %d at %d: %w", seg, from+int64(pos), err)
+			abs := from + int64(pos)
+			if m.tornTailAt(v.PLog(), abs) {
+				// Torn tail: the writer died mid-replication, leaving a
+				// partially materialized final record. Truncate the scan at
+				// the last valid record; the bytes past abs were never
+				// acked to any committer, so dropping them is correct.
+				m.mTornTails.Inc()
+				m.tailTruncs.Add(1)
+				m.tailTruncBytes.Add(size - abs)
+				return abs, nil
+			}
+			return abs, fmt.Errorf("wal: segment %d at %d: %w", seg, abs, err)
 		}
 		if !fn(MakeAddr(seg, uint32(from+int64(pos))), rec) {
 			return from + int64(pos), nil
@@ -831,6 +938,25 @@ func (m *Manager) ScanSegmentFrom(seg uint16, from int64, fn func(addr Addr, rec
 		pos += n
 	}
 	return from + int64(pos), nil
+}
+
+// tornTailAt classifies a decode failure at absolute offset abs of segment
+// PLog p: is it a torn write tail (truncate and continue) or genuine
+// corruption (fail the scan)? A tail is torn when the PLog recorded a torn
+// write, or when the replicas disagree from abs onward -- divergent replica
+// suffixes can only be left by a writer dying mid-replication, because
+// acknowledged appends are replica-identical by construction.
+func (m *Manager) tornTailAt(p *srss.PLog, abs int64) bool {
+	if p == nil {
+		return false
+	}
+	return p.Torn() || !p.ReplicasConsistentFrom(abs)
+}
+
+// TailTruncations reports how many checksum-invalid segment tails scans have
+// truncated, and how many bytes were dropped.
+func (m *Manager) TailTruncations() (count, bytes int64) {
+	return m.tailTruncs.Load(), m.tailTruncBytes.Load()
 }
 
 // RotateAll forces every stream onto a fresh segment and returns once all
