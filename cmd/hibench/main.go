@@ -9,6 +9,12 @@
 //	hibench -exp fig5a            # one experiment
 //	hibench -exp fig6 -quick      # reduced scale (CI-sized)
 //	hibench -list                 # list experiment IDs
+//
+// Networked mode (wire-protocol throughput, see netbench.go):
+//
+//	hibench -serve :7609                    # run a server and block
+//	hibench -connect host:port -clients 8   # drive a remote server
+//	hibench -netlocal -clients 8            # loopback vs in-process
 package main
 
 import (
@@ -29,8 +35,38 @@ func main() {
 		stats    = flag.Bool("stats", false, "append the HiEngine obs snapshot (latency percentiles, batch sizes, GC) to each report")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		verbose  = flag.Bool("v", false, "print progress lines")
+
+		serve    = flag.String("serve", "", "networked mode: listen on this address and serve")
+		connect  = flag.String("connect", "", "networked mode: drive the server at host:port")
+		netlocal = flag.Bool("netlocal", false, "networked mode: loopback server vs in-process comparison")
+		clients  = flag.Int("clients", 8, "networked mode: concurrent client sessions")
 	)
 	flag.Parse()
+
+	if *serve != "" || *connect != "" || *netlocal {
+		workers := *threads
+		if workers <= 0 {
+			workers = 8
+		}
+		d := *duration
+		if d <= 0 {
+			d = 3 * time.Second
+		}
+		var err error
+		switch {
+		case *serve != "":
+			err = netServe(*serve, workers)
+		case *connect != "":
+			err = netConnect(*connect, *clients, d)
+		default:
+			err = netLocal(*clients, workers, d)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hibench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, r := range bench.All() {

@@ -1,0 +1,271 @@
+// Networked benchmark mode: measures throughput through the wire protocol
+// (hiserver + pooled client) against the same workload run in-process, so
+// the cost of the network service layer is a number, not a guess.
+//
+//	hibench -serve :7609                  # run a server and block
+//	hibench -connect host:port -clients 8 # drive a remote server
+//	hibench -netlocal -clients 8          # loopback server + in-process baseline
+//
+// The workload is a fixed OLTP-ish mix per client: an explicit
+// transaction of two inserts (committed through the pipelined path),
+// then a point select. Clients own disjoint key ranges, so the measured
+// number is service-layer cost, not conflict behavior.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hiengine/internal/adapt"
+	"hiengine/internal/client"
+	"hiengine/internal/core"
+	"hiengine/internal/delay"
+	"hiengine/internal/obs"
+	"hiengine/internal/server"
+	"hiengine/internal/sqlfront"
+	"hiengine/internal/srss"
+)
+
+const netbenchSchema = "CREATE TABLE netbench (id INT, c TEXT, PRIMARY KEY(id))"
+
+func netFrontend(workers int) (*sqlfront.Frontend, *core.Engine, error) {
+	engine, err := core.Open(core.Config{
+		Service: srss.New(srss.Config{Model: delay.Zero()}),
+		Workers: workers,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sqlfront.NewFrontend("hiengine", adapt.New(engine)), engine, nil
+}
+
+// netServe runs a plain server (zero latency model: the wire is the
+// experiment) and blocks until SIGINT/SIGTERM drains it.
+func netServe(addr string, workers int) error {
+	front, engine, err := netFrontend(workers)
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	srv, err := server.New(server.Config{
+		Frontend:    front,
+		WorkerSlots: engine.Workers(),
+		Obs:         engine.Obs(),
+		Stats: func() string {
+			s := engine.Stats()
+			return fmt.Sprintf("commits=%d aborts=%d conflicts=%d\n",
+				s.Commits.Load(), s.Aborts.Load(), s.Conflicts.Load())
+		},
+	})
+	if err != nil {
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		srv.Close()
+	}()
+	fmt.Fprintf(os.Stderr, "hibench: serving on %s (SIGINT to drain)\n", addr)
+	return srv.ListenAndServe(addr)
+}
+
+// netConnect drives a remote server with nClients sessions for d and
+// prints the throughput report.
+func netConnect(addr string, nClients int, d time.Duration) error {
+	cl, err := client.New(client.Options{Addr: addr, PoolSize: nClients})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		return fmt.Errorf("ping %s: %v", addr, err)
+	}
+	if _, err := cl.Exec(netbenchSchema); err != nil {
+		// A table left over from a previous run is fine: keys are salted.
+		fmt.Fprintf(os.Stderr, "hibench: create table: %v (continuing)\n", err)
+	}
+	base := time.Now().UnixNano() % (1 << 40) // salt keys across runs
+	txns, lat, err := netDrive(nClients, d, base, func(i int) (netSession, error) {
+		s, err := cl.Session()
+		if err != nil {
+			return netSession{}, err
+		}
+		return netSession{
+			txn: func(k1, k2 int64) error {
+				if err := s.Begin(); err != nil {
+					return err
+				}
+				if _, err := s.Exec("INSERT INTO netbench VALUES (?, ?)", core.I(k1), core.S("v")); err != nil {
+					s.Rollback()
+					return err
+				}
+				if _, err := s.Exec("INSERT INTO netbench VALUES (?, ?)", core.I(k2), core.S("v")); err != nil {
+					s.Rollback()
+					return err
+				}
+				return s.Commit()
+			},
+			query: func(k int64) error {
+				_, err := s.Exec("SELECT c FROM netbench WHERE id = ?", core.I(k))
+				return err
+			},
+			close: s.Close,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	printNetReport("wire "+addr, nClients, d, txns, lat)
+	return nil
+}
+
+// netLocal runs the loopback comparison: the identical workload through a
+// 127.0.0.1 server and directly against the in-process frontend.
+func netLocal(nClients, workers int, d time.Duration) error {
+	// --- over the wire ---------------------------------------------------
+	front, engine, err := netFrontend(workers)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{Frontend: front, WorkerSlots: workers, Obs: engine.Obs()})
+	if err != nil {
+		engine.Close()
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		engine.Close()
+		return err
+	}
+	go srv.Serve(ln)
+	err = netConnect(ln.Addr().String(), nClients, d)
+	srv.Close()
+	engine.Close()
+	if err != nil {
+		return err
+	}
+
+	// --- in-process ------------------------------------------------------
+	front2, engine2, err := netFrontend(workers)
+	if err != nil {
+		return err
+	}
+	defer engine2.Close()
+	if _, err := front2.NewSession(0).Exec(netbenchSchema); err != nil {
+		return err
+	}
+	// Worker slots are leased per transaction, exactly as the server
+	// leases them, so nClients may exceed workers here too.
+	slots := make(chan int, workers)
+	for i := 0; i < workers; i++ {
+		slots <- i
+	}
+	txns, lat, err := netDrive(nClients, d, 1<<41, func(i int) (netSession, error) {
+		sess := front2.NewSession(0)
+		return netSession{
+			txn: func(k1, k2 int64) error {
+				slot := <-slots
+				defer func() { slots <- slot }()
+				sess.SetWorker(slot)
+				for _, stmt := range []struct {
+					sql  string
+					args []core.Value
+				}{
+					{"BEGIN", nil},
+					{"INSERT INTO netbench VALUES (?, ?)", []core.Value{core.I(k1), core.S("v")}},
+					{"INSERT INTO netbench VALUES (?, ?)", []core.Value{core.I(k2), core.S("v")}},
+					{"COMMIT", nil},
+				} {
+					if _, err := sess.Exec(stmt.sql, stmt.args...); err != nil {
+						if sess.InTxn() {
+							sess.Rollback()
+						}
+						return err
+					}
+				}
+				return nil
+			},
+			query: func(k int64) error {
+				slot := <-slots
+				defer func() { slots <- slot }()
+				sess.SetWorker(slot)
+				_, err := sess.Exec("SELECT c FROM netbench WHERE id = ?", core.I(k))
+				return err
+			},
+			close: func() {},
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	printNetReport("in-process", nClients, d, txns, lat)
+	return nil
+}
+
+// netSession is the driver-facing shape shared by both backends.
+type netSession struct {
+	txn   func(k1, k2 int64) error
+	query func(k int64) error
+	close func()
+}
+
+// netDrive runs the fixed mix on nClients concurrent sessions for d.
+func netDrive(nClients int, d time.Duration, keyBase int64, open func(i int) (netSession, error)) (int64, *obs.Histogram, error) {
+	var (
+		txns int64
+		lat  obs.Histogram
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		errs = make(chan error, nClients)
+	)
+	for i := 0; i < nClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := open(i)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer s.close()
+			key := keyBase + int64(i)<<22
+			for j := int64(0); !stop.Load(); j++ {
+				start := time.Now()
+				k1, k2 := key+2*j, key+2*j+1
+				if err := s.txn(k1, k2); err != nil {
+					errs <- fmt.Errorf("client %d txn: %w", i, err)
+					return
+				}
+				if err := s.query(k1); err != nil {
+					errs <- fmt.Errorf("client %d query: %w", i, err)
+					return
+				}
+				lat.Record(time.Since(start).Nanoseconds())
+				atomic.AddInt64(&txns, 1)
+			}
+		}(i)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return 0, nil, err
+	default:
+	}
+	return txns, &lat, nil
+}
+
+func printNetReport(label string, nClients int, d time.Duration, txns int64, lat *obs.Histogram) {
+	fmt.Printf("netbench %-20s clients=%-3d dur=%-5v txns=%-8d thru=%8.0f txn/s  p50=%v p95=%v p99=%v max=%v\n",
+		label, nClients, d, txns, float64(txns)/d.Seconds(),
+		time.Duration(lat.Quantile(0.50)), time.Duration(lat.Quantile(0.95)),
+		time.Duration(lat.Quantile(0.99)), time.Duration(lat.Max()))
+}

@@ -1,0 +1,120 @@
+// Command hiserver runs HiEngine as a network daemon: the cloud-service
+// shape of the paper's Figure 3, one SQL frontend in front of registered
+// storage engines, serving remote sessions over the internal/wire
+// protocol. The storage-centric baseline is registered as a second engine
+// (WITH ENGINE=innodb) so a remote session can drive the vertical
+// multi-engine deployment.
+//
+// Usage:
+//
+//	hiserver -addr :7609
+//	hishell -connect localhost:7609     # remote REPL
+//	hibench -connect localhost:7609 ... # remote load
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener closes, new
+// requests are refused with the fatal wire code, and in-flight commits
+// finish durably before the process exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hiengine/internal/adapt"
+	"hiengine/internal/baseline/innosim"
+	"hiengine/internal/chaos"
+	"hiengine/internal/core"
+	"hiengine/internal/delay"
+	"hiengine/internal/obs"
+	"hiengine/internal/server"
+	"hiengine/internal/sqlfront"
+	"hiengine/internal/srss"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7609", "listen address")
+		workers     = flag.Int("workers", 8, "engine worker slots (max concurrent transactions)")
+		maxConns    = flag.Int("max-conns", 256, "max concurrent connections")
+		maxInflight = flag.Int("max-inflight", 4096, "max admitted unanswered requests")
+		drain       = flag.Duration("drain", 5*time.Second, "graceful-drain timeout on shutdown")
+		profile     = flag.String("profile", "cloud", "latency model: cloud or zero")
+	)
+	flag.Parse()
+
+	model := delay.CloudProfile()
+	if *profile == "zero" {
+		model = delay.Zero()
+	}
+	var eng *chaos.Engine
+	if seed, ok := chaos.SeedFromEnv(); ok {
+		eng = chaos.New(seed)
+		fmt.Fprintf(os.Stderr, "hiserver: chaos enabled, seed %d\n", seed)
+	}
+
+	reg := obs.NewRegistry("hiserver")
+	engine, err := core.Open(core.Config{
+		Service: srss.New(srss.Config{Model: model, Chaos: eng}),
+		Workers: *workers,
+		Obs:     reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiserver:", err)
+		os.Exit(1)
+	}
+	defer engine.Close()
+
+	inno, err := innosim.New(innosim.Config{Service: srss.New(srss.Config{Model: model})})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiserver:", err)
+		os.Exit(1)
+	}
+	defer inno.Close()
+
+	front := sqlfront.NewFrontend("hiengine", adapt.New(engine))
+	front.Register("innodb", inno)
+
+	srv, err := server.New(server.Config{
+		Frontend:     front,
+		WorkerSlots:  engine.Workers(),
+		MaxConns:     *maxConns,
+		MaxInFlight:  *maxInflight,
+		DrainTimeout: *drain,
+		Obs:          reg,
+		Chaos:        eng,
+		Stats: func() string {
+			s := engine.Stats()
+			return fmt.Sprintf("commits=%d aborts=%d conflicts=%d reclaimed=%d checkpoints=%d compactions=%d log=%dB\n",
+				s.Commits.Load(), s.Aborts.Load(), s.Conflicts.Load(),
+				s.ReclaimedVersions.Load(), s.Checkpoints.Load(), s.Compactions.Load(),
+				engine.Log().TotalBytes())
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiserver:", err)
+		os.Exit(1)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "hiserver: draining...")
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "hiserver: drain:", err)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "hiserver: engines hiengine (default), innodb; listening on %s\n", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "hiserver:", err)
+		os.Exit(1)
+	}
+	// Serve returned after drain: wait for Close to finish tearing down.
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "hiserver: drained, bye")
+}

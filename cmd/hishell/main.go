@@ -8,47 +8,78 @@
 //	SELECT * FROM fast WHERE id = 1
 //	BEGIN / COMMIT / ROLLBACK
 //
+// With -connect host:port the same REPL drives a remote hiserver through
+// the pooled wire-protocol client instead of an in-process engine;
+// \stats is served via the stats opcode. Engine-maintenance meta commands
+// (\checkpoint, \gc, \compact) are in-process only.
+//
 // Meta commands: \q quit, \stats engine counters, \checkpoint, \gc, \compact.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"hiengine/internal/adapt"
 	"hiengine/internal/baseline/innosim"
+	"hiengine/internal/client"
 	"hiengine/internal/core"
 	"hiengine/internal/delay"
 	"hiengine/internal/sqlfront"
 	"hiengine/internal/srss"
+	"hiengine/internal/wire"
 )
 
+// session abstracts the REPL's backend: an in-process sqlfront session or
+// a remote wire-protocol session.
+type session interface {
+	Exec(sql string, args ...core.Value) (*wire.Result, error)
+	InTxn() bool
+	Stats() (string, error)
+}
+
 func main() {
-	model := delay.CloudProfile()
-	engine, err := core.Open(core.Config{
-		Service: srss.New(srss.Config{Model: model}),
-		Workers: 8,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hishell:", err)
-		os.Exit(1)
+	connect := flag.String("connect", "", "drive a remote hiserver at host:port instead of an in-process engine")
+	flag.Parse()
+
+	var (
+		sess  session
+		local *localBackend
+	)
+	if *connect != "" {
+		cl, err := client.New(client.Options{Addr: *connect})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hishell:", err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+		s, err := cl.Session()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hishell: connect:", err)
+			os.Exit(1)
+		}
+		defer s.Close()
+		if err := s.Ping(); err != nil {
+			fmt.Fprintln(os.Stderr, "hishell: connect:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("HiEngine shell -- connected to %s. \\q to quit.\n", *connect)
+		sess = s
+	} else {
+		var err error
+		local, err = newLocalBackend()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hishell:", err)
+			os.Exit(1)
+		}
+		defer local.close()
+		fmt.Println("HiEngine shell -- engines: hiengine (default), innodb. \\q to quit.")
+		sess = local
 	}
-	defer engine.Close()
 
-	inno, err := innosim.New(innosim.Config{Service: srss.New(srss.Config{Model: model})})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hishell:", err)
-		os.Exit(1)
-	}
-	defer inno.Close()
-
-	front := sqlfront.NewFrontend("hiengine", adapt.New(engine))
-	front.Register("innodb", inno)
-	sess := front.NewSession(0)
-
-	fmt.Println("HiEngine shell -- engines: hiengine (default), innodb. \\q to quit.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -67,15 +98,19 @@ func main() {
 		case line == `\q` || line == "exit" || line == "quit":
 			return
 		case line == `\stats`:
-			s := engine.Stats()
-			fmt.Printf("commits=%d aborts=%d conflicts=%d reclaimed=%d checkpoints=%d compactions=%d log=%dB\n",
-				s.Commits.Load(), s.Aborts.Load(), s.Conflicts.Load(),
-				s.ReclaimedVersions.Load(), s.Checkpoints.Load(), s.Compactions.Load(),
-				engine.Log().TotalBytes())
-			fmt.Print(engine.Obs().Snapshot())
+			text, err := sess.Stats()
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(text)
+			}
 			continue
 		case line == `\checkpoint`:
-			csn, err := engine.Checkpoint()
+			if local == nil {
+				fmt.Println("error: \\checkpoint is in-process only")
+				continue
+			}
+			csn, err := local.engine.Checkpoint()
 			if err != nil {
 				fmt.Println("error:", err)
 			} else {
@@ -83,10 +118,18 @@ func main() {
 			}
 			continue
 		case line == `\gc`:
-			fmt.Printf("reclaimed %d versions\n", engine.RunGC())
+			if local == nil {
+				fmt.Println("error: \\gc is in-process only")
+				continue
+			}
+			fmt.Printf("reclaimed %d versions\n", local.engine.RunGC())
 			continue
 		case line == `\compact`:
-			stats, err := engine.CompactFull()
+			if local == nil {
+				fmt.Println("error: \\compact is in-process only")
+				continue
+			}
+			stats, err := local.engine.CompactFull()
 			if err != nil {
 				fmt.Println("error:", err)
 			} else {
@@ -115,4 +158,55 @@ func main() {
 			fmt.Println("OK")
 		}
 	}
+}
+
+// localBackend is the in-process deployment: engine + baseline behind one
+// SQL frontend, as before the network layer existed.
+type localBackend struct {
+	engine *core.Engine
+	inno   *innosim.DB
+	sess   *sqlfront.Session
+}
+
+func newLocalBackend() (*localBackend, error) {
+	model := delay.CloudProfile()
+	engine, err := core.Open(core.Config{
+		Service: srss.New(srss.Config{Model: model}),
+		Workers: 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inno, err := innosim.New(innosim.Config{Service: srss.New(srss.Config{Model: model})})
+	if err != nil {
+		engine.Close()
+		return nil, err
+	}
+	front := sqlfront.NewFrontend("hiengine", adapt.New(engine))
+	front.Register("innodb", inno)
+	return &localBackend{engine: engine, inno: inno, sess: front.NewSession(0)}, nil
+}
+
+func (l *localBackend) close() {
+	l.inno.Close()
+	l.engine.Close()
+}
+
+func (l *localBackend) InTxn() bool { return l.sess.InTxn() }
+
+func (l *localBackend) Exec(sql string, args ...core.Value) (*wire.Result, error) {
+	res, err := l.sess.Exec(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.Result{Rows: res.Rows, Columns: res.Columns, Affected: res.Affected}, nil
+}
+
+func (l *localBackend) Stats() (string, error) {
+	s := l.engine.Stats()
+	head := fmt.Sprintf("commits=%d aborts=%d conflicts=%d reclaimed=%d checkpoints=%d compactions=%d log=%dB\n",
+		s.Commits.Load(), s.Aborts.Load(), s.Conflicts.Load(),
+		s.ReclaimedVersions.Load(), s.Checkpoints.Load(), s.Compactions.Load(),
+		l.engine.Log().TotalBytes())
+	return head + l.engine.Obs().Snapshot().String(), nil
 }

@@ -41,6 +41,13 @@ import (
 // the crash with errors.Is and restart via recovery.
 var ErrCrashed = errors.New("chaos: simulated crash")
 
+// ErrInjected is the transient-fault error: a Fault rule fired at a site.
+// Unlike ErrCrashed it does NOT latch -- only the faulted operation fails
+// (a rejected accept, a dropped connection), the process lives on. Callers
+// scope the blast radius: the network layer fails one connection, never
+// the server.
+var ErrInjected = errors.New("chaos: injected fault")
+
 // Action is what a rule does when it fires.
 type Action uint8
 
@@ -53,6 +60,10 @@ const (
 	Tear
 	// Delay injects extra latency at the site and continues.
 	Delay
+	// Fault fails the single operation with ErrInjected without latching
+	// a crash: the component degrades (drops a connection, rejects an
+	// accept) but the process keeps serving.
+	Fault
 )
 
 // String names the action.
@@ -64,6 +75,8 @@ func (a Action) String() string {
 		return "tear"
 	case Delay:
 		return "delay"
+	case Fault:
+		return "fault"
 	default:
 		return fmt.Sprintf("action(%d)", uint8(a))
 	}
@@ -305,7 +318,8 @@ func (e *Engine) decide(site string, hit int64) *armedRule {
 // Check is the generic injection point. It counts a hit of the site, then:
 // if the engine has already crashed, returns ErrCrashed immediately; if a
 // Delay rule fires, sleeps and returns nil; if a Crash rule fires, latches
-// the crash and returns ErrCrashed. Tear rules never fire through Check
+// the crash and returns ErrCrashed; if a Fault rule fires, returns
+// ErrInjected without latching. Tear rules never fire through Check
 // (they need the replica fan-out of TearPlan). Nil engines return nil.
 func (e *Engine) Check(site string) error {
 	if e == nil {
@@ -331,6 +345,9 @@ func (e *Engine) Check(site string) error {
 		st.fired.Add(1)
 		e.crashed.Store(true)
 		return fmt.Errorf("%w (at %s, hit %d)", ErrCrashed, site, hit)
+	case Fault:
+		st.fired.Add(1)
+		return fmt.Errorf("%w (at %s, hit %d)", ErrInjected, site, hit)
 	default:
 		return nil // Tear rules are evaluated by TearPlan only
 	}

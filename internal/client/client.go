@@ -1,0 +1,589 @@
+// Package client is the connection-pooled HiEngine wire-protocol client.
+//
+// A Client owns a bounded pool of TCP connections to one server. Each
+// server connection is one server-side session, so session-scoped work
+// (BEGIN...COMMIT) leases a connection via Session and pins it until the
+// session closes. Requests are multiplexed by request ID: every
+// connection runs one reader goroutine that dispatches responses to
+// waiting futures, so pipelined requests (several in flight before the
+// first response, notably commits answered only at durability) complete
+// out of order exactly as the server sends them.
+//
+// Failure handling mirrors the wire contract:
+//
+//   - Wire errors rehydrate as *wire.Error, whose Unwrap exposes the
+//     originating sentinel: errors.Is(err, engineapi.ErrConflict),
+//     errors.Is(err, core.ErrClosed) etc. hold across the wire exactly as
+//     in-process.
+//   - Retry is limited to the retryable codes (conflict, busy), with
+//     seeded-jitter exponential backoff, and only outside transactions
+//     (a conflict aborts the server-side transaction; replaying one
+//     statement of it would be wrong). Fatal codes -- a closed or
+//     fail-stopped engine -- and I/O errors are never retried: a killed
+//     server makes clients fail fast, not retry-storm.
+//   - A connection that times out, tears a frame, or yields any I/O error
+//     is discarded, never returned to the pool.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"hiengine/internal/chaos"
+	"hiengine/internal/core"
+	"hiengine/internal/wire"
+)
+
+// ErrClientClosed is returned by operations on a closed Client.
+var ErrClientClosed = errors.New("client: closed")
+
+// Options configures a Client.
+type Options struct {
+	// Addr is the server address (host:port). Required.
+	Addr string
+	// PoolSize bounds pooled connections = concurrent sessions
+	// (default 8).
+	PoolSize int
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds each request round trip, and acquiring a
+	// session when the pool is exhausted (default 10s).
+	RequestTimeout time.Duration
+	// MaxRetries bounds retry attempts after a retryable wire error
+	// (default 4; 0 disables retry).
+	MaxRetries int
+	// RetryBase / RetryMax shape the backoff: attempt i sleeps a
+	// jittered duration around RetryBase<<i, capped at RetryMax
+	// (defaults 2ms / 250ms).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed seeds the deterministic backoff jitter (default 1).
+	Seed uint64
+}
+
+func (o *Options) fill() {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 8
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 4
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 2 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 250 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Client is a pooled wire-protocol client for one server.
+type Client struct {
+	opts   Options
+	tokens chan struct{} // pool capacity
+
+	mu     sync.Mutex
+	idle   []*wconn
+	rng    *chaos.Rand
+	closed bool
+}
+
+// New builds a client. No connection is dialed until first use.
+func New(opts Options) (*Client, error) {
+	if opts.Addr == "" {
+		return nil, errors.New("client: Options.Addr is required")
+	}
+	opts.fill()
+	c := &Client{
+		opts:   opts,
+		tokens: make(chan struct{}, opts.PoolSize),
+		rng:    chaos.NewRand(opts.Seed, "client.retry"),
+	}
+	for i := 0; i < opts.PoolSize; i++ {
+		c.tokens <- struct{}{}
+	}
+	return c, nil
+}
+
+// Close closes the client and its idle connections. Leased sessions fail
+// on their next use.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, w := range idle {
+		w.fail(ErrClientClosed)
+	}
+}
+
+// backoff sleeps the jittered exponential backoff for attempt (0-based).
+func (c *Client) backoff(attempt int) {
+	d := c.opts.RetryBase << uint(attempt)
+	if d > c.opts.RetryMax {
+		d = c.opts.RetryMax
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Uint64() % uint64(d/2+1))
+	c.mu.Unlock()
+	time.Sleep(d/2 + j)
+}
+
+// retryable reports whether err may be retried (retryable wire codes
+// only; I/O and fatal errors fail fast).
+func retryable(err error) bool {
+	var we *wire.Error
+	return errors.As(err, &we) && we.Retryable()
+}
+
+// Session leases a pooled connection as a dedicated session. Callers must
+// Close it; sessions are not safe for concurrent use.
+func (c *Client) Session() (*Session, error) {
+	t := time.NewTimer(c.opts.RequestTimeout)
+	defer t.Stop()
+	select {
+	case <-c.tokens:
+	case <-t.C:
+		return nil, fmt.Errorf("client: no session available in %v: %w",
+			c.opts.RequestTimeout, wire.ErrServerBusy)
+	}
+	w, err := c.conn()
+	if err != nil {
+		c.tokens <- struct{}{}
+		return nil, err
+	}
+	return &Session{c: c, w: w}, nil
+}
+
+// conn returns an idle pooled connection or dials a fresh one.
+func (c *Client) conn() (*wconn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	for len(c.idle) > 0 {
+		w := c.idle[len(c.idle)-1]
+		c.idle = c.idle[:len(c.idle)-1]
+		if w.healthy() {
+			c.mu.Unlock()
+			return w, nil
+		}
+	}
+	c.mu.Unlock()
+	return c.dial()
+}
+
+func (c *Client) dial() (*wconn, error) {
+	nc, err := net.DialTimeout("tcp", c.opts.Addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", c.opts.Addr, err)
+	}
+	w := &wconn{nc: nc, br: bufio.NewReader(nc), pending: make(map[uint64]chan response)}
+	go w.readLoop()
+	return w, nil
+}
+
+// release returns a session's connection to the pool (healthy) or drops
+// it (failed / mid-transaction).
+func (c *Client) release(w *wconn, reusable bool) {
+	c.mu.Lock()
+	if reusable && !c.closed && w.healthy() {
+		c.idle = append(c.idle, w)
+		w = nil
+	}
+	c.mu.Unlock()
+	if w != nil {
+		w.fail(errors.New("client: connection discarded"))
+	}
+	c.tokens <- struct{}{}
+}
+
+// Ping round-trips an empty frame on a pooled connection.
+func (c *Client) Ping() error {
+	s, err := c.Session()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	_, err = s.do(wire.OpPing, nil)
+	return err
+}
+
+// Stats fetches the server's stats snapshot text.
+func (c *Client) Stats() (string, error) {
+	s, err := c.Session()
+	if err != nil {
+		return "", err
+	}
+	defer s.Close()
+	return s.Stats()
+}
+
+// Exec runs one autocommit statement on a pooled connection, retrying
+// retryable wire errors with backoff.
+func (c *Client) Exec(sql string, args ...core.Value) (*wire.Result, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		s, err := c.Session()
+		if err != nil {
+			lastErr = err
+		} else {
+			var res *wire.Result
+			res, lastErr = s.exec(sql, args)
+			s.Close()
+			if lastErr == nil {
+				return res, nil
+			}
+		}
+		if attempt >= c.opts.MaxRetries || !retryable(lastErr) {
+			return nil, lastErr
+		}
+		c.backoff(attempt)
+	}
+}
+
+// --- session ---------------------------------------------------------------
+
+// Session is one leased server-side session. Statements inside an open
+// transaction are never retried; autocommit statements retry retryable
+// codes like Client.Exec.
+type Session struct {
+	c      *Client
+	w      *wconn
+	inTxn  bool
+	closed bool
+}
+
+// Close rolls back any open transaction best-effort and returns the
+// connection to the pool.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.inTxn && s.w.healthy() {
+		s.do(wire.OpAbort, nil)
+		s.inTxn = false
+	}
+	s.c.release(s.w, !s.inTxn)
+}
+
+// InTxn reports the client-side view of the transaction state.
+func (s *Session) InTxn() bool { return s.inTxn }
+
+// do round-trips one request on the pinned connection.
+func (s *Session) do(op wire.Op, payload []byte) (response, error) {
+	if s.closed {
+		return response{}, ErrClientClosed
+	}
+	p, err := s.w.start(op, payload, s.c.opts.RequestTimeout)
+	if err != nil {
+		return response{}, err
+	}
+	return p.wait()
+}
+
+// noteOutcome tracks server-side transaction state: commit/rollback end
+// it; conflict and duplicate errors abort it server-side (the session is
+// detached there, so mirror that).
+func (s *Session) noteOutcome(err error) {
+	if err == nil {
+		return
+	}
+	var we *wire.Error
+	if errors.As(err, &we) && (we.Code == wire.CodeConflict || we.Code == wire.CodeDuplicate) {
+		s.inTxn = false
+	}
+	if !s.w.healthy() {
+		s.inTxn = false
+	}
+}
+
+// Begin opens the session transaction.
+func (s *Session) Begin() error {
+	_, err := s.doRetryable(wire.OpBegin, nil)
+	if err == nil {
+		s.inTxn = true
+	}
+	return err
+}
+
+// Commit commits; the response arrives when the commit is durable.
+func (s *Session) Commit() error {
+	_, err := s.do(wire.OpCommit, nil)
+	if err == nil || !s.w.healthy() {
+		s.inTxn = false
+	}
+	s.noteOutcome(err)
+	return err
+}
+
+// Rollback aborts the session transaction.
+func (s *Session) Rollback() error {
+	_, err := s.do(wire.OpAbort, nil)
+	if err == nil || !s.w.healthy() {
+		s.inTxn = false
+	}
+	return err
+}
+
+// Stats fetches the server stats snapshot.
+func (s *Session) Stats() (string, error) {
+	r, err := s.do(wire.OpStats, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(r.body), nil
+}
+
+// Ping round-trips an empty frame.
+func (s *Session) Ping() error {
+	_, err := s.do(wire.OpPing, nil)
+	return err
+}
+
+// Exec runs one statement. BEGIN/COMMIT/ROLLBACK text routes to the
+// dedicated opcodes so interactive drivers (hishell) get pipelined
+// commits and correct state tracking. Outside a transaction, retryable
+// errors retry with backoff; inside one they surface immediately.
+func (s *Session) Exec(sql string, args ...core.Value) (*wire.Result, error) {
+	switch strings.ToUpper(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))) {
+	case "BEGIN":
+		return &wire.Result{}, s.Begin()
+	case "COMMIT":
+		return &wire.Result{}, s.Commit()
+	case "ROLLBACK":
+		return &wire.Result{}, s.Rollback()
+	}
+	if s.inTxn {
+		res, err := s.exec(sql, args)
+		s.noteOutcome(err)
+		return res, err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		res, err := s.exec(sql, args)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if attempt >= s.c.opts.MaxRetries || !retryable(lastErr) {
+			return nil, lastErr
+		}
+		s.c.backoff(attempt)
+	}
+}
+
+// exec is one un-retried statement round trip.
+func (s *Session) exec(sql string, args []core.Value) (*wire.Result, error) {
+	r, err := s.do(wire.OpExec, wire.EncodeExec(sql, args))
+	if err != nil {
+		return nil, err
+	}
+	if len(r.body) == 0 {
+		return &wire.Result{}, nil
+	}
+	return wire.DecodeResult(r.body)
+}
+
+// doRetryable round-trips with retry on retryable codes (used by Begin,
+// which precedes any transaction state).
+func (s *Session) doRetryable(op wire.Op, payload []byte) (response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		r, err := s.do(op, payload)
+		if err == nil {
+			return r, nil
+		}
+		lastErr = err
+		if attempt >= s.c.opts.MaxRetries || !retryable(lastErr) {
+			return response{}, lastErr
+		}
+		s.c.backoff(attempt)
+	}
+}
+
+// --- pipelined futures -----------------------------------------------------
+
+// Pending is an in-flight request: the pipelining primitive. Start
+// several, then wait; responses complete in whatever order the server
+// answers (commits answer at durability).
+type Pending struct {
+	w  *wconn
+	id uint64
+	ch chan response
+	t  time.Duration
+}
+
+// ExecPipe sends a statement without waiting (no retry; transaction-state
+// tracking is the caller's concern when pipelining).
+func (s *Session) ExecPipe(sql string, args ...core.Value) (*Pending, error) {
+	if s.closed {
+		return nil, ErrClientClosed
+	}
+	return s.w.start(wire.OpExec, wire.EncodeExec(sql, args), s.c.opts.RequestTimeout)
+}
+
+// CommitPipe sends a commit without waiting; Wait returns at durability.
+func (s *Session) CommitPipe() (*Pending, error) {
+	if s.closed {
+		return nil, ErrClientClosed
+	}
+	s.inTxn = false
+	return s.w.start(wire.OpCommit, nil, s.c.opts.RequestTimeout)
+}
+
+// Wait blocks for the response.
+func (p *Pending) Wait() (*wire.Result, error) {
+	r, err := p.wait()
+	if err != nil {
+		return nil, err
+	}
+	if len(r.body) == 0 {
+		return &wire.Result{}, nil
+	}
+	return wire.DecodeResult(r.body)
+}
+
+// --- connection ------------------------------------------------------------
+
+// response is one decoded response.
+type response struct {
+	code wire.Code
+	msg  string
+	body []byte
+}
+
+// wconn is one multiplexed TCP connection.
+type wconn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan response
+	reqSeq  uint64
+	err     error // sticky: set once the connection fails
+}
+
+// healthy reports whether the connection can carry more requests.
+func (w *wconn) healthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err == nil
+}
+
+// fail marks the connection dead and wakes every pending request.
+func (w *wconn) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	pend := w.pending
+	w.pending = make(map[uint64]chan response)
+	w.mu.Unlock()
+	w.nc.Close()
+	for _, ch := range pend {
+		close(ch) // closed channel = connection-level failure; err is sticky
+	}
+}
+
+// start registers a future and writes the request frame.
+func (w *wconn) start(op wire.Op, payload []byte, timeout time.Duration) (*Pending, error) {
+	ch := make(chan response, 1)
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return nil, err
+	}
+	w.reqSeq++
+	id := w.reqSeq
+	w.pending[id] = ch
+	w.mu.Unlock()
+
+	buf := wire.AppendFrame(nil, wire.Frame{RequestID: id, Op: op, Payload: payload})
+	w.writeMu.Lock()
+	w.nc.SetWriteDeadline(time.Now().Add(timeout))
+	_, err := w.nc.Write(buf)
+	w.writeMu.Unlock()
+	if err != nil {
+		w.fail(fmt.Errorf("client: write: %w", err))
+		return nil, fmt.Errorf("client: write: %w", err)
+	}
+	return &Pending{w: w, id: id, ch: ch, t: timeout}, nil
+}
+
+// wait blocks for the future's response, the connection's failure, or the
+// timeout (which fails the connection: request IDs cannot be resynced
+// once a response is abandoned).
+func (p *Pending) wait() (response, error) {
+	t := time.NewTimer(p.t)
+	defer t.Stop()
+	select {
+	case r, ok := <-p.ch:
+		if !ok {
+			p.w.mu.Lock()
+			err := p.w.err
+			p.w.mu.Unlock()
+			return response{}, err
+		}
+		if r.code != wire.CodeOK {
+			return response{}, wire.FromCode(r.code, r.msg)
+		}
+		return r, nil
+	case <-t.C:
+		err := fmt.Errorf("client: request %d timed out after %v", p.id, p.t)
+		p.w.fail(err)
+		return response{}, err
+	}
+}
+
+// readLoop dispatches response frames to futures. A response whose ID
+// matches no pending request is a connection-level notice (the server's
+// greeting rejection uses ID 0): a non-OK code fails the connection with
+// that error so current and future requests see it.
+func (w *wconn) readLoop() {
+	for {
+		f, err := wire.ReadFrame(w.br, false)
+		if err != nil {
+			w.fail(fmt.Errorf("client: read: %w", err))
+			return
+		}
+		code, msg, body, err := wire.DecodeResponse(f.Payload)
+		if err != nil {
+			w.fail(fmt.Errorf("client: %w", err))
+			return
+		}
+		w.mu.Lock()
+		ch, ok := w.pending[f.RequestID]
+		delete(w.pending, f.RequestID)
+		w.mu.Unlock()
+		if !ok {
+			if code != wire.CodeOK {
+				w.fail(wire.FromCode(code, msg))
+				return
+			}
+			continue
+		}
+		ch <- response{code: code, msg: msg, body: body}
+	}
+}

@@ -162,15 +162,24 @@ func EncodeRow(buf []byte, row Row) []byte {
 // DecodeRow parses an encoded row. String and bytes payloads are copied so
 // the result does not alias storage-backed buffers.
 func DecodeRow(buf []byte) (Row, error) {
+	row, _, err := DecodeRowPrefix(buf)
+	return row, err
+}
+
+// DecodeRowPrefix parses an encoded row from the front of buf and returns
+// the unconsumed remainder, so callers can decode rows packed back to back
+// (the wire protocol's result encoding). Payloads are copied as in
+// DecodeRow.
+func DecodeRowPrefix(buf []byte) (Row, []byte, error) {
 	n, w := binary.Uvarint(buf)
 	if w <= 0 || n > 1<<20 {
-		return nil, ErrRowCorrupt
+		return nil, nil, ErrRowCorrupt
 	}
 	pos := w
 	row := make(Row, 0, n)
 	for i := uint64(0); i < n; i++ {
 		if pos >= len(buf) {
-			return nil, ErrRowCorrupt
+			return nil, nil, ErrRowCorrupt
 		}
 		k := Kind(buf[pos])
 		pos++
@@ -180,24 +189,24 @@ func DecodeRow(buf []byte) (Row, error) {
 		case KindInt:
 			v, w := binary.Varint(buf[pos:])
 			if w <= 0 {
-				return nil, ErrRowCorrupt
+				return nil, nil, ErrRowCorrupt
 			}
 			pos += w
 			row = append(row, I(v))
 		case KindFloat:
 			if pos+8 > len(buf) {
-				return nil, ErrRowCorrupt
+				return nil, nil, ErrRowCorrupt
 			}
 			row = append(row, F(math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))))
 			pos += 8
 		case KindString, KindBytes:
 			l, w := binary.Uvarint(buf[pos:])
 			if w <= 0 {
-				return nil, ErrRowCorrupt
+				return nil, nil, ErrRowCorrupt
 			}
 			pos += w
 			if pos+int(l) > len(buf) {
-				return nil, ErrRowCorrupt
+				return nil, nil, ErrRowCorrupt
 			}
 			p := make([]byte, l)
 			copy(p, buf[pos:pos+int(l)])
@@ -208,8 +217,8 @@ func DecodeRow(buf []byte) (Row, error) {
 				row = append(row, B(p))
 			}
 		default:
-			return nil, ErrRowCorrupt
+			return nil, nil, ErrRowCorrupt
 		}
 	}
-	return row, nil
+	return row, buf[pos:], nil
 }

@@ -1,0 +1,620 @@
+// Package server is HiEngine's network service layer: a TCP server speaking
+// the internal/wire protocol in front of a sqlfront.Frontend, turning the
+// in-process engine into the cloud service of the paper's Figure 3 (one SQL
+// frontend, many remote application connections).
+//
+// Architecture:
+//
+//   - One connection is one session. Requests on a connection execute
+//     serially (SQL sessions are stateful: an open transaction binds
+//     statements together), but responses may return out of order: a
+//     commit answers only when its log records are durable, via the
+//     engine's pipelined-commit path (sqlfront.Session.CommitAsync), while
+//     the session keeps executing later statements. Many connections'
+//     commits therefore batch into the WAL group commit -- the regime the
+//     per-worker log buffers of Section 4.2 are built for.
+//
+//   - Admission control is typed backpressure, never unbounded queueing:
+//     connections beyond MaxConns are greeted with a CodeBusy frame and
+//     closed; requests beyond MaxInFlight get CodeBusy responses; worker
+//     slots (the engine's bounded session slots) are leased per
+//     transaction with a bounded wait, then CodeBusy. Clients see
+//     wire.ErrServerBusy, which is retryable; fatal conditions
+//     (fail-stopped or closed engine, draining server) carry fatal codes
+//     that clients must not retry.
+//
+//   - Shutdown drains: the listener closes, new requests are refused with
+//     CodeClosed (fatal, so clients fail fast instead of retry-storming),
+//     and in-flight requests -- including commits waiting on durability
+//     callbacks -- complete before connections are torn down.
+//
+// Framing violations (torn, oversize, garbage frames) fail the offending
+// connection, never the server.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hiengine/internal/chaos"
+	"hiengine/internal/obs"
+	"hiengine/internal/sqlfront"
+	"hiengine/internal/wire"
+)
+
+// Chaos injection sites owned by this package. Faults here are transient
+// (chaos.Fault / chaos.Delay): they degrade one connection, not the
+// process, so client retry logic can be exercised against them.
+const (
+	// SiteAccept fires per accepted connection: a Fault rejects it
+	// (closed before the handshake), a Delay slows the accept loop.
+	SiteAccept = "server.accept"
+	// SiteRead fires per received request frame: a Fault fails the
+	// connection as if the read had torn, a Delay models a congested
+	// inbound link.
+	SiteRead = "server.conn.read"
+	// SiteWrite fires per response write: a Fault drops the connection
+	// mid-response (a partial frame reaches the client), a Delay models a
+	// congested outbound link.
+	SiteWrite = "server.conn.write"
+)
+
+func init() {
+	chaos.RegisterSite(SiteAccept, "reject (fault) or slow (delay) an accepted connection")
+	chaos.RegisterSite(SiteRead, "fail the connection (fault) or slow (delay) a request read")
+	chaos.RegisterSite(SiteWrite, "drop the connection mid-response (fault) or slow (delay) a response write")
+}
+
+// ErrServerBusy is the admission-control sentinel (alias of the wire-level
+// sentinel so errors.Is matches on either side of the boundary).
+var ErrServerBusy = wire.ErrServerBusy
+
+// Config configures a Server.
+type Config struct {
+	// Frontend is the SQL layer served to remote sessions. Required.
+	Frontend *sqlfront.Frontend
+	// WorkerSlots is the engine's session-slot count: at most this many
+	// transactions run concurrently, and a transaction leases its slot
+	// for its whole lifetime. Required > 0 (use Engine.Workers()).
+	WorkerSlots int
+	// MaxConns bounds concurrent connections (default 256). Excess
+	// connections receive a CodeBusy greeting frame and are closed.
+	MaxConns int
+	// MaxInFlight bounds requests admitted but not yet answered,
+	// including commits awaiting durability (default 4096). Excess
+	// requests are answered CodeBusy immediately.
+	MaxInFlight int
+	// SlotWait bounds how long a transaction waits for a free worker
+	// slot before CodeBusy (default 250ms). This is the only bounded
+	// queue in the admission path.
+	SlotWait time.Duration
+	// WriteTimeout bounds each response write (default 10s).
+	WriteTimeout time.Duration
+	// DrainTimeout bounds Close()'s wait for in-flight requests
+	// (default 5s).
+	DrainTimeout time.Duration
+	// Stats, when set, supplies the body of OpStats responses (engine
+	// counters, obs snapshots); the server appends its own obs snapshot.
+	Stats func() string
+	// Obs is the metrics registry (nil = no recording).
+	Obs *obs.Registry
+	// Chaos is the fault-injection engine shared with the deployment
+	// (nil = inert).
+	Chaos *chaos.Engine
+}
+
+func (c *Config) fill() {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 256
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4096
+	}
+	if c.SlotWait <= 0 {
+		c.SlotWait = 250 * time.Millisecond
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+}
+
+// Server is one wire-protocol endpoint.
+type Server struct {
+	cfg Config
+
+	ln       net.Listener
+	slots    chan int      // worker-slot lease pool
+	inflight chan struct{} // admission semaphore
+
+	reqWG  sync.WaitGroup // admitted requests, until their response is written
+	connWG sync.WaitGroup // connection handler goroutines
+
+	mu    sync.Mutex
+	conns map[*conn]struct{}
+
+	draining atomic.Bool
+	closed   atomic.Bool
+
+	// cached metrics (nil-safe when cfg.Obs is nil)
+	mConns        *obs.Gauge
+	mConnsTotal   *obs.Counter
+	mConnsReject  *obs.Counter
+	mInflight     *obs.Gauge
+	mBusy         *obs.Counter
+	mProtoErrs    *obs.Counter
+	mBytesIn      *obs.Counter
+	mBytesOut     *obs.Counter
+	mLatency      *obs.Histogram
+	mCommitDur    *obs.Histogram
+	mReqs         [8]*obs.Counter // by opcode
+	mErrs         [16]*obs.Counter
+	mSlotWaitBusy *obs.Counter
+}
+
+// New builds a server. It does not listen; call Serve or ListenAndServe.
+func New(cfg Config) (*Server, error) {
+	if cfg.Frontend == nil {
+		return nil, errors.New("server: Config.Frontend is required")
+	}
+	if cfg.WorkerSlots <= 0 {
+		return nil, errors.New("server: Config.WorkerSlots must be > 0")
+	}
+	cfg.fill()
+	s := &Server{
+		cfg:      cfg,
+		slots:    make(chan int, cfg.WorkerSlots),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		conns:    make(map[*conn]struct{}),
+	}
+	for i := 0; i < cfg.WorkerSlots; i++ {
+		s.slots <- i
+	}
+	r := cfg.Obs
+	s.mConns = r.Gauge("server.conns")
+	s.mConnsTotal = r.Counter("server.conns_total")
+	s.mConnsReject = r.Counter("server.conns_rejected")
+	s.mInflight = r.Gauge("server.inflight")
+	s.mBusy = r.Counter("server.busy_rejects")
+	s.mProtoErrs = r.Counter("server.protocol_errors")
+	s.mBytesIn = r.Counter("server.bytes_in")
+	s.mBytesOut = r.Counter("server.bytes_out")
+	s.mLatency = r.Histogram("server.request_latency_ns")
+	s.mCommitDur = r.Histogram("server.commit_durable_ns")
+	s.mSlotWaitBusy = r.Counter("server.slot_wait_busy")
+	if r != nil {
+		for op := wire.OpPing; op <= wire.OpStats; op++ {
+			s.mReqs[op] = r.Counter("server.requests." + op.String())
+		}
+		for c := wire.CodeConflict; c <= wire.CodeInternal; c++ {
+			s.mErrs[c] = r.Counter("server.errors." + c.String())
+		}
+	}
+	return s, nil
+}
+
+// ListenAndServe listens on addr and serves until Shutdown/Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections on ln until the server shuts down. It returns
+// nil after a graceful shutdown, or the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	if s.closed.Load() { // Shutdown raced Serve: don't accept
+		ln.Close()
+		return nil
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() || s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mConnsTotal.Inc()
+		if err := s.cfg.Chaos.Check(SiteAccept); err != nil {
+			// Injected accept rejection (or a latched crash): the
+			// connection dies before the handshake; the process lives.
+			s.mConnsReject.Inc()
+			nc.Close()
+			continue
+		}
+		if !s.admitConn(nc) {
+			continue
+		}
+	}
+}
+
+// admitConn registers nc and starts its handler, or refuses it with a
+// greeting frame carrying the refusal code.
+func (s *Server) admitConn(nc net.Conn) bool {
+	refuse := wire.Code(0)
+	s.mu.Lock()
+	switch {
+	case s.draining.Load():
+		refuse = wire.CodeClosed
+	case len(s.conns) >= s.cfg.MaxConns:
+		refuse = wire.CodeBusy
+	}
+	var c *conn
+	if refuse == 0 {
+		c = &conn{s: s, nc: nc, br: bufio.NewReader(nc), sess: s.cfg.Frontend.NewSession(0)}
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+	}
+	s.mu.Unlock()
+	if refuse != 0 {
+		// Greeting rejection: a response frame with RequestID 0, which
+		// matches no request; clients treat it as a connection-level
+		// error with the carried code.
+		if refuse == wire.CodeBusy {
+			s.mBusy.Inc()
+		}
+		s.mConnsReject.Inc()
+		nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		wire.WriteFrame(nc, wire.Frame{Op: wire.OpResponse,
+			Payload: wire.EncodeResponse(refuse, "connection refused", nil)})
+		nc.Close()
+		return false
+	}
+	s.mConns.Add(1)
+	go c.serve()
+	return true
+}
+
+// Shutdown gracefully drains the server: the listener closes, refused
+// requests carry CodeClosed, and all admitted requests -- including
+// commits waiting for durability -- complete before connections close.
+// Returns ctx.Err() if the drain deadline expired first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.draining.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	return err
+}
+
+// Close shuts down with the configured drain timeout.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// --- connection handling ---------------------------------------------------
+
+// conn is one client connection and its server-side session.
+type conn struct {
+	s    *Server
+	nc   net.Conn
+	br   *bufio.Reader
+	sess *sqlfront.Session
+
+	// worker-slot lease: held for the lifetime of a transaction
+	// (explicit or autocommit); the engine frees its own slot earlier on
+	// pipelined commits, but the lease is the server-side bound.
+	slot    int
+	hasSlot bool
+
+	writeMu sync.Mutex
+	dead    bool // write side failed; further responses are dropped
+}
+
+// serve is the per-connection read loop. Requests execute serially (the
+// session is stateful); responses may be written out of order by commit
+// durability callbacks.
+func (c *conn) serve() {
+	defer c.teardown()
+	for {
+		f, err := wire.ReadFrame(c.br, true)
+		if err != nil {
+			if errors.Is(err, wire.ErrProtocol) {
+				// Torn/oversize/garbage frame: fail the connection with
+				// a best-effort protocol-violation notice.
+				c.s.mProtoErrs.Inc()
+				c.respond(0, wire.CodeBadRequest, err.Error(), nil)
+			}
+			return
+		}
+		if err := c.s.cfg.Chaos.Check(SiteRead); err != nil {
+			return // injected read failure: the connection is gone
+		}
+		c.s.mBytesIn.Add(int64(len(f.Payload)) + 13)
+		if !c.handle(f) {
+			return
+		}
+	}
+}
+
+// teardown runs when the read loop exits: the open transaction (if any)
+// aborts, the worker-slot lease releases, and the connection unregisters.
+// Pending commit-durability callbacks may still fire afterwards; respond
+// tolerates the dead connection.
+func (c *conn) teardown() {
+	if c.sess.InTxn() {
+		c.sess.Rollback()
+	}
+	c.releaseSlot()
+	c.nc.Close()
+	c.s.mu.Lock()
+	delete(c.s.conns, c)
+	c.s.mu.Unlock()
+	c.s.mConns.Add(-1)
+	c.s.connWG.Done()
+}
+
+// acquireSlot leases a worker slot for a new transaction, waiting at most
+// SlotWait. The lease is already held when a transaction is open.
+func (c *conn) acquireSlot() error {
+	if c.hasSlot {
+		return nil
+	}
+	select {
+	case s := <-c.s.slots:
+		c.slot, c.hasSlot = s, true
+		c.sess.SetWorker(s)
+		return nil
+	default:
+	}
+	t := time.NewTimer(c.s.cfg.SlotWait)
+	defer t.Stop()
+	select {
+	case s := <-c.s.slots:
+		c.slot, c.hasSlot = s, true
+		c.sess.SetWorker(s)
+		return nil
+	case <-t.C:
+		c.s.mSlotWaitBusy.Inc()
+		return fmt.Errorf("no free worker slot in %v: %w", c.s.cfg.SlotWait, ErrServerBusy)
+	}
+}
+
+// releaseSlot returns the lease unless a transaction still holds it.
+func (c *conn) releaseSlot() {
+	if c.hasSlot && !c.sess.InTxn() {
+		c.s.slots <- c.slot
+		c.hasSlot = false
+	}
+}
+
+// handle executes one request. Returns false when the connection must
+// close. The in-flight token and reqWG entry taken at admission are
+// released exactly once, after the response is written (possibly from a
+// durability callback).
+func (c *conn) handle(f wire.Frame) bool {
+	if c.s.mReqs[f.Op] != nil {
+		c.s.mReqs[f.Op].Inc()
+	}
+	if c.s.draining.Load() {
+		c.respond(f.RequestID, wire.CodeClosed, "server draining", nil)
+		return true
+	}
+	select {
+	case c.s.inflight <- struct{}{}:
+	default:
+		c.s.mBusy.Inc()
+		c.respond(f.RequestID, wire.CodeBusy, "server at max in-flight requests", nil)
+		return true
+	}
+	c.s.reqWG.Add(1)
+	c.s.mInflight.Add(1)
+	start := time.Now()
+	release := func() {
+		<-c.s.inflight
+		c.s.mInflight.Add(-1)
+		c.s.reqWG.Done()
+		c.s.mLatency.Record(time.Since(start).Nanoseconds())
+	}
+
+	finish := func(err error, body []byte) {
+		if err != nil {
+			c.respondErr(f.RequestID, err)
+		} else {
+			c.respond(f.RequestID, wire.CodeOK, "", body)
+		}
+		release()
+	}
+
+	switch f.Op {
+	case wire.OpPing:
+		finish(nil, nil)
+
+	case wire.OpStats:
+		var b strings.Builder
+		if c.s.cfg.Stats != nil {
+			b.WriteString(c.s.cfg.Stats())
+		}
+		if c.s.cfg.Obs != nil {
+			b.WriteString(c.s.cfg.Obs.Snapshot().String())
+		}
+		finish(nil, []byte(b.String()))
+
+	case wire.OpBegin:
+		if err := c.acquireSlot(); err != nil {
+			finish(err, nil)
+			return true
+		}
+		err := c.sess.Begin()
+		c.releaseSlot() // only on error: Begin leaves InTxn true on success
+		finish(err, nil)
+
+	case wire.OpAbort:
+		err := c.sess.Rollback()
+		c.releaseSlot()
+		finish(err, nil)
+
+	case wire.OpCommit:
+		c.commit(f.RequestID, false, release)
+
+	case wire.OpExec:
+		sql, args, err := wire.DecodeExec(f.Payload)
+		if err != nil {
+			// Corrupt payload is a protocol violation: answer, then fail
+			// the connection.
+			c.s.mProtoErrs.Inc()
+			finish(err, nil)
+			return false
+		}
+		// SQL COMMIT goes through the pipelined path so every commit,
+		// however expressed, batches into the group append.
+		if t := strings.ToUpper(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))); t == "COMMIT" {
+			c.commit(f.RequestID, true, release)
+			return true
+		}
+		if err := c.acquireSlot(); err != nil {
+			finish(err, nil)
+			return true
+		}
+		stmt, err := c.sess.Prepare(sql)
+		if err != nil {
+			// Parse/plan/arity failures are bad requests, distinct from
+			// engine-side execution failures.
+			c.releaseSlot()
+			finish(fmt.Errorf("%w: %v", wire.ErrBadStatement, err), nil)
+			return true
+		}
+		res, err := stmt.Exec(args...)
+		c.releaseSlot()
+		if err != nil {
+			finish(err, nil)
+			return true
+		}
+		finish(nil, wire.EncodeResult(&wire.Result{
+			Columns: res.Columns, Rows: res.Rows, Affected: res.Affected,
+		}))
+
+	default:
+		// ReadFrame validated the opcode; unreachable.
+		finish(fmt.Errorf("%w: opcode %d", wire.ErrProtocol, f.Op), nil)
+		return false
+	}
+	return true
+}
+
+// commit runs the session commit through the pipelined path: on an async
+// commit the response (and the admission token) is deferred to the
+// durability callback while the read loop moves on -- the out-of-order
+// case of the protocol. viaExec selects the response body shape for SQL
+// COMMIT (a Result) vs OpCommit (empty).
+func (c *conn) commit(reqID uint64, viaExec bool, release func()) {
+	start := time.Now()
+	body := func() []byte {
+		if viaExec {
+			return wire.EncodeResult(&wire.Result{})
+		}
+		return nil
+	}
+	async, err := c.sess.CommitAsync(func(cerr error) {
+		c.s.mCommitDur.Record(time.Since(start).Nanoseconds())
+		if cerr != nil {
+			c.respondErr(reqID, cerr)
+		} else {
+			c.respond(reqID, wire.CodeOK, "", body())
+		}
+		release()
+	})
+	c.releaseSlot()
+	if async {
+		return
+	}
+	if err != nil {
+		c.respondErr(reqID, err)
+	} else {
+		c.respond(reqID, wire.CodeOK, "", body())
+	}
+	release()
+}
+
+// respondErr classifies err onto its stable wire code and responds.
+func (c *conn) respondErr(reqID uint64, err error) {
+	code := wire.Classify(err)
+	if c.s.mErrs[code] != nil {
+		c.s.mErrs[code].Inc()
+	}
+	c.respond(reqID, code, err.Error(), nil)
+}
+
+// respond writes one response frame. Any goroutine may call it (the read
+// loop or a durability callback); writeMu serializes frame writes so
+// out-of-order responses interleave at frame granularity, never byte
+// granularity. Write failures (or an injected mid-response drop) kill the
+// connection's write side; later responses are dropped silently.
+func (c *conn) respond(reqID uint64, code wire.Code, msg string, body []byte) {
+	buf := wire.AppendFrame(nil, wire.Frame{
+		RequestID: reqID,
+		Op:        wire.OpResponse,
+		Payload:   wire.EncodeResponse(code, msg, body),
+	})
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.dead {
+		return
+	}
+	if err := c.s.cfg.Chaos.Check(SiteWrite); err != nil {
+		if errors.Is(err, chaos.ErrInjected) {
+			// Mid-response connection drop: the client sees a torn frame.
+			c.nc.Write(buf[:len(buf)/2])
+		}
+		c.dead = true
+		c.nc.Close()
+		return
+	}
+	c.nc.SetWriteDeadline(time.Now().Add(c.s.cfg.WriteTimeout))
+	if _, err := c.nc.Write(buf); err != nil {
+		c.dead = true
+		c.nc.Close()
+		return
+	}
+	c.s.mBytesOut.Add(int64(len(buf)))
+}

@@ -76,6 +76,16 @@ func (f *Frontend) NewSession(worker int) *Session {
 	return &Session{f: f, worker: worker}
 }
 
+// SetWorker rebinds the session to a worker slot. The slot is captured
+// when a transaction begins, so rebinding is only legal while no
+// transaction is open; the network server leases a slot per transaction
+// and rebinds the connection's session to the leased slot.
+func (s *Session) SetWorker(worker int) {
+	if !s.InTxn() {
+		s.worker = worker
+	}
+}
+
 // Result is a statement result.
 type Result struct {
 	Rows     []core.Row
@@ -180,6 +190,35 @@ func (s *Session) commit() error {
 	return err
 }
 
+// CommitAsync commits the open transaction through the engine's pipelined
+// commit path when it has one (engineapi.AsyncCommitter): the transaction's
+// effects are visible when this returns, the session is immediately free
+// for the next statement, and done(err) fires once the commit is durable.
+// It returns async=true exactly when done will be invoked later; on
+// async=false the commit already finished (or failed to start) with err and
+// done is never called. This is the session boundary the network server
+// pipelines on: many connections' commits batch into one WAL group append
+// while their sessions keep executing.
+func (s *Session) CommitAsync(done func(error)) (async bool, err error) {
+	if s.txn == nil {
+		if s.txnEngine == "?pending" { // BEGIN; COMMIT with no statements
+			s.txnEngine = ""
+			return false, nil
+		}
+		return false, ErrNoTxn
+	}
+	t := s.txn
+	s.txn = nil
+	s.txnEngine = ""
+	if ac, ok := t.(engineapi.AsyncCommitter); ok {
+		if err := ac.CommitAsync(done); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, t.Commit()
+}
+
 func (s *Session) rollback() error {
 	if s.txn == nil {
 		if s.txnEngine == "?pending" {
@@ -193,6 +232,13 @@ func (s *Session) rollback() error {
 	s.txnEngine = ""
 	return err
 }
+
+// Begin opens an explicit transaction (the wire protocol's OpBegin; SQL
+// BEGIN reaches the same state through Exec).
+func (s *Session) Begin() error { return s.begin() }
+
+// Rollback aborts the open transaction (the wire protocol's OpAbort).
+func (s *Session) Rollback() error { return s.rollback() }
 
 // InTxn reports whether an explicit transaction is open.
 func (s *Session) InTxn() bool { return s.txn != nil || s.txnEngine == "?pending" }

@@ -1,0 +1,443 @@
+// Package wire defines HiEngine's client/server wire protocol: frame
+// layout, opcode and status-code tables, payload encodings, and the
+// bidirectional mapping between Go errors and stable wire codes.
+//
+// The protocol is length-prefixed binary over a byte stream:
+//
+//	frame   := length uint32 | requestID uint64 | opcode uint8 | payload
+//
+// length is big-endian and covers requestID+opcode+payload (so a frame
+// occupies 4+length bytes on the wire, length >= 9). Requests and responses
+// share the layout; a response echoes its request's ID, which is what makes
+// out-of-order (pipelined) responses possible: the server may answer a
+// later request on a connection before an earlier commit's durability
+// callback fires. Frames larger than MaxFrame, zero-length frames, or
+// frames with an unknown opcode are protocol violations: the receiver must
+// fail the connection (not the process).
+//
+// Every response payload starts with a status code (uint16) and a message
+// (uvarint length + bytes); success-specific body follows. Codes are
+// stable: each error crossing the wire carries exactly one code, chosen by
+// Classify with fatal codes taking precedence, and the client rehydrates
+// the code into an error that satisfies errors.Is against the same
+// sentinel the server saw (engineapi.ErrConflict, core.ErrClosed, ...).
+// Retryable reports the retryability matrix: only CodeConflict and
+// CodeBusy may be retried; in particular CodeClosed and CodeDurabilityLost
+// are fatal so a client never retries into a fail-stopped engine.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hiengine/internal/core"
+	"hiengine/internal/engineapi"
+	"hiengine/internal/sqlfront"
+)
+
+// MaxFrame bounds the length field: requestID + opcode + payload. Large
+// enough for multi-megabyte scan results, small enough that a garbage
+// length prefix cannot make the reader allocate unbounded memory.
+const MaxFrame = 16 << 20
+
+// headerSize is requestID + opcode, the fixed part covered by length.
+const headerSize = 9
+
+// Op is a frame opcode.
+type Op uint8
+
+// Request opcodes, and the single response opcode. A connection is one
+// server-side session: Begin/Commit/Abort act on the session transaction,
+// Exec runs one SQL statement in it (or autocommits outside one).
+const (
+	OpPing     Op = 1 // empty payload; response: empty body
+	OpExec     Op = 2 // sql string, args row; response: result body
+	OpBegin    Op = 3 // empty; opens the session transaction
+	OpCommit   Op = 4 // empty; response sent when the commit is durable
+	OpAbort    Op = 5 // empty; rolls back the session transaction
+	OpStats    Op = 6 // empty; response: stats snapshot text
+	OpResponse Op = 7 // server -> client only
+)
+
+// String names the opcode.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpExec:
+		return "exec"
+	case OpBegin:
+		return "begin"
+	case OpCommit:
+		return "commit"
+	case OpAbort:
+		return "abort"
+	case OpStats:
+		return "stats"
+	case OpResponse:
+		return "response"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// validRequest reports whether o is a client-issued opcode.
+func validRequest(o Op) bool { return o >= OpPing && o <= OpStats }
+
+// Code is a stable wire status code.
+type Code uint16
+
+// The code table. Codes are wire-stable: never renumber.
+const (
+	CodeOK Code = 0
+	// CodeConflict: retryable concurrency failure (write-write conflict,
+	// OCC validation abort, lock conflict). The transaction was aborted.
+	CodeConflict Code = 1
+	// CodeDuplicate: unique-constraint violation. Not retryable.
+	CodeDuplicate Code = 2
+	// CodeNotFound: no visible row. Not retryable.
+	CodeNotFound Code = 3
+	// CodeBusy: admission control rejected the request (server at its
+	// in-flight or connection bound). Retryable with backoff.
+	CodeBusy Code = 4
+	// CodeBadRequest: parse/plan/arity/transaction-state errors. The
+	// statement can never succeed as written; not retryable.
+	CodeBadRequest Code = 5
+	// CodeClosed: the engine or server is closed/draining. Fatal: the
+	// client must not retry this endpoint.
+	CodeClosed Code = 6
+	// CodeDurabilityLost: the engine fail-stopped after a durability
+	// failure. Fatal; retrying into a fail-stopped engine is forbidden.
+	CodeDurabilityLost Code = 7
+	// CodeInternal: unclassified server-side failure. Not retryable.
+	CodeInternal Code = 8
+)
+
+// String names the code.
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeConflict:
+		return "conflict"
+	case CodeDuplicate:
+		return "duplicate"
+	case CodeNotFound:
+		return "not_found"
+	case CodeBusy:
+		return "busy"
+	case CodeBadRequest:
+		return "bad_request"
+	case CodeClosed:
+		return "closed"
+	case CodeDurabilityLost:
+		return "durability_lost"
+	case CodeInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("code(%d)", uint16(c))
+	}
+}
+
+// Retryable is the retryability matrix: exactly the transient codes a
+// client may retry (with backoff). Fatal and semantic codes are excluded.
+func Retryable(c Code) bool { return c == CodeConflict || c == CodeBusy }
+
+// Fatal reports codes after which the endpoint is known dead for further
+// work: the client should fail fast and surface the error.
+func Fatal(c Code) bool { return c == CodeClosed || c == CodeDurabilityLost }
+
+// ErrServerBusy is the admission-control sentinel: the server refused the
+// request rather than queue it unboundedly. Carried as CodeBusy.
+var ErrServerBusy = errors.New("wire: server busy")
+
+// ErrProtocol marks framing violations (torn, oversize, zero-length or
+// unknown-opcode frames). The connection carrying it is dead.
+var ErrProtocol = errors.New("wire: protocol violation")
+
+// Classify maps an error onto exactly one stable code. Precedence puts
+// fatal conditions first: an error that wraps both core.ErrDurabilityLost
+// and a retryable sentinel must surface as fatal, never as retryable.
+func Classify(err error) Code {
+	// An error that already crossed the wire carries its code; trust it
+	// unless a fatal sentinel is also present (fatal always wins). This
+	// keeps codes stable when a remote error is re-classified, e.g. by a
+	// proxy tier, including codes with no origin sentinel (bad_request).
+	var we *Error
+	if errors.As(err, &we) &&
+		!errors.Is(err, core.ErrDurabilityLost) && !errors.Is(err, core.ErrClosed) {
+		return we.Code
+	}
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, core.ErrDurabilityLost):
+		return CodeDurabilityLost
+	case errors.Is(err, core.ErrClosed):
+		return CodeClosed
+	case errors.Is(err, ErrServerBusy), errors.Is(err, core.ErrWorkerBusy):
+		return CodeBusy
+	case errors.Is(err, engineapi.ErrConflict):
+		return CodeConflict
+	case errors.Is(err, engineapi.ErrDuplicate):
+		return CodeDuplicate
+	case errors.Is(err, engineapi.ErrNotFound):
+		return CodeNotFound
+	case errors.Is(err, sqlfront.ErrNoTxn),
+		errors.Is(err, sqlfront.ErrCrossEngine),
+		errors.Is(err, sqlfront.ErrBadPlan),
+		errors.Is(err, sqlfront.ErrParamCount),
+		errors.Is(err, ErrBadStatement),
+		errors.Is(err, ErrProtocol):
+		return CodeBadRequest
+	default:
+		return CodeInternal
+	}
+}
+
+// ErrBadStatement tags request errors that originate in parsing or
+// statement validation outside the sqlfront sentinels (sqlfront returns
+// plain fmt.Errorf for lexer/parser failures). The server wraps those
+// before classification so they travel as CodeBadRequest.
+var ErrBadStatement = errors.New("wire: bad statement")
+
+// sentinels maps each non-OK code back to the sentinel a client-side
+// errors.Is should match. CodeBadRequest and CodeInternal have no single
+// origin sentinel; they unwrap to nil and match only *Error itself.
+func sentinel(c Code) error {
+	switch c {
+	case CodeConflict:
+		return engineapi.ErrConflict
+	case CodeDuplicate:
+		return engineapi.ErrDuplicate
+	case CodeNotFound:
+		return engineapi.ErrNotFound
+	case CodeBusy:
+		return ErrServerBusy
+	case CodeClosed:
+		return core.ErrClosed
+	case CodeDurabilityLost:
+		return core.ErrDurabilityLost
+	default:
+		return nil
+	}
+}
+
+// Error is a wire-carried failure: the stable code plus the server's
+// message. Unwrap returns the code's sentinel, so
+// errors.Is(err, engineapi.ErrConflict) etc. hold across the process
+// boundary exactly as they do in-process.
+type Error struct {
+	Code Code
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return "wire: " + e.Code.String()
+	}
+	return fmt.Sprintf("wire: %s: %s", e.Code, e.Msg)
+}
+
+// Unwrap exposes the code's sentinel to errors.Is.
+func (e *Error) Unwrap() error { return sentinel(e.Code) }
+
+// Retryable reports whether the error may be retried.
+func (e *Error) Retryable() bool { return Retryable(e.Code) }
+
+// FromCode rehydrates a wire error (nil for CodeOK).
+func FromCode(c Code, msg string) error {
+	if c == CodeOK {
+		return nil
+	}
+	return &Error{Code: c, Msg: msg}
+}
+
+// --- frame I/O -------------------------------------------------------------
+
+// Frame is one decoded frame.
+type Frame struct {
+	RequestID uint64
+	Op        Op
+	Payload   []byte
+}
+
+// AppendFrame serializes a frame onto buf.
+func AppendFrame(buf []byte, f Frame) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(headerSize+len(f.Payload)))
+	buf = binary.BigEndian.AppendUint64(buf, f.RequestID)
+	buf = append(buf, byte(f.Op))
+	return append(buf, f.Payload...)
+}
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf := AppendFrame(make([]byte, 0, 4+headerSize+len(f.Payload)), f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame, enforcing MaxFrame and opcode validity.
+// Violations return errors wrapping ErrProtocol: the caller must fail the
+// connection. A clean EOF before the first length byte returns io.EOF; a
+// torn frame (EOF mid-length or mid-payload) returns io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, requestSide bool) (Frame, error) {
+	var hdr [4 + headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return Frame{}, err // io.EOF if clean, ErrUnexpectedEOF if torn
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < headerSize {
+		return Frame{}, fmt.Errorf("%w: frame length %d below header size", ErrProtocol, n)
+	}
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("%w: frame length %d exceeds max %d", ErrProtocol, n, MaxFrame)
+	}
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		return Frame{}, unexpectedEOF(err)
+	}
+	f := Frame{
+		RequestID: binary.BigEndian.Uint64(hdr[4:12]),
+		Op:        Op(hdr[12]),
+	}
+	if requestSide && !validRequest(f.Op) {
+		return Frame{}, fmt.Errorf("%w: unknown request opcode %d", ErrProtocol, uint8(f.Op))
+	}
+	if !requestSide && f.Op != OpResponse {
+		return Frame{}, fmt.Errorf("%w: expected response frame, got opcode %d", ErrProtocol, uint8(f.Op))
+	}
+	if rest := int(n) - headerSize; rest > 0 {
+		f.Payload = make([]byte, rest)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, unexpectedEOF(err)
+		}
+	}
+	return f, nil
+}
+
+func unexpectedEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// --- payload encodings -----------------------------------------------------
+
+// ErrPayloadCorrupt marks undecodable payloads; it is a protocol violation.
+var ErrPayloadCorrupt = fmt.Errorf("%w: corrupt payload", ErrProtocol)
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 || uint64(len(buf)-w) < n {
+		return "", nil, ErrPayloadCorrupt
+	}
+	return string(buf[w : w+int(n)]), buf[w+int(n):], nil
+}
+
+// EncodeExec builds an OpExec payload: sql then the argument row.
+func EncodeExec(sql string, args []core.Value) []byte {
+	buf := appendString(nil, sql)
+	return core.EncodeRow(buf, args)
+}
+
+// DecodeExec parses an OpExec payload.
+func DecodeExec(payload []byte) (sql string, args []core.Value, err error) {
+	sql, rest, err := readString(payload)
+	if err != nil {
+		return "", nil, err
+	}
+	args, err = core.DecodeRow(rest)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrPayloadCorrupt, err)
+	}
+	return sql, args, nil
+}
+
+// Result is the wire form of a statement result.
+type Result struct {
+	Columns  []string
+	Rows     []core.Row
+	Affected int
+}
+
+// EncodeResponse builds an OpResponse payload: code, message, then (on
+// success, per the request opcode) the body. body may be nil.
+func EncodeResponse(c Code, msg string, body []byte) []byte {
+	buf := binary.BigEndian.AppendUint16(nil, uint16(c))
+	buf = appendString(buf, msg)
+	return append(buf, body...)
+}
+
+// DecodeResponse splits an OpResponse payload into code, message and body.
+func DecodeResponse(payload []byte) (Code, string, []byte, error) {
+	if len(payload) < 2 {
+		return 0, "", nil, ErrPayloadCorrupt
+	}
+	c := Code(binary.BigEndian.Uint16(payload))
+	msg, body, err := readString(payload[2:])
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return c, msg, body, nil
+}
+
+// EncodeResult serializes a Result as a response body.
+func EncodeResult(r *Result) []byte {
+	buf := binary.AppendUvarint(nil, uint64(r.Affected))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Columns)))
+	for _, c := range r.Columns {
+		buf = appendString(buf, c)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.Rows)))
+	for _, row := range r.Rows {
+		buf = core.EncodeRow(buf, row)
+	}
+	return buf
+}
+
+// DecodeResult parses a Result body.
+func DecodeResult(body []byte) (*Result, error) {
+	affected, w := binary.Uvarint(body)
+	if w <= 0 {
+		return nil, ErrPayloadCorrupt
+	}
+	body = body[w:]
+	nCols, w := binary.Uvarint(body)
+	if w <= 0 || nCols > 1<<16 {
+		return nil, ErrPayloadCorrupt
+	}
+	body = body[w:]
+	r := &Result{Affected: int(affected)}
+	for i := uint64(0); i < nCols; i++ {
+		var c string
+		var err error
+		c, body, err = readString(body)
+		if err != nil {
+			return nil, err
+		}
+		r.Columns = append(r.Columns, c)
+	}
+	nRows, w := binary.Uvarint(body)
+	if w <= 0 || nRows > 1<<24 {
+		return nil, ErrPayloadCorrupt
+	}
+	body = body[w:]
+	for i := uint64(0); i < nRows; i++ {
+		row, rest, err := core.DecodeRowPrefix(body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPayloadCorrupt, err)
+		}
+		body = rest
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}
