@@ -160,8 +160,11 @@ func (c *Client) Session() (*Session, error) {
 	select {
 	case <-c.tokens:
 	case <-t.C:
-		return nil, fmt.Errorf("client: no session available in %v: %w",
-			c.opts.RequestTimeout, wire.ErrServerBusy)
+		// A *wire.Error (not a bare fmt.Errorf wrap of the sentinel) so
+		// retryable() classifies pool exhaustion as CodeBusy: retryable
+		// with backoff, exactly like server-side admission rejection.
+		return nil, &wire.Error{Code: wire.CodeBusy,
+			Msg: fmt.Sprintf("client: no session available in %v", c.opts.RequestTimeout)}
 	}
 	w, err := c.conn()
 	if err != nil {
@@ -271,17 +274,22 @@ type Session struct {
 	closed bool
 }
 
-// Close rolls back any open transaction best-effort and returns the
-// connection to the pool.
+// Close rolls back any open transaction and returns the connection to
+// the pool. The abort must round-trip before the connection is pooled:
+// a reused connection is the same server-side session, so pooling one
+// with an open transaction would leak that transaction (and its worker
+// slot) to the next lessee. If the abort fails the connection is
+// discarded instead.
 func (s *Session) Close() {
 	if s.closed {
 		return
 	}
-	s.closed = true
 	if s.inTxn && s.w.healthy() {
-		s.do(wire.OpAbort, nil)
-		s.inTxn = false
+		if _, err := s.do(wire.OpAbort, nil); err == nil {
+			s.inTxn = false
+		}
 	}
+	s.closed = true
 	s.c.release(s.w, !s.inTxn)
 }
 

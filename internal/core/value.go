@@ -205,7 +205,10 @@ func DecodeRowPrefix(buf []byte) (Row, []byte, error) {
 				return nil, nil, ErrRowCorrupt
 			}
 			pos += w
-			if pos+int(l) > len(buf) {
+			// Compare in uint64: pos+int(l) would overflow for huge l,
+			// letting a hostile length pass the bounds check and panic
+			// the allocation below.
+			if l > uint64(len(buf)-pos) {
 				return nil, nil, ErrRowCorrupt
 			}
 			p := make([]byte, l)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 	"testing/quick"
@@ -53,6 +54,23 @@ func TestRowCodecPropertyRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDecodeRowHostileLength(t *testing.T) {
+	// A near-2^64 uvarint payload length must fail as corrupt, not
+	// overflow the bounds check into a panicking allocation. These bytes
+	// arrive from the network (Exec args), so a panic here is a
+	// remote-triggered server crash.
+	for _, k := range []Kind{KindString, KindBytes} {
+		for _, l := range []uint64{math.MaxUint64, math.MaxUint64 - 7, 1 << 62} {
+			buf := []byte{1, byte(k)} // one column of kind k
+			buf = binary.AppendUvarint(buf, l)
+			row, rest, err := DecodeRowPrefix(buf)
+			if err == nil {
+				t.Fatalf("kind %v length %d: accepted (row=%v rest=%v)", k, l, row, rest)
+			}
+		}
 	}
 }
 

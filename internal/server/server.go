@@ -136,8 +136,14 @@ type Server struct {
 	slots    chan int      // worker-slot lease pool
 	inflight chan struct{} // admission semaphore
 
-	reqWG  sync.WaitGroup // admitted requests, until their response is written
-	connWG sync.WaitGroup // connection handler goroutines
+	// admitMu orders request admission against drain start: handle()'s
+	// draining check + reqWG.Add(1) happen under it, and Shutdown sets
+	// draining under it before calling reqWG.Wait, so an Add can never
+	// start concurrently with Wait at a zero counter (WaitGroup misuse) --
+	// once draining is observable, no further request is admitted.
+	admitMu sync.Mutex
+	reqWG   sync.WaitGroup // admitted requests, until their response is written
+	connWG  sync.WaitGroup // connection handler goroutines
 
 	mu    sync.Mutex
 	conns map[*conn]struct{}
@@ -298,7 +304,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	s.admitMu.Lock() // see admitMu: no reqWG.Add once draining is set
 	s.draining.Store(true)
+	s.admitMu.Unlock()
 	s.mu.Lock()
 	ln := s.ln
 	s.mu.Unlock()
@@ -436,18 +444,22 @@ func (c *conn) handle(f wire.Frame) bool {
 	if c.s.mReqs[f.Op] != nil {
 		c.s.mReqs[f.Op].Inc()
 	}
+	c.s.admitMu.Lock()
 	if c.s.draining.Load() {
+		c.s.admitMu.Unlock()
 		c.respond(f.RequestID, wire.CodeClosed, "server draining", nil)
 		return true
 	}
 	select {
 	case c.s.inflight <- struct{}{}:
 	default:
+		c.s.admitMu.Unlock()
 		c.s.mBusy.Inc()
 		c.respond(f.RequestID, wire.CodeBusy, "server at max in-flight requests", nil)
 		return true
 	}
 	c.s.reqWG.Add(1)
+	c.s.admitMu.Unlock()
 	c.s.mInflight.Add(1)
 	start := time.Now()
 	release := func() {
@@ -591,10 +603,22 @@ func (c *conn) respondErr(reqID uint64, err error) {
 // granularity. Write failures (or an injected mid-response drop) kill the
 // connection's write side; later responses are dropped silently.
 func (c *conn) respond(reqID uint64, code wire.Code, msg string, body []byte) {
+	payload := wire.EncodeResponse(code, msg, body)
+	if len(payload) > wire.MaxPayload {
+		// An oversize response (e.g. a huge scan result) must never reach
+		// the wire: the client's ReadFrame would reject the frame as a
+		// protocol violation and kill the connection, failing every
+		// pipelined request on it. Substitute a clean per-request error.
+		if c.s.mErrs[wire.CodeBadRequest] != nil {
+			c.s.mErrs[wire.CodeBadRequest].Inc()
+		}
+		payload = wire.EncodeResponse(wire.CodeBadRequest,
+			fmt.Sprintf("result too large: %d bytes exceeds frame limit %d", len(payload), wire.MaxFrame), nil)
+	}
 	buf := wire.AppendFrame(nil, wire.Frame{
 		RequestID: reqID,
 		Op:        wire.OpResponse,
-		Payload:   wire.EncodeResponse(code, msg, body),
+		Payload:   payload,
 	})
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"strings"
 	"sync"
@@ -253,11 +254,148 @@ func TestFramingViolations(t *testing.T) {
 	send(binary.BigEndian.AppendUint32(nil, 100)[:3], true)
 	// Well-formed frame with a corrupt exec payload.
 	send(wire.AppendFrame(nil, wire.Frame{RequestID: 1, Op: wire.OpExec, Payload: []byte{250, 1}}), false)
+	// Exec payload whose argument row declares a near-2^64 string length:
+	// must decode as corrupt (bad request + connection close), never reach
+	// the allocator and panic the process.
+	hostile := binary.AppendUvarint(nil, 1) // sql = "x"
+	hostile = append(hostile, 'x')
+	hostile = append(hostile, 1, byte(core.KindString)) // 1-column arg row
+	hostile = binary.AppendUvarint(hostile, math.MaxUint64)
+	send(wire.AppendFrame(nil, wire.Frame{RequestID: 1, Op: wire.OpExec, Payload: hostile}), false)
 
 	// The server is still alive for a well-behaved client.
 	cl := h.client(t, nil)
 	if err := cl.Ping(); err != nil {
 		t.Fatalf("server did not survive framing abuse: %v", err)
+	}
+}
+
+// TestSessionCloseAbortsTxn closes a session mid-transaction: the abort
+// must round-trip before the connection returns to the pool, so the next
+// lessee of the same connection (= same server-side session) starts
+// clean and the abandoned writes never commit.
+func TestSessionCloseAbortsTxn(t *testing.T) {
+	h := newHarness(t, nil, nil)
+	cl := h.client(t, func(o *client.Options) { o.MaxRetries = -1 })
+
+	s, err := cl.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("CREATE TABLE t (id INT, PRIMARY KEY(id))"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO t VALUES (?)", core.I(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// The pool holds one connection; the next session reuses it. A leaked
+	// transaction would make Begin fail ("transaction already open") and
+	// autocommit statements silently run inside the stale transaction.
+	s2, err := cl.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Begin(); err != nil {
+		t.Fatalf("pooled connection inherited a stale transaction: %v", err)
+	}
+	if _, err := s2.Exec("INSERT INTO t VALUES (?)", core.I(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s2.Exec("SELECT * FROM t WHERE id = ?", core.I(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("insert abandoned by Close is visible: %+v", res.Rows)
+	}
+}
+
+// TestOversizeResultError asks for a scan result too large for one frame:
+// the server must answer a clean per-request bad-request error (never
+// write an over-MaxFrame frame the client would kill the connection
+// over), and the connection must stay usable for bounded queries.
+func TestOversizeResultError(t *testing.T) {
+	h := newHarness(t, nil, nil)
+	cl := h.client(t, func(o *client.Options) { o.MaxRetries = -1 })
+
+	s, err := cl.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Exec("CREATE TABLE big (id INT, v TEXT, PRIMARY KEY(id))"); err != nil {
+		t.Fatal(err)
+	}
+	wide := strings.Repeat("x", 1<<20)
+	for i := 0; i < 17; i++ { // ~17 MiB of result, over the 16 MiB frame cap
+		if _, err := s.Exec("INSERT INTO big VALUES (?, ?)", core.I(int64(i)), core.S(wide)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, err = s.Exec("SELECT * FROM big")
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Code != wire.CodeBadRequest {
+		t.Fatalf("oversize result: want CodeBadRequest, got %v", err)
+	}
+	if !strings.Contains(we.Msg, "too large") {
+		t.Fatalf("oversize result message: %q", we.Msg)
+	}
+
+	// Same session, same connection: a bounded query still works.
+	res, err := s.Exec("SELECT v FROM big WHERE id = ?", core.I(3))
+	if err != nil {
+		t.Fatalf("connection died after oversize result: %v", err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0][0].Str()) != 1<<20 {
+		t.Fatalf("bounded read after oversize result: %+v", len(res.Rows))
+	}
+}
+
+// TestPoolExhaustionRetryable leases the whole pool and checks that the
+// session-acquisition timeout is a retryable *wire.Error (CodeBusy), per
+// the retryability matrix, so Client.Exec backs off across it instead of
+// failing fast.
+func TestPoolExhaustionRetryable(t *testing.T) {
+	h := newHarness(t, nil, nil)
+	cl := h.client(t, func(o *client.Options) {
+		o.PoolSize = 1
+		o.RequestTimeout = 50 * time.Millisecond
+		o.MaxRetries = 10
+		o.RetryBase = 5 * time.Millisecond
+	})
+
+	s, err := cl.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("CREATE TABLE t (id INT, PRIMARY KEY(id))"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = cl.Session() // pool exhausted: must time out retryable
+	var we *wire.Error
+	if !errors.As(err, &we) || !we.Retryable() || !errors.Is(err, wire.ErrServerBusy) {
+		t.Fatalf("pool exhaustion must be a retryable busy wire error, got %v", err)
+	}
+
+	// Client.Exec's retry loop rides the busy code: it succeeds once the
+	// held session frees the pool slot.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		s.Close()
+	}()
+	if _, err := cl.Exec("INSERT INTO t VALUES (?)", core.I(1)); err != nil {
+		t.Fatalf("exec did not retry across pool exhaustion: %v", err)
 	}
 }
 

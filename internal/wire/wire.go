@@ -45,6 +45,12 @@ const MaxFrame = 16 << 20
 // headerSize is requestID + opcode, the fixed part covered by length.
 const headerSize = 9
 
+// MaxPayload is the largest payload that fits a legal frame: MaxFrame
+// minus the fixed header the length field also covers. A sender must
+// never emit a larger payload -- the receiver's ReadFrame would reject
+// it as a protocol violation and fail the whole connection.
+const MaxPayload = MaxFrame - headerSize
+
 // Op is a frame opcode.
 type Op uint8
 
