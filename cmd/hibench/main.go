@@ -40,6 +40,7 @@ func main() {
 		connect  = flag.String("connect", "", "networked mode: drive the server at host:port")
 		netlocal = flag.Bool("netlocal", false, "networked mode: loopback server vs in-process comparison")
 		clients  = flag.Int("clients", 8, "networked mode: concurrent client sessions")
+		prepared = flag.Bool("prepared", false, "networked mode: use prepared statements (OpPrepare/OpExecStmt) instead of per-call SQL text")
 	)
 	flag.Parse()
 
@@ -57,9 +58,9 @@ func main() {
 		case *serve != "":
 			err = netServe(*serve, workers)
 		case *connect != "":
-			err = netConnect(*connect, *clients, d)
+			err = netConnect(*connect, *clients, d, *prepared)
 		default:
-			err = netLocal(*clients, workers, d)
+			err = netLocal(*clients, workers, d, *prepared)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hibench:", err)

@@ -5,6 +5,7 @@
 //	hibench -serve :7609                  # run a server and block
 //	hibench -connect host:port -clients 8 # drive a remote server
 //	hibench -netlocal -clients 8          # loopback server + in-process baseline
+//	hibench -netlocal -prepared           # same, via prepared statements
 //
 // The workload is a fixed OLTP-ish mix per client: an explicit
 // transaction of two inserts (committed through the pipelined path),
@@ -77,8 +78,10 @@ func netServe(addr string, workers int) error {
 }
 
 // netConnect drives a remote server with nClients sessions for d and
-// prints the throughput report.
-func netConnect(addr string, nClients int, d time.Duration) error {
+// prints the throughput report. With prepared, each session prepares the
+// workload's two statements once and executes by statement id, so the
+// server never re-parses.
+func netConnect(addr string, nClients int, d time.Duration, prepared bool) error {
 	cl, err := client.New(client.Options{Addr: addr, PoolSize: nClients})
 	if err != nil {
 		return err
@@ -96,6 +99,39 @@ func netConnect(addr string, nClients int, d time.Duration) error {
 		s, err := cl.Session()
 		if err != nil {
 			return netSession{}, err
+		}
+		if prepared {
+			ins, err := s.Prepare("INSERT INTO netbench VALUES (?, ?)")
+			if err != nil {
+				s.Close()
+				return netSession{}, err
+			}
+			sel, err := s.Prepare("SELECT c FROM netbench WHERE id = ?")
+			if err != nil {
+				s.Close()
+				return netSession{}, err
+			}
+			return netSession{
+				txn: func(k1, k2 int64) error {
+					if err := s.Begin(); err != nil {
+						return err
+					}
+					if _, err := ins.Exec(core.I(k1), core.S("v")); err != nil {
+						s.Rollback()
+						return err
+					}
+					if _, err := ins.Exec(core.I(k2), core.S("v")); err != nil {
+						s.Rollback()
+						return err
+					}
+					return s.Commit()
+				},
+				query: func(k int64) error {
+					_, err := sel.Exec(core.I(k))
+					return err
+				},
+				close: s.Close,
+			}, nil
 		}
 		return netSession{
 			txn: func(k1, k2 int64) error {
@@ -122,13 +158,18 @@ func netConnect(addr string, nClients int, d time.Duration) error {
 	if err != nil {
 		return err
 	}
-	printNetReport("wire "+addr, nClients, d, txns, lat)
+	label := "wire " + addr
+	if prepared {
+		label = "wire+prep " + addr
+	}
+	printNetReport(label, nClients, d, txns, lat)
 	return nil
 }
 
 // netLocal runs the loopback comparison: the identical workload through a
-// 127.0.0.1 server and directly against the in-process frontend.
-func netLocal(nClients, workers int, d time.Duration) error {
+// 127.0.0.1 server and directly against the in-process frontend. With
+// prepared, both sides execute through prepared handles.
+func netLocal(nClients, workers int, d time.Duration, prepared bool) error {
 	// --- over the wire ---------------------------------------------------
 	front, engine, err := netFrontend(workers)
 	if err != nil {
@@ -145,7 +186,7 @@ func netLocal(nClients, workers int, d time.Duration) error {
 		return err
 	}
 	go srv.Serve(ln)
-	err = netConnect(ln.Addr().String(), nClients, d)
+	err = netConnect(ln.Addr().String(), nClients, d, prepared)
 	srv.Close()
 	engine.Close()
 	if err != nil {
@@ -169,6 +210,44 @@ func netLocal(nClients, workers int, d time.Duration) error {
 	}
 	txns, lat, err := netDrive(nClients, d, 1<<41, func(i int) (netSession, error) {
 		sess := front2.NewSession(0)
+		if prepared {
+			ins, err := sess.Prepare("INSERT INTO netbench VALUES (?, ?)")
+			if err != nil {
+				return netSession{}, err
+			}
+			sel, err := sess.Prepare("SELECT c FROM netbench WHERE id = ?")
+			if err != nil {
+				return netSession{}, err
+			}
+			return netSession{
+				txn: func(k1, k2 int64) error {
+					slot := <-slots
+					defer func() { slots <- slot }()
+					sess.SetWorker(slot)
+					if err := sess.Begin(); err != nil {
+						return err
+					}
+					if _, err := ins.Exec(core.I(k1), core.S("v")); err != nil {
+						sess.Rollback()
+						return err
+					}
+					if _, err := ins.Exec(core.I(k2), core.S("v")); err != nil {
+						sess.Rollback()
+						return err
+					}
+					_, err := sess.Exec("COMMIT")
+					return err
+				},
+				query: func(k int64) error {
+					slot := <-slots
+					defer func() { slots <- slot }()
+					sess.SetWorker(slot)
+					_, err := sel.Exec(core.I(k))
+					return err
+				},
+				close: func() {},
+			}, nil
+		}
 		return netSession{
 			txn: func(k1, k2 int64) error {
 				slot := <-slots
@@ -205,7 +284,11 @@ func netLocal(nClients, workers int, d time.Duration) error {
 	if err != nil {
 		return err
 	}
-	printNetReport("in-process", nClients, d, txns, lat)
+	label := "in-process"
+	if prepared {
+		label = "in-process+prep"
+	}
+	printNetReport(label, nClients, d, txns, lat)
 	return nil
 }
 

@@ -67,7 +67,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("HiEngine shell -- connected to %s. \\q to quit.\n", *connect)
-		sess = s
+		sess = &remoteBackend{s: s, stmts: make(map[string]*client.Stmt)}
 	} else {
 		var err error
 		local, err = newLocalBackend()
@@ -159,6 +159,48 @@ func main() {
 		}
 	}
 }
+
+// remoteBackend drives a remote hiserver through prepared statements: the
+// first execution of a SQL text prepares it (one parse, server-side), and
+// re-running the same text -- the common REPL pattern -- ships only the
+// statement id. BEGIN/COMMIT/ROLLBACK go through the session's text
+// routing so transaction state tracking stays with the client session.
+type remoteBackend struct {
+	s     *client.Session
+	stmts map[string]*client.Stmt
+}
+
+// remoteStmtCacheSize bounds the shell's prepared handles well below the
+// server's per-connection statement-table bound.
+const remoteStmtCacheSize = 64
+
+func (r *remoteBackend) Exec(sql string, args ...core.Value) (*wire.Result, error) {
+	switch strings.ToUpper(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))) {
+	case "BEGIN", "COMMIT", "ROLLBACK":
+		return r.s.Exec(sql, args...)
+	}
+	st, ok := r.stmts[sql]
+	if !ok {
+		var err error
+		st, err = r.s.Prepare(sql)
+		if err != nil {
+			return nil, err
+		}
+		if len(r.stmts) >= remoteStmtCacheSize {
+			for k, old := range r.stmts { // evict an arbitrary entry
+				old.Close()
+				delete(r.stmts, k)
+				break
+			}
+		}
+		r.stmts[sql] = st
+	}
+	return st.Exec(args...)
+}
+
+func (r *remoteBackend) InTxn() bool { return r.s.InTxn() }
+
+func (r *remoteBackend) Stats() (string, error) { return r.s.Stats() }
 
 // localBackend is the in-process deployment: engine + baseline behind one
 // SQL frontend, as before the network layer existed.

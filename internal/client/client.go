@@ -42,6 +42,9 @@ import (
 // ErrClientClosed is returned by operations on a closed Client.
 var ErrClientClosed = errors.New("client: closed")
 
+// ErrStmtClosed is returned by operations on a closed Stmt.
+var ErrStmtClosed = errors.New("client: statement closed")
+
 // Options configures a Client.
 type Options struct {
 	// Addr is the server address (host:port). Required.
@@ -270,15 +273,19 @@ func (c *Client) Exec(sql string, args ...core.Value) (*wire.Result, error) {
 type Session struct {
 	c      *Client
 	w      *wconn
+	stmts  map[uint64]*Stmt
 	inTxn  bool
 	closed bool
 }
 
-// Close rolls back any open transaction and returns the connection to
-// the pool. The abort must round-trip before the connection is pooled:
-// a reused connection is the same server-side session, so pooling one
-// with an open transaction would leak that transaction (and its worker
-// slot) to the next lessee. If the abort fails the connection is
+// Close rolls back any open transaction, closes any open prepared
+// statements, and returns the connection to the pool. Both must
+// round-trip before the connection is pooled: a reused connection is the
+// same server-side session, so pooling one with an open transaction
+// would leak that transaction (and its worker slot) to the next lessee,
+// and pooling one with live statement ids would leak server-side
+// statement-table entries (and let a stale client Stmt execute against a
+// stranger's session). If either cleanup fails the connection is
 // discarded instead.
 func (s *Session) Close() {
 	if s.closed {
@@ -289,8 +296,30 @@ func (s *Session) Close() {
 			s.inTxn = false
 		}
 	}
+	reusable := !s.inTxn
+	if len(s.stmts) > 0 && s.w.healthy() {
+		// Pipeline the closes: start them all, then collect.
+		pend := make([]*Pending, 0, len(s.stmts))
+		for id := range s.stmts {
+			p, err := s.w.start(wire.OpCloseStmt, wire.EncodeCloseStmt(id), s.c.opts.RequestTimeout)
+			if err != nil {
+				reusable = false
+				break
+			}
+			pend = append(pend, p)
+		}
+		for _, p := range pend {
+			if _, err := p.wait(); err != nil {
+				reusable = false
+			}
+		}
+	}
+	for _, st := range s.stmts {
+		st.closed = true
+	}
+	s.stmts = nil
 	s.closed = true
-	s.c.release(s.w, !s.inTxn)
+	s.c.release(s.w, reusable)
 }
 
 // InTxn reports the client-side view of the transaction state.
@@ -367,12 +396,22 @@ func (s *Session) Ping() error {
 	return err
 }
 
+// txnVerb reports whether sql is bare BEGIN/COMMIT/ROLLBACK text (any
+// case, optional trailing semicolon), returning the normalized verb or "".
+func txnVerb(sql string) string {
+	switch t := strings.ToUpper(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))); t {
+	case "BEGIN", "COMMIT", "ROLLBACK":
+		return t
+	}
+	return ""
+}
+
 // Exec runs one statement. BEGIN/COMMIT/ROLLBACK text routes to the
 // dedicated opcodes so interactive drivers (hishell) get pipelined
 // commits and correct state tracking. Outside a transaction, retryable
 // errors retry with backoff; inside one they surface immediately.
 func (s *Session) Exec(sql string, args ...core.Value) (*wire.Result, error) {
-	switch strings.ToUpper(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))) {
+	switch txnVerb(sql) {
 	case "BEGIN":
 		return &wire.Result{}, s.Begin()
 	case "COMMIT":
@@ -397,6 +436,133 @@ func (s *Session) Exec(sql string, args ...core.Value) (*wire.Result, error) {
 		}
 		s.c.backoff(attempt)
 	}
+}
+
+// --- prepared statements ---------------------------------------------------
+
+// Stmt is a server-side prepared statement: parse/plan was paid once at
+// Prepare, and every Exec ships only the statement id and an argument
+// row. A Stmt is bound to its session (statement ids are scoped to the
+// server-side session) and, like the session, is not safe for concurrent
+// use. Session.Close closes any statements still open.
+type Stmt struct {
+	s       *Session
+	id      uint64
+	sql     string
+	verb    string // BEGIN/COMMIT/ROLLBACK, delegated to session state tracking
+	nParams int
+	closed  bool
+}
+
+// Prepare compiles sql server-side and returns its statement handle.
+// Retryable errors (busy admission) retry with backoff: preparing
+// executes nothing, so retry is safe even inside a transaction.
+func (s *Session) Prepare(sql string) (*Stmt, error) {
+	if s.closed {
+		return nil, ErrClientClosed
+	}
+	r, err := s.doRetryable(wire.OpPrepare, wire.EncodePrepare(sql))
+	if err != nil {
+		return nil, err
+	}
+	id, n, err := wire.DecodePrepareResult(r.body)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	st := &Stmt{s: s, id: id, sql: sql, verb: txnVerb(sql), nParams: n}
+	if s.stmts == nil {
+		s.stmts = make(map[uint64]*Stmt)
+	}
+	s.stmts[id] = st
+	return st, nil
+}
+
+// NumParams reports the statement's parameter count.
+func (st *Stmt) NumParams() int { return st.nParams }
+
+// Exec runs the prepared statement. Prepared BEGIN/COMMIT/ROLLBACK
+// delegate to the session's transaction methods so client-side state
+// tracking (and the pipelined commit path) stay exactly as for text.
+// Retry mirrors Session.Exec: retryable codes retry with backoff outside
+// a transaction, never inside one.
+func (st *Stmt) Exec(args ...core.Value) (*wire.Result, error) {
+	if st.closed {
+		return nil, ErrStmtClosed
+	}
+	s := st.s
+	switch st.verb {
+	case "BEGIN":
+		return &wire.Result{}, s.Begin()
+	case "COMMIT":
+		return &wire.Result{}, s.Commit()
+	case "ROLLBACK":
+		return &wire.Result{}, s.Rollback()
+	}
+	if s.inTxn {
+		res, err := st.exec(args)
+		s.noteOutcome(err)
+		return res, err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		res, err := st.exec(args)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if attempt >= s.c.opts.MaxRetries || !retryable(lastErr) {
+			return nil, lastErr
+		}
+		s.c.backoff(attempt)
+	}
+}
+
+// exec is one un-retried prepared round trip.
+func (st *Stmt) exec(args []core.Value) (*wire.Result, error) {
+	r, err := st.s.do(wire.OpExecStmt, wire.EncodeExecStmt(st.id, args))
+	if err != nil {
+		return nil, err
+	}
+	if len(r.body) == 0 {
+		return &wire.Result{}, nil
+	}
+	return wire.DecodeResult(r.body)
+}
+
+// ExecPipe sends a prepared execution without waiting (no retry). A
+// prepared COMMIT/ROLLBACK updates the client-side transaction flag like
+// CommitPipe; otherwise transaction-state tracking is the caller's
+// concern when pipelining.
+func (st *Stmt) ExecPipe(args ...core.Value) (*Pending, error) {
+	if st.closed {
+		return nil, ErrStmtClosed
+	}
+	if st.s.closed {
+		return nil, ErrClientClosed
+	}
+	switch st.verb {
+	case "BEGIN":
+		st.s.inTxn = true
+	case "COMMIT", "ROLLBACK":
+		st.s.inTxn = false
+	}
+	return st.s.w.start(wire.OpExecStmt, wire.EncodeExecStmt(st.id, args), st.s.c.opts.RequestTimeout)
+}
+
+// Close releases the server-side statement. Closing twice (or closing
+// after the session closed) is a no-op; server-side close is idempotent.
+func (st *Stmt) Close() error {
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	s := st.s
+	delete(s.stmts, st.id)
+	if s.closed || !s.w.healthy() {
+		return nil
+	}
+	_, err := s.do(wire.OpCloseStmt, wire.EncodeCloseStmt(st.id))
+	return err
 }
 
 // exec is one un-retried statement round trip.
@@ -528,11 +694,14 @@ func (w *wconn) start(op wire.Op, payload []byte, timeout time.Duration) (*Pendi
 	w.pending[id] = ch
 	w.mu.Unlock()
 
-	buf := wire.AppendFrame(nil, wire.Frame{RequestID: id, Op: op, Payload: payload})
+	bp := wire.GetBuf()
+	buf := wire.AppendFrame((*bp)[:0], wire.Frame{RequestID: id, Op: op, Payload: payload})
 	w.writeMu.Lock()
 	w.nc.SetWriteDeadline(time.Now().Add(timeout))
 	_, err := w.nc.Write(buf)
 	w.writeMu.Unlock()
+	*bp = buf
+	wire.PutBuf(bp)
 	if err != nil {
 		w.fail(fmt.Errorf("client: write: %w", err))
 		return nil, fmt.Errorf("client: write: %w", err)
@@ -570,8 +739,9 @@ func (p *Pending) wait() (response, error) {
 // greeting rejection uses ID 0): a non-OK code fails the connection with
 // that error so current and future requests see it.
 func (w *wconn) readLoop() {
+	fr := wire.NewFrameReader(w.br, false)
 	for {
-		f, err := wire.ReadFrame(w.br, false)
+		f, err := fr.Read()
 		if err != nil {
 			w.fail(fmt.Errorf("client: read: %w", err))
 			return
@@ -591,6 +761,11 @@ func (w *wconn) readLoop() {
 				return
 			}
 			continue
+		}
+		// body aliases the FrameReader's reusable buffer; the future runs
+		// on another goroutine, so hand it a copy.
+		if len(body) > 0 {
+			body = append([]byte(nil), body...)
 		}
 		ch <- response{code: code, msg: msg, body: body}
 	}

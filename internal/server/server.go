@@ -14,6 +14,21 @@
 //     commits therefore batch into the WAL group commit -- the regime the
 //     per-worker log buffers of Section 4.2 are built for.
 //
+//   - Statements prepare once, execute many: OpPrepare compiles a SQL text
+//     through the frontend plan cache and issues a connection-scoped
+//     statement id; OpExecStmt binds an argument row straight into the
+//     compiled plan (the wire form of Section 3.3's one-time full-stack
+//     code generation). Unprepared OpExec traffic shares the same plan
+//     cache keyed by SQL text, so it too stops re-parsing after first
+//     sight. Statement tables are bounded (MaxStmts) and die with the
+//     connection.
+//
+//   - Silence is bounded: IdleTimeout reaps connections that hold a
+//     MaxConns seat without sending anything; ReadTimeout bounds a frame's
+//     arrival once started (slowloris) and all waiting while a transaction
+//     pins a leased worker slot. Timeouts fail the connection, never the
+//     server, and release every resource the connection held.
+//
 //   - Admission control is typed backpressure, never unbounded queueing:
 //     connections beyond MaxConns are greeted with a CodeBusy frame and
 //     closed; requests beyond MaxInFlight get CodeBusy responses; worker
@@ -38,6 +53,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -95,6 +111,20 @@ type Config struct {
 	// slot before CodeBusy (default 250ms). This is the only bounded
 	// queue in the admission path.
 	SlotWait time.Duration
+	// ReadTimeout bounds a request frame's arrival once its first bytes
+	// are on the wire, and bounds inter-statement idle time while a
+	// transaction is open (default 30s). A peer that stalls mid-frame
+	// (slowloris) or stalls holding a transaction -- and with it a leased
+	// worker slot -- fails its own connection; the slot and the MaxConns
+	// seat are released, the server is unaffected.
+	ReadTimeout time.Duration
+	// IdleTimeout reaps connections with no open transaction that send
+	// nothing at all (default 5m): abandoned application connections
+	// release their MaxConns seat instead of pinning it forever.
+	IdleTimeout time.Duration
+	// MaxStmts bounds each connection's prepared-statement table
+	// (default 256). Prepare beyond the bound is CodeBadRequest.
+	MaxStmts int
 	// WriteTimeout bounds each response write (default 10s).
 	WriteTimeout time.Duration
 	// DrainTimeout bounds Close()'s wait for in-flight requests
@@ -119,6 +149,15 @@ func (c *Config) fill() {
 	}
 	if c.SlotWait <= 0 {
 		c.SlotWait = 250 * time.Millisecond
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.MaxStmts <= 0 {
+		c.MaxStmts = 256
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
@@ -162,9 +201,12 @@ type Server struct {
 	mBytesOut     *obs.Counter
 	mLatency      *obs.Histogram
 	mCommitDur    *obs.Histogram
-	mReqs         [8]*obs.Counter // by opcode
+	mReqs         [wire.MaxOp + 1]*obs.Counter // by opcode
 	mErrs         [16]*obs.Counter
 	mSlotWaitBusy *obs.Counter
+	mStmtsOpen    *obs.Gauge
+	mReadTimeouts *obs.Counter
+	mIdleReaped   *obs.Counter
 }
 
 // New builds a server. It does not listen; call Serve or ListenAndServe.
@@ -197,8 +239,14 @@ func New(cfg Config) (*Server, error) {
 	s.mLatency = r.Histogram("server.request_latency_ns")
 	s.mCommitDur = r.Histogram("server.commit_durable_ns")
 	s.mSlotWaitBusy = r.Counter("server.slot_wait_busy")
+	s.mStmtsOpen = r.Gauge("server.stmts_open")
+	s.mReadTimeouts = r.Counter("server.read_timeouts")
+	s.mIdleReaped = r.Counter("server.idle_reaped")
 	if r != nil {
-		for op := wire.OpPing; op <= wire.OpStats; op++ {
+		for op := wire.OpPing; op <= wire.MaxOp; op++ {
+			if op == wire.OpResponse {
+				continue
+			}
 			s.mReqs[op] = r.Counter("server.requests." + op.String())
 		}
 		for c := wire.CodeConflict; c <= wire.CodeInternal; c++ {
@@ -349,6 +397,12 @@ type conn struct {
 	br   *bufio.Reader
 	sess *sqlfront.Session
 
+	// stmts is the connection's prepared-statement table: ids issued by
+	// OpPrepare, scoped to (and dying with) the connection. Bounded by
+	// Config.MaxStmts.
+	stmts   map[uint64]*stmtEntry
+	stmtSeq uint64
+
 	// worker-slot lease: held for the lifetime of a transaction
 	// (explicit or autocommit); the engine frees its own slot earlier on
 	// pipelined commits, but the lease is the server-side bound.
@@ -359,15 +413,68 @@ type conn struct {
 	dead    bool // write side failed; further responses are dropped
 }
 
+// stmtEntry is one server-side prepared statement. commit marks a
+// prepared COMMIT so its executions route through the pipelined commit
+// path exactly like the textual and OpCommit forms.
+type stmtEntry struct {
+	stmt   *sqlfront.Stmt
+	commit bool
+}
+
+// isCommitText reports whether sql is the statement COMMIT (any case,
+// optional trailing semicolon).
+func isCommitText(sql string) bool {
+	return strings.ToUpper(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))) == "COMMIT"
+}
+
+// isTimeout reports whether a read failed by deadline rather than by
+// peer close or garbage.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // serve is the per-connection read loop. Requests execute serially (the
 // session is stateful); responses may be written out of order by commit
 // durability callbacks.
+//
+// Read deadlines bound a peer's silence: waiting between frames is
+// budgeted IdleTimeout (ReadTimeout while a transaction is open, since an
+// open transaction pins a leased worker slot), and once a frame's first
+// bytes arrive its remainder must land within ReadTimeout -- a peer
+// trickling a frame byte-by-byte (slowloris) cannot hold the connection
+// open past it. A deadline failure kills only this connection; teardown
+// releases the worker slot and the MaxConns seat.
 func (c *conn) serve() {
 	defer c.teardown()
+	fr := wire.NewFrameReader(c.br, true)
+	inFrame := false
+	fr.OnFrameStart = func() {
+		inFrame = true
+		c.nc.SetReadDeadline(time.Now().Add(c.s.cfg.ReadTimeout))
+	}
 	for {
-		f, err := wire.ReadFrame(c.br, true)
+		inFrame = false
+		wait := c.s.cfg.IdleTimeout
+		if c.sess.InTxn() {
+			wait = c.s.cfg.ReadTimeout
+		}
+		c.nc.SetReadDeadline(time.Now().Add(wait))
+		f, err := fr.Read()
 		if err != nil {
-			if errors.Is(err, wire.ErrProtocol) {
+			switch {
+			case isTimeout(err):
+				if inFrame || c.sess.InTxn() {
+					c.s.mReadTimeouts.Inc()
+					c.respond(0, wire.CodeClosed, "read timeout", nil)
+				} else {
+					c.s.mIdleReaped.Inc()
+					c.respond(0, wire.CodeClosed, "connection idle timeout", nil)
+				}
+			case errors.Is(err, wire.ErrProtocol):
 				// Torn/oversize/garbage frame: fail the connection with
 				// a best-effort protocol-violation notice.
 				c.s.mProtoErrs.Inc()
@@ -394,6 +501,10 @@ func (c *conn) teardown() {
 		c.sess.Rollback()
 	}
 	c.releaseSlot()
+	if n := len(c.stmts); n > 0 {
+		c.s.mStmtsOpen.Add(-int64(n))
+		c.stmts = nil
+	}
 	c.nc.Close()
 	c.s.mu.Lock()
 	delete(c.s.conns, c)
@@ -487,6 +598,9 @@ func (c *conn) handle(f wire.Frame) bool {
 		if c.s.cfg.Stats != nil {
 			b.WriteString(c.s.cfg.Stats())
 		}
+		pcs := c.s.cfg.Frontend.PlanCacheStats()
+		fmt.Fprintf(&b, "plancache size=%d hits=%d misses=%d evictions=%d invalidations=%d\n",
+			pcs.Size, pcs.Hits, pcs.Misses, pcs.Evictions, pcs.Invalidations)
 		if c.s.cfg.Obs != nil {
 			b.WriteString(c.s.cfg.Obs.Snapshot().String())
 		}
@@ -520,7 +634,7 @@ func (c *conn) handle(f wire.Frame) bool {
 		}
 		// SQL COMMIT goes through the pipelined path so every commit,
 		// however expressed, batches into the group append.
-		if t := strings.ToUpper(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))); t == "COMMIT" {
+		if isCommitText(sql) {
 			c.commit(f.RequestID, true, release)
 			return true
 		}
@@ -542,9 +656,78 @@ func (c *conn) handle(f wire.Frame) bool {
 			finish(err, nil)
 			return true
 		}
-		finish(nil, wire.EncodeResult(&wire.Result{
-			Columns: res.Columns, Rows: res.Rows, Affected: res.Affected,
-		}))
+		c.finishResult(finish, res)
+
+	case wire.OpPrepare:
+		sql, err := wire.DecodePrepare(f.Payload)
+		if err != nil {
+			c.s.mProtoErrs.Inc()
+			finish(err, nil)
+			return false
+		}
+		if len(c.stmts) >= c.s.cfg.MaxStmts {
+			finish(fmt.Errorf("%w: statement table full (%d open)", wire.ErrBadStatement, len(c.stmts)), nil)
+			return true
+		}
+		// Prepare only touches the catalog (parse/plan/compile through the
+		// frontend plan cache) -- no engine transaction, so no worker slot.
+		st, err := c.sess.Prepare(sql)
+		if err != nil {
+			finish(fmt.Errorf("%w: %v", wire.ErrBadStatement, err), nil)
+			return true
+		}
+		if c.stmts == nil {
+			c.stmts = make(map[uint64]*stmtEntry)
+		}
+		c.stmtSeq++
+		id := c.stmtSeq
+		c.stmts[id] = &stmtEntry{stmt: st, commit: isCommitText(sql)}
+		c.s.mStmtsOpen.Add(1)
+		finish(nil, wire.EncodePrepareResult(id, st.NumParams()))
+
+	case wire.OpExecStmt:
+		id, args, err := wire.DecodeExecStmt(f.Payload)
+		if err != nil {
+			c.s.mProtoErrs.Inc()
+			finish(err, nil)
+			return false
+		}
+		e := c.stmts[id]
+		if e == nil {
+			finish(fmt.Errorf("%w: unknown statement id %d", wire.ErrBadStatement, id), nil)
+			return true
+		}
+		// A prepared COMMIT pipelines exactly like the textual form.
+		if e.commit {
+			c.commit(f.RequestID, true, release)
+			return true
+		}
+		if err := c.acquireSlot(); err != nil {
+			finish(err, nil)
+			return true
+		}
+		res, err := e.stmt.Exec(args...)
+		c.releaseSlot()
+		if err != nil {
+			finish(err, nil)
+			return true
+		}
+		c.finishResult(finish, res)
+
+	case wire.OpCloseStmt:
+		id, err := wire.DecodeCloseStmt(f.Payload)
+		if err != nil {
+			c.s.mProtoErrs.Inc()
+			finish(err, nil)
+			return false
+		}
+		// Idempotent: closing an unknown or already-closed id succeeds, so
+		// pooled clients can close defensively on connection reuse.
+		if _, ok := c.stmts[id]; ok {
+			delete(c.stmts, id)
+			c.s.mStmtsOpen.Add(-1)
+		}
+		finish(nil, nil)
 
 	default:
 		// ReadFrame validated the opcode; unreachable.
@@ -553,6 +736,24 @@ func (c *conn) handle(f wire.Frame) bool {
 	}
 	return true
 }
+
+// finishResult responds CodeOK with res encoded into a pooled body
+// buffer; the buffer returns to the pool once the response frame is
+// written (finish responds synchronously, so the body is dead by then).
+func (c *conn) finishResult(finish func(error, []byte), res *sqlfront.Result) {
+	bp := wire.GetBuf()
+	body := wire.AppendResult((*bp)[:0], &wire.Result{
+		Columns: res.Columns, Rows: res.Rows, Affected: res.Affected,
+	})
+	finish(nil, body)
+	*bp = body
+	wire.PutBuf(bp)
+}
+
+// emptyResultBody is the static body of a SQL COMMIT response (an empty
+// Result); commit responses may fire from durability callbacks, so they
+// use a shared immutable body instead of a pooled buffer.
+var emptyResultBody = wire.EncodeResult(&wire.Result{})
 
 // commit runs the session commit through the pipelined path: on an async
 // commit the response (and the admission token) is deferred to the
@@ -563,7 +764,7 @@ func (c *conn) commit(reqID uint64, viaExec bool, release func()) {
 	start := time.Now()
 	body := func() []byte {
 		if viaExec {
-			return wire.EncodeResult(&wire.Result{})
+			return emptyResultBody
 		}
 		return nil
 	}
@@ -603,8 +804,10 @@ func (c *conn) respondErr(reqID uint64, err error) {
 // granularity. Write failures (or an injected mid-response drop) kill the
 // connection's write side; later responses are dropped silently.
 func (c *conn) respond(reqID uint64, code wire.Code, msg string, body []byte) {
-	payload := wire.EncodeResponse(code, msg, body)
-	if len(payload) > wire.MaxPayload {
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
+	buf := wire.AppendResponseFrame((*bp)[:0], reqID, code, msg, body)
+	if payload := len(buf) - 13; payload > wire.MaxPayload {
 		// An oversize response (e.g. a huge scan result) must never reach
 		// the wire: the client's ReadFrame would reject the frame as a
 		// protocol violation and kill the connection, failing every
@@ -612,14 +815,10 @@ func (c *conn) respond(reqID uint64, code wire.Code, msg string, body []byte) {
 		if c.s.mErrs[wire.CodeBadRequest] != nil {
 			c.s.mErrs[wire.CodeBadRequest].Inc()
 		}
-		payload = wire.EncodeResponse(wire.CodeBadRequest,
-			fmt.Sprintf("result too large: %d bytes exceeds frame limit %d", len(payload), wire.MaxFrame), nil)
+		buf = wire.AppendResponseFrame(buf[:0], reqID, wire.CodeBadRequest,
+			fmt.Sprintf("result too large: %d bytes exceeds frame limit %d", payload, wire.MaxFrame), nil)
 	}
-	buf := wire.AppendFrame(nil, wire.Frame{
-		RequestID: reqID,
-		Op:        wire.OpResponse,
-		Payload:   payload,
-	})
+	*bp = buf
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	if c.dead {

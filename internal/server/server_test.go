@@ -617,7 +617,13 @@ func TestSoakChaos(t *testing.T) {
 	eng.Arm(chaos.Rule{Site: SiteAccept, Action: chaos.Fault, Prob: 0.10})
 	eng.Arm(chaos.Rule{Site: SiteRead, Action: chaos.Delay, Prob: 0.05, Delay: 200 * time.Microsecond})
 
-	h := newHarness(t, func(c *Config) { c.DrainTimeout = 10 * time.Second }, eng)
+	h := newHarness(t, func(c *Config) {
+		c.DrainTimeout = 10 * time.Second
+		// Timeouts armed but generous: chaos read delays and storm-induced
+		// stalls must never be misread as slowloris connections.
+		c.ReadTimeout = 2 * time.Second
+		c.IdleTimeout = 5 * time.Second
+	}, eng)
 
 	setup := h.client(t, func(o *client.Options) { o.MaxRetries = 20; o.RetryBase = time.Millisecond })
 	if _, err := setup.Exec("CREATE TABLE soak (id INT, v TEXT, PRIMARY KEY(id))"); err != nil {
@@ -661,7 +667,11 @@ func TestSoakChaos(t *testing.T) {
 					}
 					continue
 				}
-				// Two-key explicit transaction.
+				// Two-key explicit transaction; even sequences run through
+				// prepared handles so the prepared path soaks under the same
+				// chaos as the text path. A prepare failure happens before
+				// anything is written, so it counts as stage 0 (aborted).
+				usePrepared := seq%2 == 0
 				k1, k2 := key+2*seq, key+2*seq+1
 				p := pairState{k1: k1, k2: k2}
 				s, err := cl.Session()
@@ -670,20 +680,35 @@ func TestSoakChaos(t *testing.T) {
 				}
 				stage := 0
 				err = func() error {
+					var ins *client.Stmt
+					if usePrepared {
+						var perr error
+						if ins, perr = s.Prepare("INSERT INTO soak VALUES (?, ?)"); perr != nil {
+							return perr
+						}
+					}
+					insert := func(k int64, v string) error {
+						if usePrepared {
+							_, err := ins.Exec(core.I(k), core.S(v))
+							return err
+						}
+						_, err := s.Exec("INSERT INTO soak VALUES (?, ?)", core.I(k), core.S(v))
+						return err
+					}
 					if err := s.Begin(); err != nil {
 						return err
 					}
 					stage = 1
-					if _, err := s.Exec("INSERT INTO soak VALUES (?, ?)", core.I(k1), core.S("a")); err != nil {
+					if err := insert(k1, "a"); err != nil {
 						return err
 					}
-					if _, err := s.Exec("INSERT INTO soak VALUES (?, ?)", core.I(k2), core.S("b")); err != nil {
+					if err := insert(k2, "b"); err != nil {
 						return err
 					}
 					stage = 2
 					return s.Commit()
 				}()
-				s.Close()
+				s.Close() // closes any prepared handle before pooling the conn
 				switch {
 				case err == nil:
 					p.outcome = +1

@@ -1,0 +1,249 @@
+package sqlfront
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hiengine/internal/adapt"
+	"hiengine/internal/core"
+	"hiengine/internal/delay"
+	"hiengine/internal/srss"
+)
+
+func cacheFrontend(t *testing.T) (*Frontend, *core.Engine) {
+	t.Helper()
+	engine, err := core.Open(core.Config{
+		Service: srss.New(srss.Config{Model: delay.Zero()}),
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { engine.Close() })
+	return NewFrontend("hiengine", adapt.New(engine)), engine
+}
+
+// TestPlanCacheHit checks that repeated executions of the same SQL text
+// share one compiled plan: one miss, then hits.
+func TestPlanCacheHit(t *testing.T) {
+	f, _ := cacheFrontend(t)
+	s := f.NewSession(0)
+	if _, err := s.Exec("CREATE TABLE t (id INT, v TEXT, PRIMARY KEY(id))"); err != nil {
+		t.Fatal(err)
+	}
+	base := f.PlanCacheStats()
+	for i := 0; i < 10; i++ {
+		if _, err := s.Exec("INSERT INTO t VALUES (?, ?)", core.I(int64(i)), core.S("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.PlanCacheStats()
+	if got := st.Misses - base.Misses; got != 1 {
+		t.Fatalf("10 executions compiled %d times, want 1", got)
+	}
+	if got := st.Hits - base.Hits; got != 9 {
+		t.Fatalf("cache hits = %d, want 9", got)
+	}
+
+	// A second session shares the same plan: zero additional misses.
+	s2 := f.NewSession(1)
+	if _, err := s2.Exec("INSERT INTO t VALUES (?, ?)", core.I(100), core.S("y")); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := f.PlanCacheStats(); st2.Misses != st.Misses {
+		t.Fatalf("second session recompiled a cached plan (misses %d -> %d)", st.Misses, st2.Misses)
+	}
+}
+
+// TestPlanCacheErrorNotCached is the negative-caching regression: a
+// statement that fails to compile because its table does not exist yet
+// must succeed after CREATE TABLE. Caching the failure (or any pre-DDL
+// resolution of the text) would pin the error forever.
+func TestPlanCacheErrorNotCached(t *testing.T) {
+	f, _ := cacheFrontend(t)
+	s := f.NewSession(0)
+	const ins = "INSERT INTO late VALUES (?, ?)"
+	if _, err := s.Exec(ins, core.I(1), core.S("x")); err == nil {
+		t.Fatal("insert into a missing table succeeded")
+	}
+	if _, err := s.Prepare(ins); err == nil {
+		t.Fatal("prepare against a missing table succeeded")
+	}
+	if _, err := s.Exec("CREATE TABLE late (id INT, v TEXT, PRIMARY KEY(id))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(ins, core.I(1), core.S("x")); err != nil {
+		t.Fatalf("re-exec after CREATE TABLE still fails: %v", err)
+	}
+	res, err := s.Exec("SELECT v FROM late WHERE id = ?", core.I(1))
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("read back: %v %+v", err, res)
+	}
+}
+
+// TestPlanCacheDDLInvalidation is the staleness regression required by the
+// wire protocol's prepared statements: a Stmt prepared before DDL must not
+// execute its original plan afterwards -- it revalidates the catalog
+// generation and recompiles. The invalidation counter observes that cached
+// entries stamped with the old generation are really discarded.
+func TestPlanCacheDDLInvalidation(t *testing.T) {
+	f, _ := cacheFrontend(t)
+	s := f.NewSession(0)
+	if _, err := s.Exec("CREATE TABLE a (id INT, v TEXT, PRIMARY KEY(id))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO a VALUES (?, ?)", core.I(1), core.S("one")); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := s.Prepare("SELECT v FROM a WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := sel.Exec(core.I(1)); err != nil || len(res.Rows) != 1 {
+		t.Fatalf("pre-DDL exec: %v %+v", err, res)
+	}
+	genBefore := f.schemaGen.Load()
+
+	// DDL: every cached plan (including sel's) is now a stale generation.
+	if _, err := s.Exec("CREATE TABLE b (id INT, PRIMARY KEY(id))"); err != nil {
+		t.Fatal(err)
+	}
+	if f.schemaGen.Load() == genBefore {
+		t.Fatal("CREATE TABLE did not bump the schema generation")
+	}
+
+	inv := f.PlanCacheStats().Invalidations
+	res, err := sel.Exec(core.I(1))
+	if err != nil || len(res.Rows) != 1 || !res.Rows[0][0].Equal(core.S("one")) {
+		t.Fatalf("post-DDL exec: %v %+v", err, res)
+	}
+	if got := f.PlanCacheStats().Invalidations; got == inv {
+		t.Fatal("stale plan was served without invalidation after DDL")
+	}
+	// The recompiled plan is back in the cache: a text-level Exec of the
+	// same SQL hits it (Stmt.Exec itself keeps running its revalidated
+	// closure without further lookups).
+	hits := f.PlanCacheStats().Hits
+	if _, err := s.Exec("SELECT v FROM a WHERE id = ?", core.I(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.PlanCacheStats().Hits; got != hits+1 {
+		t.Fatalf("recompiled plan not re-cached (hits %d -> %d)", hits, got)
+	}
+}
+
+// TestPlanCacheRegisterInvalidates checks that engine registration -- the
+// other catalog mutation -- also stamps cached plans stale, so no plan's
+// table-to-engine routing outlives the catalog it compiled against.
+func TestPlanCacheRegisterInvalidates(t *testing.T) {
+	f, _ := cacheFrontend(t)
+	s := f.NewSession(0)
+	if _, err := s.Exec("CREATE TABLE t (id INT, PRIMARY KEY(id))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO t VALUES (?)", core.I(1)); err != nil {
+		t.Fatal(err)
+	}
+	gen := f.schemaGen.Load()
+	_, e2 := cacheFrontend(t)
+	f.Register("second", adapt.New(e2))
+	if f.schemaGen.Load() == gen {
+		t.Fatal("Register did not bump the schema generation")
+	}
+	if _, err := s.Exec("INSERT INTO t VALUES (?)", core.I(2)); err != nil {
+		t.Fatalf("exec after Register: %v", err)
+	}
+}
+
+// TestPlanCacheEviction bounds the cache: distinct SQL texts beyond the
+// capacity evict LRU entries instead of growing without bound.
+func TestPlanCacheEviction(t *testing.T) {
+	f, _ := cacheFrontend(t)
+	f.SetPlanCacheSize(8)
+	s := f.NewSession(0)
+	if _, err := s.Exec("CREATE TABLE t (id INT, v TEXT, PRIMARY KEY(id))"); err != nil {
+		t.Fatal(err)
+	}
+	// Literal-heavy traffic: every text is a distinct cache key.
+	for i := 0; i < 50; i++ {
+		sql := fmt.Sprintf("INSERT INTO t VALUES (%d, 'v')", i)
+		if _, err := s.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.PlanCacheStats()
+	if st.Size > 8 {
+		t.Fatalf("cache size %d exceeds bound 8", st.Size)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded for 50 distinct texts in an 8-entry cache")
+	}
+}
+
+// TestPlanCacheParamCount checks the arity error survives caching: hit or
+// miss, a wrong argument count is ErrParamCount, and a correct call on the
+// same text still works.
+func TestPlanCacheParamCount(t *testing.T) {
+	f, _ := cacheFrontend(t)
+	s := f.NewSession(0)
+	if _, err := s.Exec("CREATE TABLE t (id INT, v TEXT, PRIMARY KEY(id))"); err != nil {
+		t.Fatal(err)
+	}
+	const ins = "INSERT INTO t VALUES (?, ?)"
+	if _, err := s.Exec(ins, core.I(1)); !errors.Is(err, ErrParamCount) {
+		t.Fatalf("want ErrParamCount, got %v", err)
+	}
+	if _, err := s.Exec(ins, core.I(1), core.S("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(ins, core.I(2), core.S("y"), core.I(3)); !errors.Is(err, ErrParamCount) {
+		t.Fatalf("want ErrParamCount on cached plan, got %v", err)
+	}
+	st, err := s.Prepare(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumParams() != 2 {
+		t.Fatalf("NumParams = %d, want 2", st.NumParams())
+	}
+	if _, err := st.Exec(core.I(4)); !errors.Is(err, ErrParamCount) {
+		t.Fatalf("want ErrParamCount from Stmt.Exec, got %v", err)
+	}
+}
+
+// TestPlanCacheConcurrent hammers one text and DDL from many goroutines
+// under -race: the cache must stay consistent and never serve a plan that
+// fails on a table that exists.
+func TestPlanCacheConcurrent(t *testing.T) {
+	f, _ := cacheFrontend(t)
+	s0 := f.NewSession(0)
+	if _, err := s0.Exec("CREATE TABLE t (id INT, v TEXT, PRIMARY KEY(id))"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := f.NewSession(w)
+			for i := 0; i < 200; i++ {
+				k := int64(w)<<32 | int64(i)
+				if _, err := s.Exec("INSERT INTO t VALUES (?, ?)", core.I(k), core.S("x")); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if i%50 == 25 {
+					// Concurrent DDL (unique per worker/iteration).
+					sql := fmt.Sprintf("CREATE TABLE ddl_%d_%d (id INT, PRIMARY KEY(id))", w, i)
+					if _, err := s.Exec(sql); err != nil {
+						t.Errorf("worker %d ddl: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hiengine/internal/core"
 	"hiengine/internal/engineapi"
@@ -21,11 +22,23 @@ var (
 // Frontend is the shared SQL layer (Figure 3): one parser/planner in front
 // of multiple registered storage engines. Tables are routed to engines by
 // their CREATE TABLE ... WITH ENGINE=<name> clause (vertical deployment).
+//
+// The frontend owns the plan cache: parse/plan/compile for a SQL text is
+// done once and shared by every session (Section 3.3 pays that cost at
+// Prepare, never per call -- the cache extends the same economics to
+// unprepared Exec traffic keyed by SQL text). Catalog DDL (CREATE TABLE,
+// engine registration) bumps schemaGen; plans are stamped with the
+// generation they compiled against and a mismatched plan is discarded on
+// lookup, so a cached plan never outlives its schema or its
+// table-to-engine routing.
 type Frontend struct {
 	mu            sync.RWMutex
 	engines       map[string]engineapi.DB
 	defaultEngine string
 	tables        map[string]*tableInfo
+
+	schemaGen atomic.Uint64
+	plans     *planCache
 }
 
 type tableInfo struct {
@@ -40,15 +53,84 @@ func NewFrontend(defaultName string, db engineapi.DB) *Frontend {
 		engines:       map[string]engineapi.DB{strings.ToLower(defaultName): db},
 		defaultEngine: strings.ToLower(defaultName),
 		tables:        make(map[string]*tableInfo),
+		plans:         newPlanCache(DefaultPlanCacheSize),
 	}
 	return f
 }
 
+// SetPlanCacheSize rebounds the plan cache (entries, not bytes). Existing
+// entries are dropped; intended for deployment setup, not steady state.
+func (f *Frontend) SetPlanCacheSize(n int) {
+	f.mu.Lock()
+	f.plans = newPlanCache(n)
+	f.mu.Unlock()
+	f.schemaGen.Add(1) // stamp outstanding Stmts stale against the new cache
+}
+
 // Register adds another storage engine under a name usable in WITH ENGINE=.
+// Registration is catalog DDL: it bumps the schema generation so no cached
+// plan's engine routing outlives it.
 func (f *Frontend) Register(name string, db engineapi.DB) {
 	f.mu.Lock()
 	f.engines[strings.ToLower(name)] = db
 	f.mu.Unlock()
+	f.schemaGen.Add(1)
+}
+
+// PlanCacheStats snapshots the plan-cache counters.
+func (f *Frontend) PlanCacheStats() PlanCacheStats {
+	f.mu.RLock()
+	pc := f.plans
+	f.mu.RUnlock()
+	return PlanCacheStats{
+		Size:          pc.size(),
+		Hits:          pc.hits.Load(),
+		Misses:        pc.misses.Load(),
+		Evictions:     pc.evictions.Load(),
+		Invalidations: pc.invalidations.Load(),
+	}
+}
+
+// prepare resolves sql to a compiled plan: a cache hit returns the shared
+// entry; a miss pays parse+plan+compile once and (for cacheable statement
+// kinds) publishes the result. Compile errors are never cached -- a
+// statement that fails because its table does not exist yet must
+// re-resolve after CREATE TABLE. The generation is captured before
+// compiling: if DDL races the compile, the entry is stamped with the older
+// generation and discarded on its next lookup (a wasted recompile, never a
+// stale execution).
+func (f *Frontend) prepare(sql string) (*compiled, error) {
+	f.mu.RLock()
+	pc := f.plans
+	f.mu.RUnlock()
+	gen := f.schemaGen.Load()
+	if c := pc.get(sql, gen); c != nil {
+		return c, nil
+	}
+	st, nParams, err := parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := f.compile(st)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiled{nParams: nParams, gen: gen, fn: fn}
+	if cacheable(st) {
+		pc.put(sql, c)
+	}
+	return c, nil
+}
+
+// cacheable reports whether a statement kind belongs in the plan cache.
+// DML and queries are the hot path; transaction verbs compile trivially
+// and DDL runs once, so caching them would only dilute the LRU.
+func cacheable(st stmt) bool {
+	switch st.(type) {
+	case *insertStmt, *selectStmt, *updateStmt, *deleteStmt:
+		return true
+	}
+	return false
 }
 
 func (f *Frontend) tableInfo(name string) (*tableInfo, error) {
@@ -93,47 +175,58 @@ type Result struct {
 	Affected int
 }
 
-// Exec parses, plans and runs sql with the interpreted execution model: the
-// full stack runs on every call.
+// Exec runs sql through the frontend plan cache: first sight of a SQL text
+// pays parse+plan+compile, every later execution (from any session) binds
+// parameters straight into the cached closure.
 func (s *Session) Exec(sql string, args ...core.Value) (*Result, error) {
-	st, nParams, err := parse(sql)
+	c, err := s.f.prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	if nParams != len(args) {
-		return nil, fmt.Errorf("%w: statement has %d, got %d", ErrParamCount, nParams, len(args))
+	if c.nParams != len(args) {
+		return nil, fmt.Errorf("%w: statement has %d, got %d", ErrParamCount, c.nParams, len(args))
 	}
-	return s.run(st, args)
+	return c.fn(s, args)
 }
 
-// Stmt is a compiled statement: the parse/plan work is done once and the
-// execution closure binds parameters straight into engine calls
-// (full-stack code generation, Section 3.3).
+// Stmt is a compiled statement handle: the parse/plan work is done once
+// and the execution closure binds parameters straight into engine calls
+// (full-stack code generation, Section 3.3). A Stmt is bound to its
+// session and, like the session, is not safe for concurrent use.
 type Stmt struct {
-	s       *Session
-	nParams int
-	exec    func(args []core.Value) (*Result, error)
+	s   *Session
+	sql string
+	c   *compiled
 }
 
-// Prepare compiles sql.
+// Prepare compiles sql (through the shared plan cache).
 func (s *Session) Prepare(sql string) (*Stmt, error) {
-	st, nParams, err := parse(sql)
+	c, err := s.f.prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	fn, err := s.compile(st)
-	if err != nil {
-		return nil, err
-	}
-	return &Stmt{s: s, nParams: nParams, exec: fn}, nil
+	return &Stmt{s: s, sql: sql, c: c}, nil
 }
 
-// Exec runs the compiled statement.
+// NumParams reports the statement's parameter count.
+func (st *Stmt) NumParams() int { return st.c.nParams }
+
+// Exec runs the compiled statement. The plan revalidates its catalog
+// generation first: if DDL ran since compile, the statement transparently
+// recompiles (through the cache) rather than execute a plan that may
+// capture stale table handles or routing.
 func (st *Stmt) Exec(args ...core.Value) (*Result, error) {
-	if len(args) != st.nParams {
-		return nil, fmt.Errorf("%w: statement has %d, got %d", ErrParamCount, st.nParams, len(args))
+	if st.c.gen != st.s.f.schemaGen.Load() {
+		c, err := st.s.f.prepare(st.sql)
+		if err != nil {
+			return nil, err
+		}
+		st.c = c
 	}
-	return st.exec(args)
+	if len(args) != st.c.nParams {
+		return nil, fmt.Errorf("%w: statement has %d, got %d", ErrParamCount, st.c.nParams, len(args))
+	}
+	return st.c.fn(st.s, args)
 }
 
 // --- transaction handling --------------------------------------------------
@@ -363,22 +456,15 @@ func project(schema *core.Schema, row core.Row, cols []string) (core.Row, error)
 
 // --- execution ----------------------------------------------------------------
 
-// run interprets one parsed statement (interpreted model).
-func (s *Session) run(st stmt, args []core.Value) (*Result, error) {
-	fn, err := s.compile(st)
-	if err != nil {
-		return nil, err
-	}
-	return fn(args)
-}
-
-// compile lowers a statement to an execution closure over pre-resolved
-// handles. Exec calls this per statement; Prepare calls it once.
-func (s *Session) compile(st stmt) (func([]core.Value) (*Result, error), error) {
+// compile lowers a statement to a session-free execution closure over
+// pre-resolved handles: the closure receives the executing session at call
+// time, which is what lets one compiled plan be shared by every session
+// through the frontend plan cache.
+func (f *Frontend) compile(st stmt) (func(*Session, []core.Value) (*Result, error), error) {
 	switch st := st.(type) {
 	case *txnStmt:
 		verb := st.verb
-		return func([]core.Value) (*Result, error) {
+		return func(s *Session, _ []core.Value) (*Result, error) {
 			var err error
 			switch verb {
 			case "BEGIN":
@@ -394,18 +480,18 @@ func (s *Session) compile(st stmt) (func([]core.Value) (*Result, error), error) 
 	case *createTableStmt:
 		schema := st.schema
 		engine := st.engine
-		return func([]core.Value) (*Result, error) {
-			s.f.mu.Lock()
-			defer s.f.mu.Unlock()
+		return func(_ *Session, _ []core.Value) (*Result, error) {
+			f.mu.Lock()
+			defer f.mu.Unlock()
 			name := engine
 			if name == "" {
-				name = s.f.defaultEngine
+				name = f.defaultEngine
 			}
-			db, ok := s.f.engines[name]
+			db, ok := f.engines[name]
 			if !ok {
 				return nil, fmt.Errorf("sqlfront: unknown engine %q", name)
 			}
-			if _, dup := s.f.tables[schema.Name]; dup {
+			if _, dup := f.tables[schema.Name]; dup {
 				return nil, fmt.Errorf("sqlfront: table %q exists", schema.Name)
 			}
 			if len(schema.Indexes) == 0 {
@@ -414,12 +500,16 @@ func (s *Session) compile(st stmt) (func([]core.Value) (*Result, error), error) 
 			if err := db.CreateTable(schema); err != nil {
 				return nil, err
 			}
-			s.f.tables[schema.Name] = &tableInfo{engine: name, db: db, schema: schema}
+			f.tables[schema.Name] = &tableInfo{engine: name, db: db, schema: schema}
+			// Catalog DDL: stamp every cached plan stale. The bump happens
+			// while the new table is already visible, so recompiles resolve
+			// against the post-DDL catalog.
+			f.schemaGen.Add(1)
 			return &Result{}, nil
 		}, nil
 
 	case *insertStmt:
-		ti, err := s.f.tableInfo(st.table)
+		ti, err := f.tableInfo(st.table)
 		if err != nil {
 			return nil, err
 		}
@@ -428,7 +518,7 @@ func (s *Session) compile(st stmt) (func([]core.Value) (*Result, error), error) 
 				len(st.vals), len(ti.schema.Columns))
 		}
 		vals := st.vals
-		return func(args []core.Value) (*Result, error) {
+		return func(s *Session, args []core.Value) (*Result, error) {
 			tx, auto, err := s.txnFor(ti)
 			if err != nil {
 				return nil, err
@@ -446,7 +536,7 @@ func (s *Session) compile(st stmt) (func([]core.Value) (*Result, error), error) 
 		}, nil
 
 	case *selectStmt:
-		ti, err := s.f.tableInfo(st.table)
+		ti, err := f.tableInfo(st.table)
 		if err != nil {
 			return nil, err
 		}
@@ -457,7 +547,7 @@ func (s *Session) compile(st stmt) (func([]core.Value) (*Result, error), error) 
 		cols := st.cols
 		limit := st.limit
 		residual := pl.residual
-		return func(args []core.Value) (*Result, error) {
+		return func(s *Session, args []core.Value) (*Result, error) {
 			tx, auto, err := s.txnFor(ti)
 			if err != nil {
 				return nil, err
@@ -506,7 +596,7 @@ func (s *Session) compile(st stmt) (func([]core.Value) (*Result, error), error) 
 		}, nil
 
 	case *updateStmt:
-		ti, err := s.f.tableInfo(st.table)
+		ti, err := f.tableInfo(st.table)
 		if err != nil {
 			return nil, err
 		}
@@ -527,7 +617,7 @@ func (s *Session) compile(st stmt) (func([]core.Value) (*Result, error), error) 
 		}
 		sets := st.sets
 		residual := pl.residual
-		return func(args []core.Value) (*Result, error) {
+		return func(s *Session, args []core.Value) (*Result, error) {
 			tx, auto, err := s.txnFor(ti)
 			if err != nil {
 				return nil, err
@@ -567,7 +657,7 @@ func (s *Session) compile(st stmt) (func([]core.Value) (*Result, error), error) 
 		}, nil
 
 	case *deleteStmt:
-		ti, err := s.f.tableInfo(st.table)
+		ti, err := f.tableInfo(st.table)
 		if err != nil {
 			return nil, err
 		}
@@ -578,7 +668,7 @@ func (s *Session) compile(st stmt) (func([]core.Value) (*Result, error), error) 
 		if !pl.point || pl.idx != 0 {
 			return nil, fmt.Errorf("%w: DELETE requires full primary key equality", ErrBadPlan)
 		}
-		return func(args []core.Value) (*Result, error) {
+		return func(s *Session, args []core.Value) (*Result, error) {
 			tx, auto, err := s.txnFor(ti)
 			if err != nil {
 				return nil, err

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"hiengine/internal/core"
 	"hiengine/internal/engineapi"
@@ -57,14 +58,23 @@ type Op uint8
 // Request opcodes, and the single response opcode. A connection is one
 // server-side session: Begin/Commit/Abort act on the session transaction,
 // Exec runs one SQL statement in it (or autocommits outside one).
+// Prepare/ExecStmt/CloseStmt are the prepared-statement path: parse/plan
+// is paid once at Prepare and every ExecStmt binds an argument row into
+// the server-side compiled plan (the wire form of Section 3.3's full-stack
+// code generation). Statement ids are scoped to the connection's session.
+// Opcode numbers are wire-stable: never renumber (which is why the
+// prepared opcodes sit above OpResponse).
 const (
-	OpPing     Op = 1 // empty payload; response: empty body
-	OpExec     Op = 2 // sql string, args row; response: result body
-	OpBegin    Op = 3 // empty; opens the session transaction
-	OpCommit   Op = 4 // empty; response sent when the commit is durable
-	OpAbort    Op = 5 // empty; rolls back the session transaction
-	OpStats    Op = 6 // empty; response: stats snapshot text
-	OpResponse Op = 7 // server -> client only
+	OpPing      Op = 1  // empty payload; response: empty body
+	OpExec      Op = 2  // sql string, args row; response: result body
+	OpBegin     Op = 3  // empty; opens the session transaction
+	OpCommit    Op = 4  // empty; response sent when the commit is durable
+	OpAbort     Op = 5  // empty; rolls back the session transaction
+	OpStats     Op = 6  // empty; response: stats snapshot text
+	OpResponse  Op = 7  // server -> client only
+	OpPrepare   Op = 8  // sql string; response: stmt id + param count
+	OpExecStmt  Op = 9  // stmt id, args row; response: result body
+	OpCloseStmt Op = 10 // stmt id; response: empty body
 )
 
 // String names the opcode.
@@ -84,13 +94,24 @@ func (o Op) String() string {
 		return "stats"
 	case OpResponse:
 		return "response"
+	case OpPrepare:
+		return "prepare"
+	case OpExecStmt:
+		return "exec_stmt"
+	case OpCloseStmt:
+		return "close_stmt"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
 }
 
+// MaxOp is the highest assigned opcode (sizing per-opcode metric tables).
+const MaxOp = OpCloseStmt
+
 // validRequest reports whether o is a client-issued opcode.
-func validRequest(o Op) bool { return o >= OpPing && o <= OpStats }
+func validRequest(o Op) bool {
+	return (o >= OpPing && o <= OpStats) || (o >= OpPrepare && o <= OpCloseStmt)
+}
 
 // Code is a stable wire status code.
 type Code uint16
@@ -279,11 +300,123 @@ func AppendFrame(buf []byte, f Frame) []byte {
 	return append(buf, f.Payload...)
 }
 
-// WriteFrame writes one frame.
+// --- pooled buffers --------------------------------------------------------
+//
+// The frame path is the service's per-request hot loop: without reuse,
+// every frame costs a payload allocation on read and a scratch buffer on
+// write, and that churn is pure service-layer overhead on top of the wire
+// itself. GetBuf/PutBuf expose one shared pool to the server's and
+// client's write paths; FrameReader reuses a single payload buffer across
+// reads. BenchmarkFrameRoundTrip pins the result at ~0 allocs/op.
+
+// maxRetainedBuf bounds what a pooled (or FrameReader) buffer may retain:
+// an occasional multi-megabyte scan result must not pin its high-water
+// mark in every pool slot forever.
+const maxRetainedBuf = 64 << 10
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuf leases a reusable scratch buffer (length 0). Callers append, use,
+// then PutBuf. The pointer indirection avoids per-Put allocations.
+func GetBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuf returns a leased buffer to the pool. Oversize buffers are dropped
+// rather than retained.
+func PutBuf(bp *[]byte) {
+	if cap(*bp) > maxRetainedBuf {
+		return
+	}
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
+// WriteFrame writes one frame through a pooled scratch buffer: zero
+// steady-state allocations.
 func WriteFrame(w io.Writer, f Frame) error {
-	buf := AppendFrame(make([]byte, 0, 4+headerSize+len(f.Payload)), f)
+	bp := GetBuf()
+	buf := AppendFrame((*bp)[:0], f)
 	_, err := w.Write(buf)
+	*bp = buf
+	PutBuf(bp)
 	return err
+}
+
+// FrameReader reads frames from one stream into a reusable payload buffer.
+// The returned Frame's Payload aliases that buffer: it is valid only until
+// the next Read. Callers that hand payload bytes to another goroutine (the
+// client's response futures) must copy them first; callers that decode
+// synchronously (the server's request loop -- row decoding copies) need
+// not. One FrameReader serves one goroutine.
+type FrameReader struct {
+	r           io.Reader
+	requestSide bool
+	buf         []byte
+	hdr         [4 + headerSize]byte // reused: a stack header would escape through the io.Reader call
+
+	// OnFrameStart, when set, fires after a frame's 4-byte length prefix
+	// has been read and before its body is read. The server uses it to
+	// tighten the connection's read deadline: waiting for the next frame
+	// is bounded by the idle budget, but once a frame has started arriving
+	// its remainder must land within the per-frame read budget.
+	OnFrameStart func()
+}
+
+// NewFrameReader builds a reader; requestSide selects which opcodes are
+// legal exactly as in ReadFrame.
+func NewFrameReader(r io.Reader, requestSide bool) *FrameReader {
+	return &FrameReader{r: r, requestSide: requestSide, buf: make([]byte, 0, 4096)}
+}
+
+// Read reads one frame with the same validation and error contract as
+// ReadFrame. The frame's Payload is only valid until the next Read.
+func (fr *FrameReader) Read() (Frame, error) {
+	hdr := fr.hdr[:]
+	if _, err := io.ReadFull(fr.r, hdr[:4]); err != nil {
+		return Frame{}, err // io.EOF if clean, ErrUnexpectedEOF if torn
+	}
+	if fr.OnFrameStart != nil {
+		fr.OnFrameStart()
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < headerSize {
+		return Frame{}, fmt.Errorf("%w: frame length %d below header size", ErrProtocol, n)
+	}
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("%w: frame length %d exceeds max %d", ErrProtocol, n, MaxFrame)
+	}
+	if _, err := io.ReadFull(fr.r, hdr[4:]); err != nil {
+		return Frame{}, unexpectedEOF(err)
+	}
+	f := Frame{
+		RequestID: binary.BigEndian.Uint64(hdr[4:12]),
+		Op:        Op(hdr[12]),
+	}
+	if fr.requestSide && !validRequest(f.Op) {
+		return Frame{}, fmt.Errorf("%w: unknown request opcode %d", ErrProtocol, uint8(f.Op))
+	}
+	if !fr.requestSide && f.Op != OpResponse {
+		return Frame{}, fmt.Errorf("%w: expected response frame, got opcode %d", ErrProtocol, uint8(f.Op))
+	}
+	if rest := int(n) - headerSize; rest > 0 {
+		if cap(fr.buf) < rest || cap(fr.buf) > maxRetainedBuf && rest <= maxRetainedBuf {
+			// Grow to fit, or shrink back after an oversize frame so one
+			// huge scan result does not pin its high-water mark.
+			fr.buf = make([]byte, 0, max(rest, 4096))
+		}
+		fr.buf = fr.buf[:rest]
+		if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+			return Frame{}, unexpectedEOF(err)
+		}
+		f.Payload = fr.buf
+	}
+	return f, nil
 }
 
 // ReadFrame reads one frame, enforcing MaxFrame and opcode validity.
@@ -349,10 +482,15 @@ func readString(buf []byte) (string, []byte, error) {
 	return string(buf[w : w+int(n)]), buf[w+int(n):], nil
 }
 
+// AppendExec appends an OpExec payload (sql then the argument row) to buf.
+func AppendExec(buf []byte, sql string, args []core.Value) []byte {
+	buf = appendString(buf, sql)
+	return core.EncodeRow(buf, args)
+}
+
 // EncodeExec builds an OpExec payload: sql then the argument row.
 func EncodeExec(sql string, args []core.Value) []byte {
-	buf := appendString(nil, sql)
-	return core.EncodeRow(buf, args)
+	return AppendExec(nil, sql, args)
 }
 
 // DecodeExec parses an OpExec payload.
@@ -368,6 +506,86 @@ func DecodeExec(payload []byte) (sql string, args []core.Value, err error) {
 	return sql, args, nil
 }
 
+// --- prepared-statement payloads -------------------------------------------
+
+// EncodePrepare builds an OpPrepare payload: the SQL text.
+func EncodePrepare(sql string) []byte {
+	return appendString(nil, sql)
+}
+
+// DecodePrepare parses an OpPrepare payload.
+func DecodePrepare(payload []byte) (string, error) {
+	sql, rest, err := readString(payload)
+	if err != nil {
+		return "", err
+	}
+	if len(rest) != 0 {
+		return "", fmt.Errorf("%w: %d trailing bytes after prepare payload", ErrPayloadCorrupt, len(rest))
+	}
+	return sql, nil
+}
+
+// EncodePrepareResult builds the OpPrepare success body: the server-issued
+// statement id and the statement's parameter count.
+func EncodePrepareResult(id uint64, nParams int) []byte {
+	buf := binary.AppendUvarint(nil, id)
+	return binary.AppendUvarint(buf, uint64(nParams))
+}
+
+// DecodePrepareResult parses an OpPrepare success body.
+func DecodePrepareResult(body []byte) (id uint64, nParams int, err error) {
+	id, w := binary.Uvarint(body)
+	if w <= 0 {
+		return 0, 0, ErrPayloadCorrupt
+	}
+	n, w2 := binary.Uvarint(body[w:])
+	if w2 <= 0 || n > 1<<16 {
+		return 0, 0, ErrPayloadCorrupt
+	}
+	return id, int(n), nil
+}
+
+// AppendExecStmt appends an OpExecStmt payload (stmt id then the argument
+// row) to buf.
+func AppendExecStmt(buf []byte, id uint64, args []core.Value) []byte {
+	buf = binary.AppendUvarint(buf, id)
+	return core.EncodeRow(buf, args)
+}
+
+// EncodeExecStmt builds an OpExecStmt payload.
+func EncodeExecStmt(id uint64, args []core.Value) []byte {
+	return AppendExecStmt(nil, id, args)
+}
+
+// DecodeExecStmt parses an OpExecStmt payload.
+func DecodeExecStmt(payload []byte) (id uint64, args []core.Value, err error) {
+	id, w := binary.Uvarint(payload)
+	if w <= 0 {
+		return 0, nil, ErrPayloadCorrupt
+	}
+	args, err = core.DecodeRow(payload[w:])
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrPayloadCorrupt, err)
+	}
+	return id, args, nil
+}
+
+// EncodeCloseStmt builds an OpCloseStmt payload: the stmt id.
+func EncodeCloseStmt(id uint64) []byte {
+	return binary.AppendUvarint(nil, id)
+}
+
+// DecodeCloseStmt parses an OpCloseStmt payload.
+func DecodeCloseStmt(payload []byte) (uint64, error) {
+	id, w := binary.Uvarint(payload)
+	if w <= 0 || w != len(payload) {
+		return 0, ErrPayloadCorrupt
+	}
+	return id, nil
+}
+
+// --- responses -------------------------------------------------------------
+
 // Result is the wire form of a statement result.
 type Result struct {
 	Columns  []string
@@ -375,12 +593,31 @@ type Result struct {
 	Affected int
 }
 
+// AppendResponse appends an OpResponse payload (code, message, body) to buf.
+func AppendResponse(buf []byte, c Code, msg string, body []byte) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(c))
+	buf = appendString(buf, msg)
+	return append(buf, body...)
+}
+
 // EncodeResponse builds an OpResponse payload: code, message, then (on
 // success, per the request opcode) the body. body may be nil.
 func EncodeResponse(c Code, msg string, body []byte) []byte {
-	buf := binary.BigEndian.AppendUint16(nil, uint16(c))
-	buf = appendString(buf, msg)
-	return append(buf, body...)
+	return AppendResponse(nil, c, msg, body)
+}
+
+// AppendResponseFrame appends a complete response frame -- length header,
+// request id, OpResponse, then the code/msg/body payload -- onto buf in a
+// single pass, back-patching the length. With a pooled buf this makes the
+// server's response path allocation-free up to the body bytes themselves.
+func AppendResponseFrame(buf []byte, reqID uint64, c Code, msg string, body []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = binary.BigEndian.AppendUint64(buf, reqID)
+	buf = append(buf, byte(OpResponse))
+	buf = AppendResponse(buf, c, msg, body)
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
 }
 
 // DecodeResponse splits an OpResponse payload into code, message and body.
@@ -396,9 +633,9 @@ func DecodeResponse(payload []byte) (Code, string, []byte, error) {
 	return c, msg, body, nil
 }
 
-// EncodeResult serializes a Result as a response body.
-func EncodeResult(r *Result) []byte {
-	buf := binary.AppendUvarint(nil, uint64(r.Affected))
+// AppendResult appends a Result in response-body form to buf.
+func AppendResult(buf []byte, r *Result) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.Affected))
 	buf = binary.AppendUvarint(buf, uint64(len(r.Columns)))
 	for _, c := range r.Columns {
 		buf = appendString(buf, c)
@@ -408,6 +645,11 @@ func EncodeResult(r *Result) []byte {
 		buf = core.EncodeRow(buf, row)
 	}
 	return buf
+}
+
+// EncodeResult serializes a Result as a response body.
+func EncodeResult(r *Result) []byte {
+	return AppendResult(nil, r)
 }
 
 // DecodeResult parses a Result body.
