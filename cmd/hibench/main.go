@@ -41,6 +41,7 @@ func main() {
 		netlocal = flag.Bool("netlocal", false, "networked mode: loopback server vs in-process comparison")
 		clients  = flag.Int("clients", 8, "networked mode: concurrent client sessions")
 		prepared = flag.Bool("prepared", false, "networked mode: use prepared statements (OpPrepare/OpExecStmt) instead of per-call SQL text")
+		trace    = flag.Bool("trace", false, "networked mode: trace every transaction and append a per-stage latency table to the report")
 	)
 	flag.Parse()
 
@@ -58,9 +59,9 @@ func main() {
 		case *serve != "":
 			err = netServe(*serve, workers)
 		case *connect != "":
-			err = netConnect(*connect, *clients, d, *prepared)
+			err = netConnect(*connect, *clients, d, *prepared, *trace)
 		default:
-			err = netLocal(*clients, workers, d, *prepared)
+			err = netLocal(*clients, workers, d, *prepared, *trace)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hibench:", err)

@@ -58,6 +58,9 @@ func netServe(addr string, workers int) error {
 		Frontend:    front,
 		WorkerSlots: engine.Workers(),
 		Obs:         engine.Obs(),
+		// A policy-free tracer: nothing is head-sampled, but clients that
+		// flag their requests (hibench -trace) get full stage timings.
+		Tracer: obs.NewTracer(obs.TracerConfig{Registry: engine.Obs()}),
 		Stats: func() string {
 			s := engine.Stats()
 			return fmt.Sprintf("commits=%d aborts=%d conflicts=%d\n",
@@ -81,7 +84,7 @@ func netServe(addr string, workers int) error {
 // prints the throughput report. With prepared, each session prepares the
 // workload's two statements once and executes by statement id, so the
 // server never re-parses.
-func netConnect(addr string, nClients int, d time.Duration, prepared bool) error {
+func netConnect(addr string, nClients int, d time.Duration, prepared, traced bool) error {
 	cl, err := client.New(client.Options{Addr: addr, PoolSize: nClients})
 	if err != nil {
 		return err
@@ -95,10 +98,17 @@ func netConnect(addr string, nClients int, d time.Duration, prepared bool) error
 		fmt.Fprintf(os.Stderr, "hibench: create table: %v (continuing)\n", err)
 	}
 	base := time.Now().UnixNano() % (1 << 40) // salt keys across runs
+	var agg *stageAgg
+	if traced {
+		agg = &stageAgg{}
+	}
 	txns, lat, err := netDrive(nClients, d, base, func(i int) (netSession, error) {
 		s, err := cl.Session()
 		if err != nil {
 			return netSession{}, err
+		}
+		if traced {
+			s.Trace(true)
 		}
 		if prepared {
 			ins, err := s.Prepare("INSERT INTO netbench VALUES (?, ?)")
@@ -131,7 +141,7 @@ func netConnect(addr string, nClients int, d time.Duration, prepared bool) error
 					return err
 				},
 				close: s.Close,
-			}, nil
+			}.traced(agg, s), nil
 		}
 		return netSession{
 			txn: func(k1, k2 int64) error {
@@ -153,7 +163,7 @@ func netConnect(addr string, nClients int, d time.Duration, prepared bool) error
 				return err
 			},
 			close: s.Close,
-		}, nil
+		}.traced(agg, s), nil
 	})
 	if err != nil {
 		return err
@@ -163,19 +173,25 @@ func netConnect(addr string, nClients int, d time.Duration, prepared bool) error
 		label = "wire+prep " + addr
 	}
 	printNetReport(label, nClients, d, txns, lat)
+	agg.print()
 	return nil
 }
 
 // netLocal runs the loopback comparison: the identical workload through a
 // 127.0.0.1 server and directly against the in-process frontend. With
 // prepared, both sides execute through prepared handles.
-func netLocal(nClients, workers int, d time.Duration, prepared bool) error {
+func netLocal(nClients, workers int, d time.Duration, prepared, traced bool) error {
 	// --- over the wire ---------------------------------------------------
 	front, engine, err := netFrontend(workers)
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(server.Config{Frontend: front, WorkerSlots: workers, Obs: engine.Obs()})
+	srv, err := server.New(server.Config{
+		Frontend:    front,
+		WorkerSlots: workers,
+		Obs:         engine.Obs(),
+		Tracer:      obs.NewTracer(obs.TracerConfig{Registry: engine.Obs()}),
+	})
 	if err != nil {
 		engine.Close()
 		return err
@@ -186,7 +202,7 @@ func netLocal(nClients, workers int, d time.Duration, prepared bool) error {
 		return err
 	}
 	go srv.Serve(ln)
-	err = netConnect(ln.Addr().String(), nClients, d, prepared)
+	err = netConnect(ln.Addr().String(), nClients, d, prepared, traced)
 	srv.Close()
 	engine.Close()
 	if err != nil {
@@ -351,4 +367,73 @@ func printNetReport(label string, nClients int, d time.Duration, txns int64, lat
 		label, nClients, d, txns, float64(txns)/d.Seconds(),
 		time.Duration(lat.Quantile(0.50)), time.Duration(lat.Quantile(0.95)),
 		time.Duration(lat.Quantile(0.99)), time.Duration(lat.Max()))
+}
+
+// stageAgg folds per-stage timings across every traced transaction so the
+// report can show where commit latency is spent server-side.
+type stageAgg struct {
+	stages  [obs.NumStages]obs.Histogram
+	total   obs.Histogram
+	network obs.Histogram
+	count   atomic.Int64
+}
+
+func (a *stageAgg) record(lt *client.TraceResult) {
+	if a == nil || lt == nil {
+		return
+	}
+	a.count.Add(1)
+	a.total.Record(lt.Info.TotalNS)
+	a.network.Record(lt.NetworkNS())
+	for _, st := range lt.Info.Stages {
+		if int(st.Stage) < len(a.stages) {
+			a.stages[st.Stage].Record(st.DurNS)
+		}
+	}
+}
+
+// traced wraps the transaction closure so each successful commit folds its
+// server stage breakdown into agg (identity when tracing is off).
+func (ns netSession) traced(agg *stageAgg, s *client.Session) netSession {
+	if agg == nil {
+		return ns
+	}
+	inner := ns.txn
+	ns.txn = func(k1, k2 int64) error {
+		err := inner(k1, k2)
+		if err == nil {
+			agg.record(s.LastTrace())
+		}
+		return err
+	}
+	return ns
+}
+
+// print appends the per-stage latency table to the report.
+func (a *stageAgg) print() {
+	if a == nil {
+		return
+	}
+	n := a.count.Load()
+	if n == 0 {
+		fmt.Println("  trace: no traced transactions returned stage timings (server tracer missing?)")
+		return
+	}
+	fmt.Printf("  per-stage server latency over %d traced txns:\n", n)
+	fmt.Printf("    %-16s %10s %10s %10s %10s\n", "stage", "p50", "p95", "p99", "max")
+	row := func(name string, h *obs.Histogram) {
+		// Skip stages that never ran or report only zeros (respond is
+		// always zero client-side: the block is encoded before the write).
+		if h.Count() == 0 || h.Max() == 0 {
+			return
+		}
+		fmt.Printf("    %-16s %10v %10v %10v %10v\n", name,
+			time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.95)),
+			time.Duration(h.Quantile(0.99)), time.Duration(h.Max()))
+	}
+	for i := range a.stages {
+		row(obs.Stage(i).String(), &a.stages[i])
+	}
+	row("server total", &a.total)
+	row("network+queue", &a.network)
 }

@@ -8,23 +8,33 @@
 // Usage:
 //
 //	hiserver -addr :7609
+//	hiserver -addr :7609 -http :7610    # + HTTP admin plane
 //	hishell -connect localhost:7609     # remote REPL
 //	hibench -connect localhost:7609 ... # remote load
 //
+// The admin plane (-http) serves /metrics (Prometheus), /statusz (JSON),
+// /traces (recent/slow request traces), /healthz and /debug/pprof.
+// Request tracing is configured with -trace-sample and -trace-slow;
+// client-flagged requests are always traced.
+//
 // SIGINT/SIGTERM triggers a graceful drain: the listener closes, new
 // requests are refused with the fatal wire code, and in-flight commits
-// finish durably before the process exits.
+// finish durably before the process exits; the final metrics snapshot is
+// dumped to stderr so a scrape-less deployment still gets its numbers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"hiengine/internal/adapt"
+	"hiengine/internal/admin"
 	"hiengine/internal/baseline/innosim"
 	"hiengine/internal/chaos"
 	"hiengine/internal/core"
@@ -38,11 +48,15 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":7609", "listen address")
+		httpAddr    = flag.String("http", "", "HTTP admin-plane listen address (empty = off)")
 		workers     = flag.Int("workers", 8, "engine worker slots (max concurrent transactions)")
 		maxConns    = flag.Int("max-conns", 256, "max concurrent connections")
 		maxInflight = flag.Int("max-inflight", 4096, "max admitted unanswered requests")
 		drain       = flag.Duration("drain", 5*time.Second, "graceful-drain timeout on shutdown")
 		profile     = flag.String("profile", "cloud", "latency model: cloud or zero")
+		statsEvery  = flag.Duration("stats-interval", 0, "periodic one-line stats summary to stderr (0 = off)")
+		traceSample = flag.Int("trace-sample", 0, "trace 1 in N requests (0 = head sampling off)")
+		traceSlow   = flag.Duration("trace-slow", 0, "always capture traces slower than this (0 = off)")
 	)
 	flag.Parse()
 
@@ -57,6 +71,18 @@ func main() {
 	}
 
 	reg := obs.NewRegistry("hiserver")
+	var tracer *obs.Tracer
+	if *traceSample > 0 || *traceSlow > 0 || *httpAddr != "" {
+		// With the admin plane up, keep a tracer around even if both
+		// policies are off: client-forced traces still work and /traces
+		// stays live, at zero cost to untraced requests.
+		tracer = obs.NewTracer(obs.TracerConfig{
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+			Registry:      reg,
+		})
+	}
+
 	engine, err := core.Open(core.Config{
 		Service: srss.New(srss.Config{Model: model, Chaos: eng}),
 		Workers: *workers,
@@ -78,6 +104,14 @@ func main() {
 	front := sqlfront.NewFrontend("hiengine", adapt.New(engine))
 	front.Register("innodb", inno)
 
+	statsLine := func() string {
+		s := engine.Stats()
+		return fmt.Sprintf("commits=%d aborts=%d conflicts=%d reclaimed=%d checkpoints=%d compactions=%d log=%dB",
+			s.Commits.Load(), s.Aborts.Load(), s.Conflicts.Load(),
+			s.ReclaimedVersions.Load(), s.Checkpoints.Load(), s.Compactions.Load(),
+			engine.Log().TotalBytes())
+	}
+
 	srv, err := server.New(server.Config{
 		Frontend:     front,
 		WorkerSlots:  engine.Workers(),
@@ -85,18 +119,49 @@ func main() {
 		MaxInFlight:  *maxInflight,
 		DrainTimeout: *drain,
 		Obs:          reg,
+		Tracer:       tracer,
 		Chaos:        eng,
-		Stats: func() string {
-			s := engine.Stats()
-			return fmt.Sprintf("commits=%d aborts=%d conflicts=%d reclaimed=%d checkpoints=%d compactions=%d log=%dB\n",
-				s.Commits.Load(), s.Aborts.Load(), s.Conflicts.Load(),
-				s.ReclaimedVersions.Load(), s.Checkpoints.Load(), s.Compactions.Load(),
-				engine.Log().TotalBytes())
-		},
+		Stats:        func() string { return statsLine() + "\n" },
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hiserver:", err)
 		os.Exit(1)
+	}
+
+	var adm *admin.Server
+	if *httpAddr != "" {
+		adm = admin.New(admin.Config{
+			Registry: reg,
+			Tracer:   tracer,
+			Info: map[string]string{
+				"addr":    *addr,
+				"profile": *profile,
+			},
+		})
+		aln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiserver: admin:", err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := adm.Serve(aln); err != nil {
+				fmt.Fprintln(os.Stderr, "hiserver: admin:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "hiserver: admin plane on http://%s (/metrics /statusz /traces /healthz /debug/pprof)\n",
+			aln.Addr())
+	}
+
+	// Periodic one-line operational summary; the ticker goroutine dies
+	// with the process.
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for range tick.C {
+				fmt.Fprintf(os.Stderr, "hiserver: %s\n", statsLine())
+			}
+		}()
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -114,7 +179,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hiserver:", err)
 		os.Exit(1)
 	}
-	// Serve returned after drain: wait for Close to finish tearing down.
+	// Serve returned after drain: wait for Close to finish tearing down,
+	// then dump the full metrics snapshot so the run's numbers survive it.
 	srv.Close()
+	if adm != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		adm.Shutdown(ctx)
+		cancel()
+	}
+	fmt.Fprintln(os.Stderr, "hiserver: final stats:", statsLine())
+	fmt.Fprint(os.Stderr, reg.Snapshot().String())
 	fmt.Fprintln(os.Stderr, "hiserver: drained, bye")
 }

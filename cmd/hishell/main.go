@@ -13,7 +13,8 @@
 // \stats is served via the stats opcode. Engine-maintenance meta commands
 // (\checkpoint, \gc, \compact) are in-process only.
 //
-// Meta commands: \q quit, \stats engine counters, \checkpoint, \gc, \compact.
+// Meta commands: \q quit, \stats engine counters, \trace on|off (remote:
+// per-statement stage breakdown), \checkpoint, \gc, \compact.
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hiengine/internal/adapt"
 	"hiengine/internal/baseline/innosim"
@@ -46,8 +48,9 @@ func main() {
 	flag.Parse()
 
 	var (
-		sess  session
-		local *localBackend
+		sess   session
+		local  *localBackend
+		remote *client.Session
 	)
 	if *connect != "" {
 		cl, err := client.New(client.Options{Addr: *connect})
@@ -67,6 +70,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("HiEngine shell -- connected to %s. \\q to quit.\n", *connect)
+		remote = s
 		sess = &remoteBackend{s: s, stmts: make(map[string]*client.Stmt)}
 	} else {
 		var err error
@@ -82,6 +86,7 @@ func main() {
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lastShown *client.TraceResult
 	for {
 		if sess.InTxn() {
 			fmt.Print("hiengine*> ")
@@ -103,6 +108,19 @@ func main() {
 				fmt.Println("error:", err)
 			} else {
 				fmt.Print(text)
+			}
+			continue
+		case line == `\trace on` || line == `\trace off`:
+			if remote == nil {
+				fmt.Println("error: \\trace needs a remote session (-connect)")
+				continue
+			}
+			on := line == `\trace on`
+			remote.Trace(on)
+			if on {
+				fmt.Println("tracing on: each statement's terminal response prints its stage breakdown")
+			} else {
+				fmt.Println("tracing off")
 			}
 			continue
 		case line == `\checkpoint`:
@@ -157,6 +175,39 @@ func main() {
 		} else {
 			fmt.Println("OK")
 		}
+		// A traced unit completes on its terminal response (an autocommit
+		// statement, or COMMIT/ROLLBACK closing a transaction); print each
+		// completed breakdown once.
+		if remote != nil {
+			if lt := remote.LastTrace(); lt != nil && lt != lastShown {
+				lastShown = lt
+				printTrace(lt)
+			}
+		}
+	}
+}
+
+// printTrace renders one completed traced unit as a stage table.
+func printTrace(lt *client.TraceResult) {
+	info := lt.Info
+	fmt.Printf("trace %d: server %v", info.TraceID, time.Duration(info.TotalNS))
+	if lt.ClientNS > 0 {
+		fmt.Printf(", client %v, network+queue %v", time.Duration(lt.ClientNS), time.Duration(lt.NetworkNS()))
+	}
+	if info.Batch > 0 {
+		fmt.Printf(", commit batch %d", info.Batch)
+	}
+	switch {
+	case info.PlanHit && info.PlanMiss:
+		fmt.Print(", plan cache mixed")
+	case info.PlanHit:
+		fmt.Print(", plan cache hit")
+	case info.PlanMiss:
+		fmt.Print(", plan cache miss")
+	}
+	fmt.Println()
+	for _, st := range info.Stages {
+		fmt.Printf("  %-14s @%-10v %v\n", st.Stage.String(), time.Duration(st.BeginNS), time.Duration(st.DurNS))
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"hiengine/internal/core"
 	"hiengine/internal/engineapi"
+	"hiengine/internal/obs"
 )
 
 // DB wraps a core.Engine as an engineapi.DB.
@@ -95,6 +96,10 @@ type Txn struct {
 
 // Unwrap exposes the underlying transaction.
 func (tx *Txn) Unwrap() *core.Txn { return tx.t }
+
+// SetTrace implements engineapi.Traceable: the trace rides the core
+// transaction through the WAL commit pipeline.
+func (tx *Txn) SetTrace(tr *obs.Trace) { tx.t.SetTrace(tr) }
 
 func mapErr(err error) error {
 	switch {

@@ -1,0 +1,147 @@
+package admin
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"hiengine/internal/obs"
+)
+
+func newTestServer(t *testing.T) (*Server, *obs.Registry, *obs.Tracer) {
+	t.Helper()
+	reg := obs.NewRegistry("admintest")
+	reg.Counter("reqs.total").Add(3)
+	reg.Gauge("conns.open").Set(2)
+	reg.Histogram("lat_ns").Record(100)
+	tr := obs.NewTracer(obs.TracerConfig{SampleEvery: 1, Registry: reg})
+	return New(Config{Registry: reg, Tracer: tr, Info: map[string]string{"addr": ":0"}}), reg, tr
+}
+
+func get(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+func TestHealthz(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	code, body := get(t, s, "/healthz")
+	if code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+}
+
+var (
+	typeLine   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="(\+Inf|[0-9]+)"\})? -?[0-9]+$`)
+)
+
+// TestMetricsScrape is the e2e scrape smoke test: every line of /metrics
+// must be well-formed Prometheus 0.0.4 text exposition, each metric's TYPE
+// line must precede its samples, and each histogram must carry +Inf/_sum/
+// _count series.
+func TestMetricsScrape(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	code, body := get(t, s, "/metrics")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	declared := map[string]bool{}
+	sampled := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case typeLine.MatchString(line):
+			declared[strings.Fields(line)[2]] = true
+		case sampleLine.MatchString(line):
+			name := line[:strings.IndexAny(line, "{ ")]
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if !declared[name] && !declared[base] {
+				t.Errorf("line %d: sample %q precedes its # TYPE line", i+1, name)
+			}
+			sampled[name] = true
+		default:
+			t.Errorf("line %d: malformed exposition line %q", i+1, line)
+		}
+	}
+	for _, want := range []string{
+		"admintest_reqs_total", "admintest_conns_open",
+		"admintest_lat_ns_bucket", "admintest_lat_ns_sum", "admintest_lat_ns_count",
+	} {
+		if !sampled[want] {
+			t.Errorf("missing series %q", want)
+		}
+	}
+	if !strings.Contains(body, `admintest_lat_ns_bucket{le="+Inf"}`) {
+		t.Errorf("histogram missing +Inf bucket:\n%s", body)
+	}
+}
+
+func TestStatusz(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	code, body := get(t, s, "/statusz")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var st struct {
+		Name          string            `json:"name"`
+		UptimeSeconds float64           `json:"uptime_seconds"`
+		GoVersion     string            `json:"go_version"`
+		Info          map[string]string `json:"info"`
+		Metrics       json.RawMessage   `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("statusz not JSON: %v\n%s", err, body)
+	}
+	if st.Name != "admintest" || st.GoVersion == "" || st.UptimeSeconds < 0 {
+		t.Fatalf("statusz = %+v", st)
+	}
+	if st.Info["addr"] != ":0" || len(st.Metrics) == 0 {
+		t.Fatalf("statusz missing info/metrics: %+v", st)
+	}
+}
+
+func TestTraces(t *testing.T) {
+	s, _, tc := newTestServer(t)
+	tr := tc.Start(7, true)
+	tr.Begin(obs.StageExec)
+	time.Sleep(2 * time.Millisecond)
+	tr.End(obs.StageExec)
+	tr.Finish()
+
+	code, body := get(t, s, "/traces")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var out struct {
+		Enabled bool               `json:"enabled"`
+		Recent  []*obs.TraceRecord `json:"recent"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("traces not JSON: %v\n%s", err, body)
+	}
+	if !out.Enabled || len(out.Recent) != 1 || out.Recent[0].ID != 7 {
+		t.Fatalf("traces = %s", body)
+	}
+
+	// min_us above the trace's duration filters it out.
+	if _, body := get(t, s, "/traces?min_us=10000000"); !strings.Contains(body, `"recent": []`) {
+		t.Fatalf("min_us filter kept trace: %s", body)
+	}
+	if code, _ := get(t, s, "/traces?min_us=bogus"); code != 400 {
+		t.Fatalf("bad min_us: status = %d", code)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	if code, body := get(t, s, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index = %d", code)
+	}
+}

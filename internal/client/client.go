@@ -32,6 +32,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hiengine/internal/chaos"
@@ -97,8 +98,9 @@ func (o *Options) fill() {
 
 // Client is a pooled wire-protocol client for one server.
 type Client struct {
-	opts   Options
-	tokens chan struct{} // pool capacity
+	opts     Options
+	tokens   chan struct{} // pool capacity
+	traceSeq atomic.Uint64 // client-assigned trace ids (nonzero)
 
 	mu     sync.Mutex
 	idle   []*wconn
@@ -276,6 +278,63 @@ type Session struct {
 	stmts  map[uint64]*Stmt
 	inTxn  bool
 	closed bool
+
+	trace      bool // request server-side tracing on every request
+	curTraceID uint64
+	traceT0    time.Time
+	lastTrace  *TraceResult
+}
+
+// TraceResult is the client-side view of one completed traced unit (an
+// autocommit statement or a whole BEGIN..COMMIT transaction): the server's
+// stage breakdown plus the client's wall-clock view, whose difference is
+// time spent on the network (and in client/server queues).
+type TraceResult struct {
+	// Info is the server's stage-timing block from the terminal response.
+	Info *wire.TraceInfo
+	// ClientNS is wall time from the unit's first traced request being
+	// written to its terminal response being received.
+	ClientNS int64
+}
+
+// NetworkNS estimates time outside the server's measured pipeline:
+// client wall time minus the server's span (never negative).
+func (t *TraceResult) NetworkNS() int64 {
+	n := t.ClientNS - t.Info.TotalNS
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Trace enables or disables tracing for this session's requests. While on,
+// every request carries a client-assigned trace id, forcing the server to
+// trace it regardless of its sampling policy; the terminal response of each
+// traced unit returns the server's stage timings (see LastTrace).
+func (s *Session) Trace(on bool) {
+	s.trace = on
+	if !on {
+		s.curTraceID = 0
+	}
+}
+
+// LastTrace returns the stage breakdown of the most recently completed
+// traced unit, or nil if none completed yet (tracing off, or the server
+// runs without a tracer).
+func (s *Session) LastTrace() *TraceResult { return s.lastTrace }
+
+// traceID returns the trace id for the next request: 0 when tracing is off,
+// otherwise the current unit's id (allocating one, and stamping the unit's
+// start time, when a new unit begins).
+func (s *Session) traceID() uint64 {
+	if !s.trace {
+		return 0
+	}
+	if s.curTraceID == 0 {
+		s.curTraceID = s.c.traceSeq.Add(1)
+		s.traceT0 = time.Now()
+	}
+	return s.curTraceID
 }
 
 // Close rolls back any open transaction, closes any open prepared
@@ -301,7 +360,7 @@ func (s *Session) Close() {
 		// Pipeline the closes: start them all, then collect.
 		pend := make([]*Pending, 0, len(s.stmts))
 		for id := range s.stmts {
-			p, err := s.w.start(wire.OpCloseStmt, wire.EncodeCloseStmt(id), s.c.opts.RequestTimeout)
+			p, err := s.w.start(wire.OpCloseStmt, wire.EncodeCloseStmt(id), s.c.opts.RequestTimeout, 0)
 			if err != nil {
 				reusable = false
 				break
@@ -330,11 +389,25 @@ func (s *Session) do(op wire.Op, payload []byte) (response, error) {
 	if s.closed {
 		return response{}, ErrClientClosed
 	}
-	p, err := s.w.start(op, payload, s.c.opts.RequestTimeout)
+	p, err := s.w.start(op, payload, s.c.opts.RequestTimeout, s.traceID())
 	if err != nil {
 		return response{}, err
 	}
-	return p.wait()
+	r, err := p.wait()
+	if r.trace != nil {
+		// Stage timings ride the terminal response of the traced unit;
+		// receiving them completes the unit client-side. (A server whose
+		// own sampler picked the request can return timings even when this
+		// session never asked; then there is no unit start to diff against.)
+		var clientNS int64
+		if !s.traceT0.IsZero() {
+			clientNS = int64(time.Since(s.traceT0))
+		}
+		s.lastTrace = &TraceResult{Info: r.trace, ClientNS: clientNS}
+		s.curTraceID = 0
+		s.traceT0 = time.Time{}
+	}
+	return r, err
 }
 
 // noteOutcome tracks server-side transaction state: commit/rollback end
@@ -546,7 +619,7 @@ func (st *Stmt) ExecPipe(args ...core.Value) (*Pending, error) {
 	case "COMMIT", "ROLLBACK":
 		st.s.inTxn = false
 	}
-	return st.s.w.start(wire.OpExecStmt, wire.EncodeExecStmt(st.id, args), st.s.c.opts.RequestTimeout)
+	return st.s.w.start(wire.OpExecStmt, wire.EncodeExecStmt(st.id, args), st.s.c.opts.RequestTimeout, st.s.traceID())
 }
 
 // Close releases the server-side statement. Closing twice (or closing
@@ -612,7 +685,7 @@ func (s *Session) ExecPipe(sql string, args ...core.Value) (*Pending, error) {
 	if s.closed {
 		return nil, ErrClientClosed
 	}
-	return s.w.start(wire.OpExec, wire.EncodeExec(sql, args), s.c.opts.RequestTimeout)
+	return s.w.start(wire.OpExec, wire.EncodeExec(sql, args), s.c.opts.RequestTimeout, s.traceID())
 }
 
 // CommitPipe sends a commit without waiting; Wait returns at durability.
@@ -621,7 +694,7 @@ func (s *Session) CommitPipe() (*Pending, error) {
 		return nil, ErrClientClosed
 	}
 	s.inTxn = false
-	return s.w.start(wire.OpCommit, nil, s.c.opts.RequestTimeout)
+	return s.w.start(wire.OpCommit, nil, s.c.opts.RequestTimeout, s.traceID())
 }
 
 // Wait blocks for the response.
@@ -640,9 +713,10 @@ func (p *Pending) Wait() (*wire.Result, error) {
 
 // response is one decoded response.
 type response struct {
-	code wire.Code
-	msg  string
-	body []byte
+	code  wire.Code
+	msg   string
+	body  []byte
+	trace *wire.TraceInfo // stage timings, on traced terminal responses
 }
 
 // wconn is one multiplexed TCP connection.
@@ -680,8 +754,9 @@ func (w *wconn) fail(err error) {
 	}
 }
 
-// start registers a future and writes the request frame.
-func (w *wconn) start(op wire.Op, payload []byte, timeout time.Duration) (*Pending, error) {
+// start registers a future and writes the request frame. A nonzero traceID
+// flags the frame as traced, asking the server to trace the request.
+func (w *wconn) start(op wire.Op, payload []byte, timeout time.Duration, traceID uint64) (*Pending, error) {
 	ch := make(chan response, 1)
 	w.mu.Lock()
 	if w.err != nil {
@@ -695,7 +770,11 @@ func (w *wconn) start(op wire.Op, payload []byte, timeout time.Duration) (*Pendi
 	w.mu.Unlock()
 
 	bp := wire.GetBuf()
-	buf := wire.AppendFrame((*bp)[:0], wire.Frame{RequestID: id, Op: op, Payload: payload})
+	f := wire.Frame{RequestID: id, Op: op, Payload: payload}
+	if traceID != 0 {
+		f.Traced, f.TraceID = true, traceID
+	}
+	buf := wire.AppendFrame((*bp)[:0], f)
 	w.writeMu.Lock()
 	w.nc.SetWriteDeadline(time.Now().Add(timeout))
 	_, err := w.nc.Write(buf)
@@ -724,7 +803,9 @@ func (p *Pending) wait() (response, error) {
 			return response{}, err
 		}
 		if r.code != wire.CodeOK {
-			return response{}, wire.FromCode(r.code, r.msg)
+			// Return r alongside the error: traced error responses still
+			// carry stage timings worth surfacing.
+			return r, wire.FromCode(r.code, r.msg)
 		}
 		return r, nil
 	case <-t.C:
@@ -746,7 +827,21 @@ func (w *wconn) readLoop() {
 			w.fail(fmt.Errorf("client: read: %w", err))
 			return
 		}
-		code, msg, body, err := wire.DecodeResponse(f.Payload)
+		payload := f.Payload
+		var ti *wire.TraceInfo
+		if f.Traced {
+			// Traced responses carry the stage-timing block ahead of the
+			// response body.
+			var rest []byte
+			ti, rest, err = wire.DecodeTraceBlock(payload)
+			if err != nil {
+				w.fail(fmt.Errorf("client: %w", err))
+				return
+			}
+			ti.TraceID = f.TraceID
+			payload = rest
+		}
+		code, msg, body, err := wire.DecodeResponse(payload)
 		if err != nil {
 			w.fail(fmt.Errorf("client: %w", err))
 			return
@@ -767,6 +862,6 @@ func (w *wconn) readLoop() {
 		if len(body) > 0 {
 			body = append([]byte(nil), body...)
 		}
-		ch <- response{code: code, msg: msg, body: body}
+		ch <- response{code: code, msg: msg, body: body, trace: ti}
 	}
 }

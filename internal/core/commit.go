@@ -103,7 +103,7 @@ func (t *Txn) commitStart(durable func(error)) (bool, error) {
 	e := t.e
 	worker := t.worker
 	e.commitsStarted.Add(1)
-	e.log.Append(worker, logBuf, func(base wal.Addr, err error) {
+	e.log.AppendTraced(worker, logBuf, t.trace, func(base wal.Addr, err error) {
 		if err == nil {
 			// Stamp permanent addresses: each version now has a home
 			// in the replicated log (Figure 4b).

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"hiengine/internal/index"
+	"hiengine/internal/obs"
 	"hiengine/internal/wal"
 )
 
@@ -51,6 +52,22 @@ type Txn struct {
 	doneCh chan struct{}
 
 	finished bool
+
+	// trace, when non-nil, attributes the commit pipeline's WAL and
+	// replication stages to this transaction's request trace. Owned by the
+	// transaction's worker goroutine until CommitAsync hands it to the WAL
+	// I/O goroutine.
+	trace *obs.Trace
+}
+
+// SetTrace attaches a request trace to the transaction (nil detaches).
+// The commit path threads it through the WAL so enqueue, group-commit,
+// replication, and durability are attributed per request.
+func (t *Txn) SetTrace(tr *obs.Trace) {
+	if t == nil {
+		return
+	}
+	t.trace = tr
 }
 
 // Begin starts a transaction on a worker slot. Each worker slot can run one

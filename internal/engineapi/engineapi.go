@@ -10,7 +10,15 @@ import (
 	"errors"
 
 	"hiengine/internal/core"
+	"hiengine/internal/obs"
 )
+
+// Traceable is implemented by transactions that can carry a per-request
+// trace through the commit pipeline (see internal/obs). Callers type-assert:
+// engines without pipeline instrumentation simply don't implement it.
+type Traceable interface {
+	SetTrace(*obs.Trace)
+}
 
 // Canonical error categories. Engines wrap their native errors around these
 // sentinels so drivers can classify failures uniformly with errors.Is.

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// promSanitize maps a dotted metric name to the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:]; every other byte becomes '_'. A leading digit
+// gets a '_' prefix.
+func promSanitize(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4). Metric names are prefixed with the sanitized registry
+// name; histograms become cumulative `_bucket` series (with an explicit
+// `+Inf` bucket) plus `_sum` and `_count`. Counters gain no suffix: the
+// names in this codebase already carry their unit ("..._ns", "..._bytes").
+func (s Snapshot) Prometheus() string {
+	var b strings.Builder
+	prefix := ""
+	if s.Name != "" {
+		prefix = promSanitize(s.Name) + "_"
+	}
+	for _, m := range s.Metrics {
+		name := prefix + promSanitize(m.Name)
+		switch m.Kind {
+		case KindHistogram:
+			h := m.Hist
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+			var cum int64
+			for _, bk := range h.Buckets {
+				cum += bk.Count
+				fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", name, bk.Le, cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+			fmt.Fprintf(&b, "%s_sum %d\n", name, h.Sum)
+			fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+		case KindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", name)
+			fmt.Fprintf(&b, "%s %d\n", name, m.Value)
+		default:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(&b, "%s %d\n", name, m.Value)
+		}
+	}
+	return b.String()
+}

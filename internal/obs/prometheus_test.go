@@ -1,0 +1,74 @@
+package obs
+
+import "testing"
+
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry("db")
+	r.Counter("reqs.total").Add(5)
+	r.Gauge("conns-open").Set(2)
+	r.GaugeFunc("queue.depth", func() int64 { return 7 })
+	h := r.Histogram("lat_ns")
+	h.Record(0)
+	h.Record(3)
+	h.Record(100)
+
+	want := `# TYPE db_conns_open gauge
+db_conns_open 2
+# TYPE db_lat_ns histogram
+db_lat_ns_bucket{le="0"} 1
+db_lat_ns_bucket{le="3"} 2
+db_lat_ns_bucket{le="100"} 3
+db_lat_ns_bucket{le="+Inf"} 3
+db_lat_ns_sum 103
+db_lat_ns_count 3
+# TYPE db_queue_depth gauge
+db_queue_depth 7
+# TYPE db_reqs_total counter
+db_reqs_total 5
+`
+	got := r.Snapshot().Prometheus()
+	if got != want {
+		t.Fatalf("Prometheus output mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusSanitize(t *testing.T) {
+	cases := map[string]string{
+		"wal.commit_latency_ns": "wal_commit_latency_ns",
+		"srss:tier-compute":     "srss:tier_compute",
+		"9lives":                "_9lives",
+		"a b\tc":                "a_b_c",
+	}
+	for in, want := range cases {
+		if got := promSanitize(in); got != want {
+			t.Errorf("promSanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPrometheusCumulativeBuckets(t *testing.T) {
+	r := NewRegistry("")
+	h := r.Histogram("h")
+	for i := 0; i < 10; i++ {
+		h.Record(int64(i * 1000))
+	}
+	out := r.Snapshot().Prometheus()
+	// The +Inf bucket must equal the total count, and with an empty
+	// registry name there is no prefix.
+	wantInf := `h_bucket{le="+Inf"} 10`
+	if !contains(out, wantInf) {
+		t.Fatalf("output missing %q:\n%s", wantInf, out)
+	}
+	if !contains(out, "h_count 10") {
+		t.Fatalf("output missing h_count 10:\n%s", out)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -135,6 +135,11 @@ type Config struct {
 	Stats func() string
 	// Obs is the metrics registry (nil = no recording).
 	Obs *obs.Registry
+	// Tracer, when set, attributes request time to pipeline stages
+	// (internal/obs): client-flagged requests are always traced; otherwise
+	// the tracer's sampling and slow-threshold policy applies. nil = off,
+	// zero overhead.
+	Tracer *obs.Tracer
 	// Chaos is the fault-injection engine shared with the deployment
 	// (nil = inert).
 	Chaos *chaos.Engine
@@ -411,6 +416,14 @@ type conn struct {
 
 	writeMu sync.Mutex
 	dead    bool // write side failed; further responses are dropped
+
+	// tr is the active request trace. It spans a whole transaction
+	// (BEGIN..COMMIT arrive as separate frames) and completes with the
+	// terminal response: the commit durability callback, or any response
+	// after which no transaction remains open. Owned by the read-loop
+	// goroutine, except that commit() hands it to the WAL I/O goroutine
+	// (via the engine's commit pipeline) for the callback to complete.
+	tr *obs.Trace
 }
 
 // stmtEntry is one server-side prepared statement. commit marks a
@@ -452,9 +465,14 @@ func (c *conn) serve() {
 	defer c.teardown()
 	fr := wire.NewFrameReader(c.br, true)
 	inFrame := false
+	var frameT0 time.Time
 	fr.OnFrameStart = func() {
 		inFrame = true
-		c.nc.SetReadDeadline(time.Now().Add(c.s.cfg.ReadTimeout))
+		frameT0 = time.Now()
+		c.nc.SetReadDeadline(frameT0.Add(c.s.cfg.ReadTimeout))
+		// A continuing trace attributes the frame's bytes-on-the-wire time
+		// (first byte to full frame), not the idle wait before it.
+		c.tr.Begin(obs.StageFrameRead)
 	}
 	for {
 		inFrame = false
@@ -485,6 +503,18 @@ func (c *conn) serve() {
 		if err := c.s.cfg.Chaos.Check(SiteRead); err != nil {
 			return // injected read failure: the connection is gone
 		}
+		if c.tr != nil {
+			c.tr.End(obs.StageFrameRead)
+		} else if tc := c.s.cfg.Tracer; tc != nil {
+			// First frame of a traced unit: the trace starts only once the
+			// frame (and with it any client trace id) has been read, so the
+			// read time is back-dated as a span at offset zero.
+			if tr := tc.Start(f.TraceID, f.Traced); tr != nil {
+				c.tr = tr
+				c.sess.SetTrace(tr)
+				tr.AddSpan(obs.StageFrameRead, 0, int64(time.Since(frameT0)))
+			}
+		}
 		c.s.mBytesIn.Add(int64(len(f.Payload)) + 13)
 		if !c.handle(f) {
 			return
@@ -497,6 +527,12 @@ func (c *conn) serve() {
 // Pending commit-durability callbacks may still fire afterwards; respond
 // tolerates the dead connection.
 func (c *conn) teardown() {
+	if c.tr != nil {
+		// The traced unit never reached a terminal response (connection
+		// died mid-transaction): drop it without publishing.
+		c.tr.Discard()
+		c.tr = nil
+	}
 	if c.sess.InTxn() {
 		c.sess.Rollback()
 	}
@@ -519,6 +555,8 @@ func (c *conn) acquireSlot() error {
 	if c.hasSlot {
 		return nil
 	}
+	c.tr.Begin(obs.StageSlotWait)
+	defer c.tr.End(obs.StageSlotWait)
 	select {
 	case s := <-c.s.slots:
 		c.slot, c.hasSlot = s, true
@@ -558,7 +596,7 @@ func (c *conn) handle(f wire.Frame) bool {
 	c.s.admitMu.Lock()
 	if c.s.draining.Load() {
 		c.s.admitMu.Unlock()
-		c.respond(f.RequestID, wire.CodeClosed, "server draining", nil)
+		c.respondTr(f.RequestID, c.takeTerminalTrace(), wire.CodeClosed, "server draining", nil)
 		return true
 	}
 	select {
@@ -566,7 +604,7 @@ func (c *conn) handle(f wire.Frame) bool {
 	default:
 		c.s.admitMu.Unlock()
 		c.s.mBusy.Inc()
-		c.respond(f.RequestID, wire.CodeBusy, "server at max in-flight requests", nil)
+		c.respondTr(f.RequestID, c.takeTerminalTrace(), wire.CodeBusy, "server at max in-flight requests", nil)
 		return true
 	}
 	c.s.reqWG.Add(1)
@@ -581,10 +619,13 @@ func (c *conn) handle(f wire.Frame) bool {
 	}
 
 	finish := func(err error, body []byte) {
+		// A response after which no transaction remains open terminates the
+		// traced unit: complete and publish the trace with this response.
+		tr := c.takeTerminalTrace()
 		if err != nil {
-			c.respondErr(f.RequestID, err)
+			c.respondTrErr(f.RequestID, tr, err)
 		} else {
-			c.respond(f.RequestID, wire.CodeOK, "", body)
+			c.respondTr(f.RequestID, tr, wire.CodeOK, "", body)
 		}
 		release()
 	}
@@ -768,34 +809,65 @@ func (c *conn) commit(reqID uint64, viaExec bool, release func()) {
 		}
 		return nil
 	}
+	// The commit response terminates the traced unit. Detach the trace from
+	// the connection before CommitAsync: on the async path the engine's
+	// commit pipeline carries it to the WAL I/O goroutine (the channel send
+	// transfers ownership), and the durability callback -- which runs there
+	// -- completes it. The read loop must not touch it afterwards.
+	tr := c.tr
+	c.tr = nil
 	async, err := c.sess.CommitAsync(func(cerr error) {
 		c.s.mCommitDur.Record(time.Since(start).Nanoseconds())
 		if cerr != nil {
-			c.respondErr(reqID, cerr)
+			c.respondTrErr(reqID, tr, cerr)
 		} else {
-			c.respond(reqID, wire.CodeOK, "", body())
+			c.respondTr(reqID, tr, wire.CodeOK, "", body())
 		}
 		release()
 	})
+	// CommitAsync has detached the session's transaction, so this only
+	// clears the session-level pointer (the read-loop goroutine owns the
+	// session; the trace itself is not touched).
+	c.sess.SetTrace(nil)
 	c.releaseSlot()
 	if async {
 		return
 	}
 	if err != nil {
-		c.respondErr(reqID, err)
+		c.respondTrErr(reqID, tr, err)
 	} else {
-		c.respond(reqID, wire.CodeOK, "", body())
+		c.respondTr(reqID, tr, wire.CodeOK, "", body())
 	}
 	release()
 }
 
+// takeTerminalTrace detaches and returns the active trace if the response
+// about to be written terminates the traced unit (no transaction remains
+// open to extend it); otherwise it returns nil and the trace stays attached
+// for the transaction's later frames.
+func (c *conn) takeTerminalTrace() *obs.Trace {
+	tr := c.tr
+	if tr == nil || c.sess.InTxn() {
+		return nil
+	}
+	c.tr = nil
+	c.sess.SetTrace(nil)
+	return tr
+}
+
 // respondErr classifies err onto its stable wire code and responds.
 func (c *conn) respondErr(reqID uint64, err error) {
+	c.respondTrErr(reqID, nil, err)
+}
+
+// respondTrErr classifies err onto its stable wire code and responds,
+// completing tr (if any) with the response.
+func (c *conn) respondTrErr(reqID uint64, tr *obs.Trace, err error) {
 	code := wire.Classify(err)
 	if c.s.mErrs[code] != nil {
 		c.s.mErrs[code].Inc()
 	}
-	c.respond(reqID, code, err.Error(), nil)
+	c.respondTr(reqID, tr, code, err.Error(), nil)
 }
 
 // respond writes one response frame. Any goroutine may call it (the read
@@ -804,9 +876,25 @@ func (c *conn) respondErr(reqID uint64, err error) {
 // granularity. Write failures (or an injected mid-response drop) kill the
 // connection's write side; later responses are dropped silently.
 func (c *conn) respond(reqID uint64, code wire.Code, msg string, body []byte) {
+	c.respondTr(reqID, nil, code, msg, body)
+}
+
+// respondTr writes one response frame and, when tr is non-nil, completes
+// the trace: the frame carries the stage-timing block, the write itself is
+// recorded as the respond stage, and the trace finishes (publishing per its
+// sampling/slow policy) after the write. The caller must have detached tr
+// from the connection; respondTr consumes it.
+func (c *conn) respondTr(reqID uint64, tr *obs.Trace, code wire.Code, msg string, body []byte) {
 	bp := wire.GetBuf()
 	defer wire.PutBuf(bp)
-	buf := wire.AppendResponseFrame((*bp)[:0], reqID, code, msg, body)
+	var buf []byte
+	if tr != nil {
+		tr.End(obs.StageDurable)
+		tr.Begin(obs.StageRespond)
+		buf = wire.AppendTracedResponseFrame((*bp)[:0], reqID, tr.ID(), tr, code, msg, body)
+	} else {
+		buf = wire.AppendResponseFrame((*bp)[:0], reqID, code, msg, body)
+	}
 	if payload := len(buf) - 13; payload > wire.MaxPayload {
 		// An oversize response (e.g. a huge scan result) must never reach
 		// the wire: the client's ReadFrame would reject the frame as a
@@ -820,7 +908,16 @@ func (c *conn) respond(reqID uint64, code wire.Code, msg string, body []byte) {
 	}
 	*bp = buf
 	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
+	c.write(buf)
+	c.writeMu.Unlock()
+	if tr != nil {
+		tr.End(obs.StageRespond)
+		tr.Finish()
+	}
+}
+
+// write sends one framed response; the caller holds writeMu.
+func (c *conn) write(buf []byte) {
 	if c.dead {
 		return
 	}

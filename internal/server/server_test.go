@@ -41,8 +41,11 @@ func newHarness(t *testing.T, mutate func(*Config), eng *chaos.Engine) *harness 
 func newHarnessModel(t *testing.T, model *delay.Model, mutate func(*Config), eng *chaos.Engine) *harness {
 	t.Helper()
 	reg := obs.NewRegistry("servertest")
+	// The chaos engine reaches the storage stack (wal, srss sites) through
+	// the SRSS service, so server-level tests can also inject storage
+	// faults; tests that arm only server sites are unaffected.
 	engine, err := core.Open(core.Config{
-		Service:     srss.New(srss.Config{Model: model}),
+		Service:     srss.New(srss.Config{Model: model, Chaos: eng}),
 		Workers:     8,
 		SegmentSize: 1 << 22,
 	})

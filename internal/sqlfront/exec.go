@@ -9,6 +9,7 @@ import (
 
 	"hiengine/internal/core"
 	"hiengine/internal/engineapi"
+	"hiengine/internal/obs"
 )
 
 // Errors.
@@ -99,27 +100,27 @@ func (f *Frontend) PlanCacheStats() PlanCacheStats {
 // compiling: if DDL races the compile, the entry is stamped with the older
 // generation and discarded on its next lookup (a wasted recompile, never a
 // stale execution).
-func (f *Frontend) prepare(sql string) (*compiled, error) {
+func (f *Frontend) prepare(sql string) (*compiled, bool, error) {
 	f.mu.RLock()
 	pc := f.plans
 	f.mu.RUnlock()
 	gen := f.schemaGen.Load()
 	if c := pc.get(sql, gen); c != nil {
-		return c, nil
+		return c, true, nil
 	}
 	st, nParams, err := parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	fn, err := f.compile(st)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c := &compiled{nParams: nParams, gen: gen, fn: fn}
 	if cacheable(st) {
 		pc.put(sql, c)
 	}
-	return c, nil
+	return c, false, nil
 }
 
 // cacheable reports whether a statement kind belongs in the plan cache.
@@ -151,6 +152,21 @@ type Session struct {
 
 	txn       engineapi.Txn
 	txnEngine string
+
+	// tr, when non-nil, is the active request trace: Exec brackets the
+	// plan-cache and execution stages against it, and transactions opened
+	// while it is set carry it through the engine's commit pipeline.
+	tr *obs.Trace
+}
+
+// SetTrace attaches (or with nil, detaches) the active request trace. An
+// already-open engine transaction is retroactively tagged so a trace
+// started mid-transaction still attributes its commit stages.
+func (s *Session) SetTrace(tr *obs.Trace) {
+	s.tr = tr
+	if t, ok := s.txn.(engineapi.Traceable); ok && s.txn != nil {
+		t.SetTrace(tr)
+	}
 }
 
 // NewSession opens a session bound to a worker slot.
@@ -179,14 +195,22 @@ type Result struct {
 // pays parse+plan+compile, every later execution (from any session) binds
 // parameters straight into the cached closure.
 func (s *Session) Exec(sql string, args ...core.Value) (*Result, error) {
-	c, err := s.f.prepare(sql)
+	s.tr.Begin(obs.StagePlanCache)
+	c, hit, err := s.f.prepare(sql)
+	if s.tr != nil {
+		s.tr.PlanCache(hit)
+		s.tr.End(obs.StagePlanCache)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if c.nParams != len(args) {
 		return nil, fmt.Errorf("%w: statement has %d, got %d", ErrParamCount, c.nParams, len(args))
 	}
-	return c.fn(s, args)
+	s.tr.Begin(obs.StageExec)
+	res, err := c.fn(s, args)
+	s.tr.End(obs.StageExec)
+	return res, err
 }
 
 // Stmt is a compiled statement handle: the parse/plan work is done once
@@ -201,7 +225,12 @@ type Stmt struct {
 
 // Prepare compiles sql (through the shared plan cache).
 func (s *Session) Prepare(sql string) (*Stmt, error) {
-	c, err := s.f.prepare(sql)
+	s.tr.Begin(obs.StagePlanCache)
+	c, hit, err := s.f.prepare(sql)
+	if s.tr != nil {
+		s.tr.PlanCache(hit)
+		s.tr.End(obs.StagePlanCache)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -216,17 +245,28 @@ func (st *Stmt) NumParams() int { return st.c.nParams }
 // recompiles (through the cache) rather than execute a plan that may
 // capture stale table handles or routing.
 func (st *Stmt) Exec(args ...core.Value) (*Result, error) {
-	if st.c.gen != st.s.f.schemaGen.Load() {
-		c, err := st.s.f.prepare(st.sql)
+	s := st.s
+	s.tr.Begin(obs.StagePlanCache)
+	if st.c.gen != s.f.schemaGen.Load() {
+		c, hit, err := s.f.prepare(st.sql)
 		if err != nil {
+			s.tr.End(obs.StagePlanCache)
 			return nil, err
 		}
+		s.tr.PlanCache(hit)
 		st.c = c
+	} else {
+		// A valid prepared handle is the ultimate plan-cache hit.
+		s.tr.PlanCache(true)
 	}
+	s.tr.End(obs.StagePlanCache)
 	if len(args) != st.c.nParams {
 		return nil, fmt.Errorf("%w: statement has %d, got %d", ErrParamCount, st.c.nParams, len(args))
 	}
-	return st.c.fn(st.s, args)
+	s.tr.Begin(obs.StageExec)
+	res, err := st.c.fn(s, args)
+	s.tr.End(obs.StageExec)
+	return res, err
 }
 
 // --- transaction handling --------------------------------------------------
@@ -251,6 +291,7 @@ func (s *Session) txnFor(ti *tableInfo) (engineapi.Txn, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
+		s.attachTrace(t)
 		s.txn = t
 		s.txnEngine = ti.engine
 		return t, false, nil
@@ -266,7 +307,19 @@ func (s *Session) txnFor(ti *tableInfo) (engineapi.Txn, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	s.attachTrace(t)
 	return t, true, nil
+}
+
+// attachTrace tags a freshly opened engine transaction with the session's
+// active trace, when the engine supports it (engineapi.Traceable).
+func (s *Session) attachTrace(t engineapi.Txn) {
+	if s.tr == nil {
+		return
+	}
+	if tt, ok := t.(engineapi.Traceable); ok {
+		tt.SetTrace(s.tr)
+	}
 }
 
 func (s *Session) commit() error {

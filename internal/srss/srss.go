@@ -614,32 +614,41 @@ func (p *PLog) Seal() {
 // returned; per the SRSS contract the caller must create a fresh PLog and
 // retry the append there.
 func (p *PLog) Append(data []byte) (int64, error) {
+	off, _, err := p.AppendTimed(data)
+	return off, err
+}
+
+// AppendTimed is Append, additionally reporting the wall-clock nanoseconds
+// spent in the replication fan-out (the modeled per-tier latency charge
+// plus writing every replica). Tracing uses this to carve the replication
+// cost out of the enclosing group-commit flush span.
+func (p *PLog) AppendTimed(data []byte) (off int64, replicateNS int64, err error) {
 	if len(data) == 0 {
-		return p.size.Load(), nil
+		return p.size.Load(), 0, nil
 	}
 	ch := p.svc.cfg.Chaos
 	if err := ch.Check(SiteAppendBefore); err != nil {
 		// Crash before replication: the append is lost entirely.
-		return 0, fmt.Errorf("append to %v: %w", p.id, err)
+		return 0, 0, fmt.Errorf("append to %v: %w", p.id, err)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.deleted.Load() {
-		return 0, fmt.Errorf("%w: %v", ErrDeleted, p.id)
+		return 0, 0, fmt.Errorf("%w: %v", ErrDeleted, p.id)
 	}
 	if p.sealed.Load() {
-		return 0, fmt.Errorf("%w: %v", ErrSealed, p.id)
+		return 0, 0, fmt.Errorf("%w: %v", ErrSealed, p.id)
 	}
-	off := p.size.Load()
+	off = p.size.Load()
 	if off+int64(len(data)) > p.svc.cfg.MaxPLogSize {
-		return 0, fmt.Errorf("%w: %v (size %d + %d > %d)",
+		return 0, 0, fmt.Errorf("%w: %v (size %d + %d > %d)",
 			ErrFull, p.id, off, len(data), p.svc.cfg.MaxPLogSize)
 	}
 	reps := p.replicaList()
 	for _, r := range reps {
 		if r.node.Failed() {
 			p.sealTornLocked(false)
-			return 0, fmt.Errorf("%w: %v (replica node %d failed mid-write)",
+			return 0, 0, fmt.Errorf("%w: %v (replica node %d failed mid-write)",
 				ErrSealed, p.id, r.node.ID)
 		}
 	}
@@ -662,13 +671,15 @@ func (p *PLog) Append(data []byte) (int64, error) {
 		if om := p.svc.obsM.Load(); om != nil {
 			om.tornAppends.Inc()
 		}
-		return 0, fmt.Errorf("torn append to %v (%d/%d bytes replicated): %w",
+		return 0, 0, fmt.Errorf("torn append to %v (%d/%d bytes replicated): %w",
 			p.id, ext, len(data), chaos.ErrCrashed)
 	}
+	replStart := time.Now()
 	p.svc.chargeAppend(p.tier, len(data))
 	for _, r := range reps {
 		r.append(data)
 	}
+	replicateNS = int64(time.Since(replStart))
 	p.size.Store(off + int64(len(data)))
 	p.svc.stats.Appends.Add(1)
 	p.svc.stats.AppendBytes.Add(int64(len(data)))
@@ -676,9 +687,9 @@ func (p *PLog) Append(data []byte) (int64, error) {
 		// Crash after replication: the bytes are durable on every
 		// replica (recovery will see them) but the ack never reaches the
 		// caller -- the classic ambiguous-commit window.
-		return 0, fmt.Errorf("append to %v durable but unacked: %w", p.id, err)
+		return 0, 0, fmt.Errorf("append to %v durable but unacked: %w", p.id, err)
 	}
-	return off, nil
+	return off, replicateNS, nil
 }
 
 // sealTornLocked seals the PLog (and optionally marks it torn) under p.mu,

@@ -410,6 +410,10 @@ type commitReq struct {
 	// enqueuedNS is the wall-clock enqueue time; the I/O goroutine records
 	// the commit-to-durable latency against it at completion.
 	enqueuedNS int64
+	// tr, when non-nil, is the request's trace. The channel send transfers
+	// ownership to the I/O goroutine, which attributes enqueue wait, group
+	// commit, and replication, then hands it back through done.
+	tr *obs.Trace
 }
 
 // Stream is one log stream with its own open segment and I/O goroutine.
@@ -578,6 +582,15 @@ var ErrReadOnly = errors.New("wal: manager is read-only")
 // it is durable (or with an error). The payload must not be reused until
 // done fires.
 func (m *Manager) Append(stream int, payload []byte, done func(base Addr, err error)) {
+	m.AppendTraced(stream, payload, nil, done)
+}
+
+// AppendTraced is Append with an optional trace. Enqueue marks the
+// wal_enqueue stage; the I/O goroutine closes it when the request joins a
+// group flush. Trace ownership transfers with the request: the caller must
+// not touch tr again until done fires (done runs on the I/O goroutine with
+// the trace handed back).
+func (m *Manager) AppendTraced(stream int, payload []byte, tr *obs.Trace, done func(base Addr, err error)) {
 	if m.closed.Load() {
 		done(InvalidAddr, ErrClosed)
 		return
@@ -586,8 +599,9 @@ func (m *Manager) Append(stream int, payload []byte, done func(base Addr, err er
 		done(InvalidAddr, ErrReadOnly)
 		return
 	}
+	tr.Begin(obs.StageWALEnqueue)
 	st := m.streams[stream%len(m.streams)]
-	st.ch <- commitReq{payload: payload, done: done, enqueuedNS: time.Now().UnixNano()}
+	st.ch <- commitReq{payload: payload, done: done, enqueuedNS: time.Now().UnixNano(), tr: tr}
 }
 
 // AppendSync appends and waits for durability.
@@ -723,13 +737,23 @@ func (st *Stream) flushBatch() {
 			}
 			continue
 		}
+		// Traced requests leave the enqueue stage as the group flush picks
+		// them up; the flush itself -- including any injected pre-append
+		// fault latency, which models a slow storage append -- is the
+		// group-commit stage.
+		for k := i; k < j; k++ {
+			if tr := st.batch[k].tr; tr != nil {
+				tr.End(obs.StageWALEnqueue)
+				tr.Begin(obs.StageGroupCommit)
+			}
+		}
 		ch := st.mgr.cfg.Service.Chaos()
 		if err := ch.Check(SiteFlushBefore); err != nil {
 			// Crash before the group append: the whole batch is lost.
 			st.failRest(i, err)
 			return
 		}
-		base, err := st.appendWithRetry(st.concat)
+		base, replNS, err := st.appendWithRetry(st.concat)
 		if err != nil {
 			st.failRest(i, err)
 			return
@@ -743,6 +767,17 @@ func (st *Stream) flushBatch() {
 		off := uint32(base)
 		durableNS := time.Now().UnixNano()
 		for k := i; k < j; k++ {
+			if tr := st.batch[k].tr; tr != nil {
+				// Carve the replication fan-out (shared by the whole batch)
+				// out of this trace's group-commit span, then open the
+				// durable stage: it closes when the commit callback runs.
+				now := tr.Since()
+				tr.End(obs.StageGroupCommit)
+				tr.Adjust(obs.StageGroupCommit, -replNS)
+				tr.AddSpan(obs.StageSRSSReplicate, now-replNS, replNS)
+				tr.SetBatch(j - i)
+				tr.Begin(obs.StageDurable)
+			}
 			if st.batch[k].done != nil {
 				st.batch[k].done(MakeAddr(st.seg, off), nil)
 			}
@@ -770,20 +805,20 @@ const maxAppendAttempts = 8
 // SRSS contract. Retries are bounded: after maxAppendAttempts the append
 // fails with an error wrapping srss.ErrNoHealthyNodes rather than looping
 // while the whole tier is down.
-func (st *Stream) appendWithRetry(data []byte) (int64, error) {
+func (st *Stream) appendWithRetry(data []byte) (off, replicateNS int64, err error) {
 	var lastErr error
 	for attempt := 1; attempt <= maxAppendAttempts; attempt++ {
-		off, err := st.plog.Append(data)
+		off, replNS, err := st.plog.AppendTimed(data)
 		if err == nil {
 			st.offset = off + int64(len(data))
-			return off, nil
+			return off, replNS, nil
 		}
 		if errors.Is(err, chaos.ErrCrashed) {
 			// Simulated crash: the process is dead, retrying is meaningless.
-			return 0, err
+			return 0, 0, err
 		}
 		if !errors.Is(err, srss.ErrSealed) && !errors.Is(err, srss.ErrFull) {
-			return 0, err
+			return 0, 0, err
 		}
 		st.mgr.mRetries.Inc()
 		rerr := st.rotate()
@@ -791,10 +826,10 @@ func (st *Stream) appendWithRetry(data []byte) (int64, error) {
 			continue
 		}
 		if errors.Is(rerr, chaos.ErrCrashed) {
-			return 0, rerr
+			return 0, 0, rerr
 		}
 		if !errors.Is(rerr, srss.ErrNoHealthyNodes) {
-			return 0, rerr
+			return 0, 0, rerr
 		}
 		// Transient placement failure: back off with seeded jitter before
 		// retrying (a node may heal or repair may free a spare).
@@ -809,7 +844,7 @@ func (st *Stream) appendWithRetry(data []byte) (int64, error) {
 		// node: the tier is effectively unavailable.
 		lastErr = srss.ErrNoHealthyNodes
 	}
-	return 0, fmt.Errorf("wal: stream %d gave up after %d append attempts: %w",
+	return 0, 0, fmt.Errorf("wal: stream %d gave up after %d append attempts: %w",
 		st.id, maxAppendAttempts, lastErr)
 }
 

@@ -35,6 +35,7 @@ import (
 
 	"hiengine/internal/core"
 	"hiengine/internal/engineapi"
+	"hiengine/internal/obs"
 	"hiengine/internal/sqlfront"
 )
 
@@ -107,6 +108,18 @@ func (o Op) String() string {
 
 // MaxOp is the highest assigned opcode (sizing per-opcode metric tables).
 const MaxOp = OpCloseStmt
+
+// TraceFlag marks a traced frame. It rides the opcode byte's high bit (no
+// assigned opcode comes near it) so untraced frames are byte-identical to
+// the pre-trace protocol: untraced requests pay zero extra bytes. A traced
+// frame's payload begins with a big-endian 64-bit trace id, which the frame
+// readers strip into Frame.TraceID; on a traced response the remaining
+// payload then carries a stage-timing block (AppendTraceBlock) ahead of the
+// usual code/msg/body.
+const TraceFlag Op = 0x80
+
+// traceIDSize is the trace id prefix a traced frame carries.
+const traceIDSize = 8
 
 // validRequest reports whether o is a client-issued opcode.
 func validRequest(o Op) bool {
@@ -285,18 +298,32 @@ func FromCode(c Code, msg string) error {
 
 // --- frame I/O -------------------------------------------------------------
 
-// Frame is one decoded frame.
+// Frame is one decoded frame. Traced/TraceID reflect the TraceFlag bit:
+// the readers strip the flag from Op and the trace id prefix from Payload,
+// so Op and Payload always carry their pre-trace meaning.
 type Frame struct {
 	RequestID uint64
 	Op        Op
 	Payload   []byte
+	TraceID   uint64
+	Traced    bool
 }
 
-// AppendFrame serializes a frame onto buf.
+// AppendFrame serializes a frame onto buf. A Traced frame gets the
+// TraceFlag opcode bit and an 8-byte trace id ahead of the payload.
 func AppendFrame(buf []byte, f Frame) []byte {
-	buf = binary.BigEndian.AppendUint32(buf, uint32(headerSize+len(f.Payload)))
+	n := headerSize + len(f.Payload)
+	op := f.Op
+	if f.Traced {
+		n += traceIDSize
+		op |= TraceFlag
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
 	buf = binary.BigEndian.AppendUint64(buf, f.RequestID)
-	buf = append(buf, byte(f.Op))
+	buf = append(buf, byte(op))
+	if f.Traced {
+		buf = binary.BigEndian.AppendUint64(buf, f.TraceID)
+	}
 	return append(buf, f.Payload...)
 }
 
@@ -394,9 +421,11 @@ func (fr *FrameReader) Read() (Frame, error) {
 	if _, err := io.ReadFull(fr.r, hdr[4:]); err != nil {
 		return Frame{}, unexpectedEOF(err)
 	}
+	op := Op(hdr[12])
 	f := Frame{
 		RequestID: binary.BigEndian.Uint64(hdr[4:12]),
-		Op:        Op(hdr[12]),
+		Op:        op &^ TraceFlag,
+		Traced:    op&TraceFlag != 0,
 	}
 	if fr.requestSide && !validRequest(f.Op) {
 		return Frame{}, fmt.Errorf("%w: unknown request opcode %d", ErrProtocol, uint8(f.Op))
@@ -416,7 +445,23 @@ func (fr *FrameReader) Read() (Frame, error) {
 		}
 		f.Payload = fr.buf
 	}
+	if err := stripTraceID(&f); err != nil {
+		return Frame{}, err
+	}
 	return f, nil
+}
+
+// stripTraceID moves a traced frame's id prefix out of Payload.
+func stripTraceID(f *Frame) error {
+	if !f.Traced {
+		return nil
+	}
+	if len(f.Payload) < traceIDSize {
+		return fmt.Errorf("%w: traced frame too short for trace id", ErrProtocol)
+	}
+	f.TraceID = binary.BigEndian.Uint64(f.Payload)
+	f.Payload = f.Payload[traceIDSize:]
+	return nil
 }
 
 // ReadFrame reads one frame, enforcing MaxFrame and opcode validity.
@@ -438,9 +483,11 @@ func ReadFrame(r io.Reader, requestSide bool) (Frame, error) {
 	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
 		return Frame{}, unexpectedEOF(err)
 	}
+	op := Op(hdr[12])
 	f := Frame{
 		RequestID: binary.BigEndian.Uint64(hdr[4:12]),
-		Op:        Op(hdr[12]),
+		Op:        op &^ TraceFlag,
+		Traced:    op&TraceFlag != 0,
 	}
 	if requestSide && !validRequest(f.Op) {
 		return Frame{}, fmt.Errorf("%w: unknown request opcode %d", ErrProtocol, uint8(f.Op))
@@ -453,6 +500,9 @@ func ReadFrame(r io.Reader, requestSide bool) (Frame, error) {
 		if _, err := io.ReadFull(r, f.Payload); err != nil {
 			return Frame{}, unexpectedEOF(err)
 		}
+	}
+	if err := stripTraceID(&f); err != nil {
+		return Frame{}, err
 	}
 	return f, nil
 }
@@ -618,6 +668,127 @@ func AppendResponseFrame(buf []byte, reqID uint64, c Code, msg string, body []by
 	buf = AppendResponse(buf, c, msg, body)
 	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
 	return buf
+}
+
+// AppendTracedResponseFrame appends a complete traced response frame:
+// length header, request id, OpResponse|TraceFlag, the 8-byte trace id,
+// the stage-timing block for tr, then the code/msg/body payload. The
+// client's frame reader strips the id; DecodeTraceBlock then peels the
+// stage block off the payload ahead of DecodeResponse. Single-pass with a
+// length back-patch, like AppendResponseFrame.
+func AppendTracedResponseFrame(buf []byte, reqID, traceID uint64, tr *obs.Trace, c Code, msg string, body []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = binary.BigEndian.AppendUint64(buf, reqID)
+	buf = append(buf, byte(OpResponse|TraceFlag))
+	buf = binary.BigEndian.AppendUint64(buf, traceID)
+	buf = AppendTraceBlock(buf, tr)
+	buf = AppendResponse(buf, c, msg, body)
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// StageTiming is one stage of a server-returned trace.
+type StageTiming struct {
+	Stage   obs.Stage
+	BeginNS int64
+	DurNS   int64
+}
+
+// TraceInfo is the server's stage-timing block for one traced response.
+// TotalNS is the server-side elapsed time when the response was encoded,
+// which is what lets the client split network from server time.
+type TraceInfo struct {
+	TraceID  uint64
+	TotalNS  int64
+	Batch    int
+	PlanHit  bool
+	PlanMiss bool
+	Stages   []StageTiming
+}
+
+// trace-block plan-cache flag bits.
+const (
+	traceFlagPlanHit  = 1 << 0
+	traceFlagPlanMiss = 1 << 1
+)
+
+// AppendTraceBlock appends tr's stage timings in wire form: stage count
+// (uvarint), then per stage {stage byte, begin uvarint, dur uvarint}, then
+// total-so-far (uvarint), batch size (uvarint) and a plan-cache flag byte.
+// A nil trace encodes as an empty block. Allocation-free given capacity.
+func AppendTraceBlock(buf []byte, tr *obs.Trace) []byte {
+	n := 0
+	tr.VisitStages(func(obs.Stage, int64, int64) { n++ })
+	buf = binary.AppendUvarint(buf, uint64(n))
+	tr.VisitStages(func(s obs.Stage, beginNS, durNS int64) {
+		buf = append(buf, byte(s))
+		buf = binary.AppendUvarint(buf, uint64(beginNS))
+		buf = binary.AppendUvarint(buf, uint64(durNS))
+	})
+	buf = binary.AppendUvarint(buf, uint64(tr.Since()))
+	buf = binary.AppendUvarint(buf, uint64(tr.Batch()))
+	var flags byte
+	hit, miss := tr.PlanCacheSeen()
+	if hit {
+		flags |= traceFlagPlanHit
+	}
+	if miss {
+		flags |= traceFlagPlanMiss
+	}
+	return append(buf, flags)
+}
+
+// DecodeTraceBlock parses a stage-timing block off the front of a traced
+// response payload, returning the info and the remaining payload (the
+// standard code/msg/body response). The caller fills TraceID from the
+// frame.
+func DecodeTraceBlock(payload []byte) (*TraceInfo, []byte, error) {
+	n, w := binary.Uvarint(payload)
+	if w <= 0 || n > uint64(obs.NumStages) {
+		return nil, nil, ErrPayloadCorrupt
+	}
+	payload = payload[w:]
+	ti := &TraceInfo{}
+	for i := uint64(0); i < n; i++ {
+		if len(payload) < 1 {
+			return nil, nil, ErrPayloadCorrupt
+		}
+		st := StageTiming{Stage: obs.Stage(payload[0])}
+		payload = payload[1:]
+		b, w := binary.Uvarint(payload)
+		if w <= 0 {
+			return nil, nil, ErrPayloadCorrupt
+		}
+		st.BeginNS = int64(b)
+		payload = payload[w:]
+		d, w := binary.Uvarint(payload)
+		if w <= 0 {
+			return nil, nil, ErrPayloadCorrupt
+		}
+		st.DurNS = int64(d)
+		payload = payload[w:]
+		ti.Stages = append(ti.Stages, st)
+	}
+	total, w := binary.Uvarint(payload)
+	if w <= 0 {
+		return nil, nil, ErrPayloadCorrupt
+	}
+	payload = payload[w:]
+	batch, w := binary.Uvarint(payload)
+	if w <= 0 || batch > 1<<24 {
+		return nil, nil, ErrPayloadCorrupt
+	}
+	payload = payload[w:]
+	if len(payload) < 1 {
+		return nil, nil, ErrPayloadCorrupt
+	}
+	flags := payload[0]
+	ti.TotalNS = int64(total)
+	ti.Batch = int(batch)
+	ti.PlanHit = flags&traceFlagPlanHit != 0
+	ti.PlanMiss = flags&traceFlagPlanMiss != 0
+	return ti, payload[1:], nil
 }
 
 // DecodeResponse splits an OpResponse payload into code, message and body.
