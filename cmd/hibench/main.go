@@ -15,6 +15,7 @@
 //	hibench -serve :7609                    # run a server and block
 //	hibench -connect host:port -clients 8   # drive a remote server
 //	hibench -netlocal -clients 8            # loopback vs in-process
+//	hibench -replicas 2 -clients 8          # read fan-out across replicas
 package main
 
 import (
@@ -42,10 +43,11 @@ func main() {
 		clients  = flag.Int("clients", 8, "networked mode: concurrent client sessions")
 		prepared = flag.Bool("prepared", false, "networked mode: use prepared statements (OpPrepare/OpExecStmt) instead of per-call SQL text")
 		trace    = flag.Bool("trace", false, "networked mode: trace every transaction and append a per-stage latency table to the report")
+		replicas = flag.Int("replicas", 0, "networked mode: spin N read replicas and measure SELECT fan-out scaling (writes BENCH_replica.json)")
 	)
 	flag.Parse()
 
-	if *serve != "" || *connect != "" || *netlocal {
+	if *serve != "" || *connect != "" || *netlocal || *replicas > 0 {
 		workers := *threads
 		if workers <= 0 {
 			workers = 8
@@ -56,6 +58,8 @@ func main() {
 		}
 		var err error
 		switch {
+		case *replicas > 0:
+			err = replBench(*replicas, *clients, workers, d)
 		case *serve != "":
 			err = netServe(*serve, workers)
 		case *connect != "":

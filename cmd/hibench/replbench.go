@@ -1,0 +1,253 @@
+// Replica read fan-out mode: one primary plus N log-shipping read
+// replicas, all in-process over loopback TCP, measuring read throughput
+// as routed clients fan SELECTs out across 0..N replicas.
+//
+//	hibench -replicas 2 -clients 8 -duration 3s
+//
+// Writes route to the primary; reads carry the read-your-writes token, so
+// every client observes its own writes no matter which replica answers.
+// The scaling series is written to BENCH_replica.json so the perf
+// trajectory of the replication path is recorded per run.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hiengine/internal/adapt"
+	"hiengine/internal/client"
+	"hiengine/internal/core"
+	"hiengine/internal/delay"
+	"hiengine/internal/obs"
+	"hiengine/internal/replica"
+	"hiengine/internal/server"
+	"hiengine/internal/sqlfront"
+	"hiengine/internal/srss"
+)
+
+const replBenchRows = 2000
+
+// replReport is the BENCH_replica.json document.
+type replReport struct {
+	Bench     string            `json:"bench"`
+	Clients   int               `json:"clients"`
+	DurationS float64           `json:"duration_s"`
+	Rows      int               `json:"rows"`
+	Series    []replSeriesPoint `json:"series"`
+	Timestamp string            `json:"timestamp"`
+}
+
+type replSeriesPoint struct {
+	Replicas int     `json:"replicas"`
+	Reads    int64   `json:"reads"`
+	ReadsPS  float64 `json:"reads_per_s"`
+}
+
+// replicaStack is one in-process replica: follower + wire server.
+type replicaStack struct {
+	follower *replica.Follower
+	rep      *core.Replica
+	srv      *server.Server
+	addr     string
+}
+
+func startReplicaStack(primaryAddr string, workers int) (*replicaStack, error) {
+	reg := obs.NewRegistry("replbench-replica")
+	f, rep, err := replica.Bootstrap(primaryAddr, core.Config{
+		Service: srss.New(srss.Config{Model: delay.Zero()}),
+		Workers: workers,
+		Obs:     reg,
+	}, core.RecoverOptions{}, reg)
+	if err != nil {
+		return nil, err
+	}
+	engine := rep.Engine()
+	front := sqlfront.NewFrontend("hiengine", adapt.New(engine))
+	for _, name := range engine.Tables() {
+		t, terr := engine.Table(name)
+		if terr != nil {
+			continue
+		}
+		if err := front.Adopt("hiengine", t.Schema); err != nil {
+			rep.Close()
+			return nil, err
+		}
+	}
+	srv, err := server.New(server.Config{
+		Frontend:    front,
+		WorkerSlots: engine.Workers(),
+		Replica: &server.ReplicaConfig{
+			PrimaryAddr: primaryAddr,
+			AppliedCSN:  f.AppliedCSN,
+			WaitCSN:     f.WaitCSN,
+		},
+	})
+	if err != nil {
+		rep.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rep.Close()
+		return nil, err
+	}
+	go srv.Serve(ln)
+	f.SetInterval(2 * time.Millisecond)
+	f.Start()
+	return &replicaStack{follower: f, rep: rep, srv: srv, addr: ln.Addr().String()}, nil
+}
+
+func (rs *replicaStack) close() {
+	rs.srv.Close()
+	rs.follower.Stop()
+	rs.rep.Close()
+}
+
+// replBench runs the fan-out experiment and writes BENCH_replica.json.
+func replBench(nReplicas, nClients, workers int, d time.Duration) error {
+	// --- primary ---------------------------------------------------------
+	engine, err := core.Open(core.Config{
+		Service: srss.New(srss.Config{Model: delay.Zero()}),
+		Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	front := sqlfront.NewFrontend("hiengine", adapt.New(engine))
+	srv, err := server.New(server.Config{
+		Frontend:    front,
+		WorkerSlots: engine.Workers(),
+		ReplSource:  replica.NewSource(engine),
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	primaryAddr := ln.Addr().String()
+
+	seed, err := client.New(client.Options{Addr: primaryAddr})
+	if err != nil {
+		return err
+	}
+	defer seed.Close()
+	if _, err := seed.Exec("CREATE TABLE replbench (id INT, c TEXT, PRIMARY KEY(id))"); err != nil {
+		return err
+	}
+	for i := 0; i < replBenchRows; i++ {
+		if _, err := seed.Exec("INSERT INTO replbench VALUES (?, ?)",
+			core.I(int64(i)), core.S("replica-fanout-row")); err != nil {
+			return fmt.Errorf("preload row %d: %w", i, err)
+		}
+	}
+	loadCSN := seed.LastCSN()
+
+	// --- replicas --------------------------------------------------------
+	var stacks []*replicaStack
+	defer func() {
+		for _, rs := range stacks {
+			rs.close()
+		}
+	}()
+	var addrs []string
+	for i := 0; i < nReplicas; i++ {
+		rs, err := startReplicaStack(primaryAddr, workers)
+		if err != nil {
+			return fmt.Errorf("replica %d: %w", i, err)
+		}
+		stacks = append(stacks, rs)
+		addrs = append(addrs, rs.addr)
+		if !rs.follower.WaitCSN(loadCSN, 30*time.Second) {
+			return fmt.Errorf("replica %d never caught up to CSN %d (applied %d)",
+				i, loadCSN, rs.follower.AppliedCSN())
+		}
+	}
+
+	// --- measure 0..N replica fan-out ------------------------------------
+	rep := replReport{
+		Bench:     "replica_read_fanout",
+		Clients:   nClients,
+		DurationS: d.Seconds(),
+		Rows:      replBenchRows,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	for k := 0; k <= nReplicas; k++ {
+		cl, err := client.New(client.Options{
+			Addr:         primaryAddr,
+			PoolSize:     nClients,
+			ReplicaAddrs: addrs[:k],
+		})
+		if err != nil {
+			return err
+		}
+		reads, err := replDrive(cl, nClients, d)
+		cl.Close()
+		if err != nil {
+			return err
+		}
+		pt := replSeriesPoint{Replicas: k, Reads: reads, ReadsPS: float64(reads) / d.Seconds()}
+		rep.Series = append(rep.Series, pt)
+		fmt.Printf("replbench replicas=%-2d clients=%-3d dur=%-5v reads=%-8d thru=%8.0f reads/s\n",
+			k, nClients, d, pt.Reads, pt.ReadsPS)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile("BENCH_replica.json", buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("replbench: wrote BENCH_replica.json")
+	return nil
+}
+
+// replDrive runs nClients goroutines of point SELECTs through the routed
+// client for d, returning the number of completed reads.
+func replDrive(cl *client.Client, nClients int, d time.Duration) (int64, error) {
+	var (
+		reads int64
+		stop  atomic.Bool
+		wg    sync.WaitGroup
+		errs  = make(chan error, nClients)
+	)
+	for i := 0; i < nClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := int64(i); !stop.Load(); j++ {
+				key := j % replBenchRows
+				res, err := cl.Exec("SELECT c FROM replbench WHERE id = ?", core.I(key))
+				if err != nil {
+					errs <- fmt.Errorf("client %d read: %w", i, err)
+					return
+				}
+				if len(res.Rows) != 1 {
+					errs <- fmt.Errorf("client %d read key %d: %d rows", i, key, len(res.Rows))
+					return
+				}
+				atomic.AddInt64(&reads, 1)
+			}
+		}(i)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	return reads, nil
+}

@@ -40,6 +40,7 @@ import (
 	"hiengine/internal/core"
 	"hiengine/internal/delay"
 	"hiengine/internal/obs"
+	"hiengine/internal/replica"
 	"hiengine/internal/server"
 	"hiengine/internal/sqlfront"
 	"hiengine/internal/srss"
@@ -57,6 +58,8 @@ func main() {
 		statsEvery  = flag.Duration("stats-interval", 0, "periodic one-line stats summary to stderr (0 = off)")
 		traceSample = flag.Int("trace-sample", 0, "trace 1 in N requests (0 = head sampling off)")
 		traceSlow   = flag.Duration("trace-slow", 0, "always capture traces slower than this (0 = off)")
+		replicaOf   = flag.String("replica-of", "", "primary wire address to follow as a read replica")
+		replicaPoll = flag.Duration("replica-poll", 10*time.Millisecond, "replica log-shipping poll interval")
 	)
 	flag.Parse()
 
@@ -83,26 +86,68 @@ func main() {
 		})
 	}
 
-	engine, err := core.Open(core.Config{
-		Service: srss.New(srss.Config{Model: model, Chaos: eng}),
-		Workers: *workers,
-		Obs:     reg,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hiserver:", err)
-		os.Exit(1)
+	var (
+		engine   *core.Engine
+		follower *replica.Follower
+	)
+	role := "primary"
+	if *replicaOf != "" {
+		// Replica mode: mirror the primary's PLogs into a fresh local
+		// SRSS deployment, open a read-only engine over the mirror, and
+		// follow the primary's log.
+		role = "replica"
+		f, rep, err := replica.Bootstrap(*replicaOf, core.Config{
+			Service: srss.New(srss.Config{Model: model}),
+			Workers: *workers,
+			Obs:     reg,
+		}, core.RecoverOptions{}, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiserver: replica bootstrap:", err)
+			os.Exit(1)
+		}
+		follower, engine = f, rep.Engine()
+		fmt.Fprintf(os.Stderr, "hiserver: replica of %s, applied CSN %d\n",
+			*replicaOf, follower.AppliedCSN())
+	} else {
+		var err error
+		engine, err = core.Open(core.Config{
+			Service: srss.New(srss.Config{Model: model, Chaos: eng}),
+			Workers: *workers,
+			Obs:     reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiserver:", err)
+			os.Exit(1)
+		}
 	}
 	defer engine.Close()
 
-	inno, err := innosim.New(innosim.Config{Service: srss.New(srss.Config{Model: model})})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hiserver:", err)
-		os.Exit(1)
-	}
-	defer inno.Close()
-
 	front := sqlfront.NewFrontend("hiengine", adapt.New(engine))
-	front.Register("innodb", inno)
+	if follower != nil {
+		// Adopt the primary's tables into the frontend catalog (the
+		// replica never runs DDL; its catalog is the recovered manifest).
+		for _, name := range engine.Tables() {
+			t, err := engine.Table(name)
+			if err != nil {
+				continue
+			}
+			if err := front.Adopt("hiengine", t.Schema); err != nil {
+				fmt.Fprintln(os.Stderr, "hiserver: adopt:", err)
+				os.Exit(1)
+			}
+		}
+		follower.SetInterval(*replicaPoll)
+		follower.Start()
+		defer follower.Stop()
+	} else {
+		inno, err := innosim.New(innosim.Config{Service: srss.New(srss.Config{Model: model})})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiserver:", err)
+			os.Exit(1)
+		}
+		defer inno.Close()
+		front.Register("innodb", inno)
+	}
 
 	statsLine := func() string {
 		s := engine.Stats()
@@ -112,7 +157,7 @@ func main() {
 			engine.Log().TotalBytes())
 	}
 
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Frontend:     front,
 		WorkerSlots:  engine.Workers(),
 		MaxConns:     *maxConns,
@@ -122,7 +167,17 @@ func main() {
 		Tracer:       tracer,
 		Chaos:        eng,
 		Stats:        func() string { return statsLine() + "\n" },
-	})
+	}
+	if follower != nil {
+		scfg.Replica = &server.ReplicaConfig{
+			PrimaryAddr: *replicaOf,
+			AppliedCSN:  follower.AppliedCSN,
+			WaitCSN:     follower.WaitCSN,
+		}
+	} else {
+		scfg.ReplSource = replica.NewSource(engine)
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hiserver:", err)
 		os.Exit(1)
@@ -136,6 +191,8 @@ func main() {
 			Info: map[string]string{
 				"addr":    *addr,
 				"profile": *profile,
+				"role":    role,
+				"primary": *replicaOf,
 			},
 		})
 		aln, err := net.Listen("tcp", *httpAddr)
@@ -174,7 +231,11 @@ func main() {
 		}
 	}()
 
-	fmt.Fprintf(os.Stderr, "hiserver: engines hiengine (default), innodb; listening on %s\n", *addr)
+	if follower != nil {
+		fmt.Fprintf(os.Stderr, "hiserver: read replica of %s; listening on %s\n", *replicaOf, *addr)
+	} else {
+		fmt.Fprintf(os.Stderr, "hiserver: engines hiengine (default), innodb; listening on %s\n", *addr)
+	}
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "hiserver:", err)
 		os.Exit(1)

@@ -125,6 +125,9 @@ func (tx *Txn) CommitAsync(cb func(error)) error {
 	return mapErr(tx.t.CommitAsync(func(err error) { cb(mapErr(err)) }))
 }
 
+// CSN implements engineapi.CSNReporter.
+func (tx *Txn) CSN() uint64 { return tx.t.CSN() }
+
 // Abort implements engineapi.Txn.
 func (tx *Txn) Abort() error { return mapErr(tx.t.Abort()) }
 

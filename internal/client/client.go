@@ -68,6 +68,13 @@ type Options struct {
 	RetryMax  time.Duration
 	// Seed seeds the deterministic backoff jitter (default 1).
 	Seed uint64
+	// ReplicaAddrs lists read-replica endpoints. When non-empty, read-only
+	// autocommit statements (SELECT text) issued through Client.Exec are
+	// routed round-robin to a replica, carrying the client's last observed
+	// commit CSN as a read-your-writes token; a replica that cannot serve
+	// the statement (behind the token, unreachable, or refusing writes)
+	// falls back to the primary transparently.
+	ReplicaAddrs []string
 }
 
 func (o *Options) fill() {
@@ -102,10 +109,25 @@ type Client struct {
 	tokens   chan struct{} // pool capacity
 	traceSeq atomic.Uint64 // client-assigned trace ids (nonzero)
 
+	// csn is the highest commit CSN any connection of this client (or of
+	// its replica sub-clients -- they share the pointer) has observed: the
+	// read-your-writes token presented to replicas.
+	csn      *atomic.Uint64
+	replicas []*Client     // read-replica sub-clients, sharing csn
+	rr       atomic.Uint64 // round-robin cursor over replicas
+	greeting atomic.Pointer[Greeting]
+
 	mu     sync.Mutex
 	idle   []*wconn
 	rng    *chaos.Rand
 	closed bool
+}
+
+// Greeting is the server's connection greeting: its role and, for a
+// replica, where the write endpoint lives.
+type Greeting struct {
+	Role        byte // wire.RolePrimary or wire.RoleReplica
+	PrimaryAddr string
 }
 
 // New builds a client. No connection is dialed until first use.
@@ -118,9 +140,22 @@ func New(opts Options) (*Client, error) {
 		opts:   opts,
 		tokens: make(chan struct{}, opts.PoolSize),
 		rng:    chaos.NewRand(opts.Seed, "client.retry"),
+		csn:    new(atomic.Uint64),
 	}
 	for i := 0; i < opts.PoolSize; i++ {
 		c.tokens <- struct{}{}
+	}
+	for i, ra := range opts.ReplicaAddrs {
+		ro := opts
+		ro.Addr = ra
+		ro.ReplicaAddrs = nil
+		ro.Seed = opts.Seed + uint64(i) + 1
+		rc, err := New(ro)
+		if err != nil {
+			return nil, err
+		}
+		rc.csn = c.csn // one token shared across the fleet
+		c.replicas = append(c.replicas, rc)
 	}
 	return c, nil
 }
@@ -136,7 +171,18 @@ func (c *Client) Close() {
 	for _, w := range idle {
 		w.fail(ErrClientClosed)
 	}
+	for _, rc := range c.replicas {
+		rc.Close()
+	}
 }
+
+// Greeting returns the most recent connection greeting received from the
+// server, or nil before the first connection is established.
+func (c *Client) Greeting() *Greeting { return c.greeting.Load() }
+
+// LastCSN returns the highest commit CSN this client has observed: the
+// read-your-writes token it presents to replicas.
+func (c *Client) LastCSN() uint64 { return c.csn.Load() }
 
 // backoff sleeps the jittered exponential backoff for attempt (0-based).
 func (c *Client) backoff(attempt int) {
@@ -203,7 +249,15 @@ func (c *Client) dial() (*wconn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", c.opts.Addr, err)
 	}
-	w := &wconn{nc: nc, br: bufio.NewReader(nc), pending: make(map[uint64]chan response)}
+	w := &wconn{
+		nc:      nc,
+		br:      bufio.NewReader(nc),
+		pending: make(map[uint64]chan response),
+		csn:     c.csn,
+		onGreeting: func(role byte, primary string) {
+			c.greeting.Store(&Greeting{Role: role, PrimaryAddr: primary})
+		},
+	}
 	go w.readLoop()
 	return w, nil
 }
@@ -244,9 +298,37 @@ func (c *Client) Stats() (string, error) {
 	return s.Stats()
 }
 
+// isReadOnlySQL reports whether sql is a statement safe to route to a
+// read replica (SELECT text).
+func isReadOnlySQL(sql string) bool {
+	s := strings.TrimSpace(sql)
+	return len(s) >= 6 && strings.EqualFold(s[:6], "SELECT")
+}
+
+// execReplica runs one read-only statement on the next replica in
+// round-robin order, presenting the client's read-your-writes token. Any
+// failure is returned to the caller, who falls back to the primary.
+func (c *Client) execReplica(sql string, args []core.Value) (*wire.Result, error) {
+	rc := c.replicas[int(c.rr.Add(1))%len(c.replicas)]
+	s, err := rc.Session()
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.execAt(c.csn.Load(), sql, args)
+}
+
 // Exec runs one autocommit statement on a pooled connection, retrying
-// retryable wire errors with backoff.
+// retryable wire errors with backoff. When the client has replicas,
+// read-only statements route to a replica first and fall back to the
+// primary if the replica cannot serve them (behind the read-your-writes
+// token, unreachable, or read-only refusal).
 func (c *Client) Exec(sql string, args ...core.Value) (*wire.Result, error) {
+	if len(c.replicas) > 0 && isReadOnlySQL(sql) {
+		if res, err := c.execReplica(sql, args); err == nil {
+			return res, nil
+		}
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		s, err := c.Session()
@@ -435,9 +517,16 @@ func (s *Session) Begin() error {
 	return err
 }
 
-// Commit commits; the response arrives when the commit is durable.
+// Commit commits; the response arrives when the commit is durable. The
+// response carries the commit CSN, which becomes the session's client's
+// read-your-writes token for subsequent replica reads.
 func (s *Session) Commit() error {
-	_, err := s.do(wire.OpCommit, nil)
+	r, err := s.do(wire.OpCommit, nil)
+	if err == nil {
+		if _, csn, derr := wire.DecodeResultCSN(r.body); derr == nil {
+			s.w.noteCSN(csn)
+		}
+	}
 	if err == nil || !s.w.healthy() {
 		s.inTxn = false
 	}
@@ -596,10 +685,7 @@ func (st *Stmt) exec(args []core.Value) (*wire.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(r.body) == 0 {
-		return &wire.Result{}, nil
-	}
-	return wire.DecodeResult(r.body)
+	return decodeResultNote(st.s.w, r.body)
 }
 
 // ExecPipe sends a prepared execution without waiting (no retry). A
@@ -644,10 +730,38 @@ func (s *Session) exec(sql string, args []core.Value) (*wire.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(r.body) == 0 {
+	return decodeResultNote(s.w, r.body)
+}
+
+// execAt is one un-retried snapshot-read round trip against a replica,
+// carrying minCSN as the read-your-writes token.
+func (s *Session) execAt(minCSN uint64, sql string, args []core.Value) (*wire.Result, error) {
+	r, err := s.do(wire.OpExecAt, wire.EncodeExecAt(minCSN, sql, args))
+	if err != nil {
+		return nil, err
+	}
+	return decodeResultNote(s.w, r.body)
+}
+
+// ExecAt runs one read-only statement at-or-after minCSN: on a replica
+// the server waits (bounded) for its applied watermark to reach minCSN
+// before executing, answering CodeBusy if it cannot catch up in time.
+func (s *Session) ExecAt(minCSN uint64, sql string, args ...core.Value) (*wire.Result, error) {
+	return s.execAt(minCSN, sql, args)
+}
+
+// decodeResultNote decodes a Result body, folding any trailing commit CSN
+// (the read-your-writes token on commit responses) into the client token.
+func decodeResultNote(w *wconn, body []byte) (*wire.Result, error) {
+	if len(body) == 0 {
 		return &wire.Result{}, nil
 	}
-	return wire.DecodeResult(r.body)
+	res, csn, err := wire.DecodeResultCSN(body)
+	if err != nil {
+		return nil, err
+	}
+	w.noteCSN(csn)
+	return res, nil
 }
 
 // doRetryable round-trips with retry on retryable codes (used by Begin,
@@ -703,10 +817,7 @@ func (p *Pending) Wait() (*wire.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(r.body) == 0 {
-		return &wire.Result{}, nil
-	}
-	return wire.DecodeResult(r.body)
+	return decodeResultNote(p.w, r.body)
 }
 
 // --- connection ------------------------------------------------------------
@@ -724,12 +835,31 @@ type wconn struct {
 	nc net.Conn
 	br *bufio.Reader
 
+	// csn is the owning client's shared read-your-writes token; commit
+	// CSNs riding response bodies fold into it (monotonic max).
+	csn        *atomic.Uint64
+	onGreeting func(role byte, primary string)
+
 	writeMu sync.Mutex
 
 	mu      sync.Mutex
 	pending map[uint64]chan response
 	reqSeq  uint64
 	err     error // sticky: set once the connection fails
+}
+
+// noteCSN folds a commit CSN from a response body into the client's shared
+// read-your-writes token (monotonic max; 0 is a no-op).
+func (w *wconn) noteCSN(v uint64) {
+	if v == 0 || w.csn == nil {
+		return
+	}
+	for {
+		cur := w.csn.Load()
+		if v <= cur || w.csn.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // healthy reports whether the connection can carry more requests.
@@ -854,6 +984,9 @@ func (w *wconn) readLoop() {
 			if code != wire.CodeOK {
 				w.fail(wire.FromCode(code, msg))
 				return
+			}
+			if role, primary, gok := wire.DecodeGreeting(body); gok && w.onGreeting != nil {
+				w.onGreeting(role, primary)
 			}
 			continue
 		}

@@ -334,6 +334,11 @@ func (e *Engine) ManifestID() srss.PLogID {
 // if none was taken).
 func (e *Engine) LastCheckpointCSN() uint64 { return e.lastCkpt.Load() }
 
+// CurrentCSN returns the engine clock's current commit sequence number
+// without advancing it. A primary reports this to replicas so they can
+// compute their lag.
+func (e *Engine) CurrentCSN() uint64 { return uint64(e.clk.Now()) }
+
 // Workers returns the session-slot count.
 func (e *Engine) Workers() int { return len(e.workers) }
 

@@ -101,6 +101,14 @@ func (r *Replica) CatchUp() (int64, error) {
 			return true
 		})
 		if err != nil {
+			if errors.Is(err, wal.ErrSegmentDropped) {
+				// The primary dropped this segment (log compaction) under
+				// us. Everything it held is covered by a newer checkpoint;
+				// forget our progress and restart from the directory on the
+				// next pass.
+				delete(r.applied, seg)
+				continue
+			}
 			return applied, err
 		}
 		r.applied[seg] = next

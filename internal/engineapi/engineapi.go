@@ -53,6 +53,16 @@ type AsyncCommitter interface {
 	CommitAsync(cb func(error)) error
 }
 
+// CSNReporter is optionally implemented by transactions that can report the
+// commit sequence number they committed at. The service layer uses it to
+// hand clients a read-your-writes token they can present to a replica.
+type CSNReporter interface {
+	// CSN returns the transaction's commit sequence number: nonzero once
+	// the transaction has (pre)committed a write, 0 for read-only commits
+	// and uncommitted transactions.
+	CSN() uint64
+}
+
 // Importer is optionally implemented by engines that can install rows as
 // bulk-loaded data visible to every snapshot (HiEngine's load CSN). The
 // ACID-cache deployment uses it to fault in cold rows from a backing engine

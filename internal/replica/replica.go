@@ -1,0 +1,479 @@
+// Package replica implements read replicas by WAL log shipping: the
+// paper's "the log is the database" run live (Section 3.1's on-demand
+// compute-side replicas, stretched across processes).
+//
+// The primary exposes its SRSS PLogs over three wire opcodes (hello /
+// list / fetch). A replica process runs a Shipper that mirrors every
+// primary PLog -- manifest, directory meta, checkpoint images, log
+// segments -- byte-for-byte into its own local SRSS service under the
+// same PLog IDs, so the primary's manifest references resolve locally
+// unchanged. On top of the mirror, a core.Replica (the same machinery
+// recovery uses) replays new log records on every poll; the Follower
+// binds the two into a loop and publishes the replica's durable-CSN
+// watermark, which snapshot reads and the read-your-writes token wait on.
+//
+// Sealed PLogs are mirrored then sealed; torn PLogs are mirrored up to
+// their readable extent then sealed torn, so the follower's tail
+// classification truncates exactly where crash recovery would. A PLog
+// still growing on the primary is simply left unsealed locally: the
+// follower's live-tail scan classification ("end of available log, retry
+// later") makes a half-shipped record a retry, never a truncation.
+package replica
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hiengine/internal/core"
+	"hiengine/internal/obs"
+	"hiengine/internal/srss"
+	"hiengine/internal/wire"
+)
+
+// --- primary side -----------------------------------------------------------
+
+// Source serves the log-shipping opcodes for a primary engine. It
+// implements server.ReplicationSource.
+type Source struct {
+	e *core.Engine
+}
+
+// NewSource exposes a primary engine's PLogs for shipping.
+func NewSource(e *core.Engine) *Source { return &Source{e: e} }
+
+// ReplHello identifies the primary: its manifest PLog and current CSN.
+func (s *Source) ReplHello() (srss.PLogID, uint64) {
+	return s.e.ManifestID(), s.e.CurrentCSN()
+}
+
+// stat snapshots one PLog. Sealed/torn are read before size: a PLog never
+// grows after sealing, so a true sealed flag guarantees the size read
+// after it is final -- the shipper may seal its mirror on the strength of
+// this stat alone.
+func stat(p *srss.PLog) wire.PLogStat {
+	sealed, torn := p.Sealed(), p.Torn()
+	return wire.PLogStat{ID: p.ID(), Tier: p.Tier(), Size: p.Size(), Sealed: sealed, Torn: torn}
+}
+
+// ReplList enumerates the primary's PLogs across both tiers.
+func (s *Source) ReplList() []wire.PLogStat {
+	svc := s.e.Service()
+	var out []wire.PLogStat
+	for _, tier := range []srss.Tier{srss.TierCompute, srss.TierStorage} {
+		for _, id := range svc.List(tier) {
+			p, err := svc.Open(id)
+			if err != nil {
+				continue // dropped between list and open
+			}
+			out = append(out, stat(p))
+		}
+	}
+	return out
+}
+
+// ReplFetch reads up to maxBytes from one PLog at offset.
+func (s *Source) ReplFetch(id srss.PLogID, offset int64, maxBytes int) (wire.PLogStat, []byte, error) {
+	p, err := s.e.Service().Open(id)
+	if err != nil {
+		return wire.PLogStat{}, nil, err
+	}
+	st := stat(p)
+	n := st.Size - offset
+	if n <= 0 {
+		return st, nil, nil
+	}
+	if int64(maxBytes) < n {
+		n = int64(maxBytes)
+	}
+	buf := make([]byte, n)
+	if _, err := p.ReadAt(buf, offset); err != nil {
+		// On a torn PLog the tail past the surviving extent is
+		// unreadable; report the stat with no data so the shipper can
+		// seal its mirror torn at what it has.
+		return st, nil, err
+	}
+	return st, buf, nil
+}
+
+// --- shipper ----------------------------------------------------------------
+
+// chunkSize bounds one fetch round trip (well under wire.MaxPayload).
+const chunkSize = 256 << 10
+
+// Shipper mirrors a primary's PLogs into a local SRSS service over the
+// wire protocol. It owns one synchronous connection (log shipping is a
+// single-reader stream; multiplexing buys nothing) and is not safe for
+// concurrent use.
+type Shipper struct {
+	addr    string
+	svc     *srss.Service
+	timeout time.Duration
+
+	nc     net.Conn
+	br     *bufio.Reader
+	reqSeq uint64
+
+	manifest srss.PLogID
+	// Atomic: read by lag gauges while the shipping goroutine advances
+	// them mid-poll.
+	helloCSN atomic.Uint64
+	lagBytes atomic.Int64
+}
+
+// NewShipper ships from the primary at addr into svc.
+func NewShipper(addr string, svc *srss.Service) *Shipper {
+	return &Shipper{addr: addr, svc: svc, timeout: 10 * time.Second}
+}
+
+// Close drops the connection. The next round trip redials.
+func (sh *Shipper) Close() {
+	if sh.nc != nil {
+		sh.nc.Close()
+		sh.nc = nil
+		sh.br = nil
+	}
+}
+
+func (sh *Shipper) roundTrip(op wire.Op, payload []byte) ([]byte, error) {
+	if sh.nc == nil {
+		nc, err := net.DialTimeout("tcp", sh.addr, sh.timeout)
+		if err != nil {
+			return nil, fmt.Errorf("replica: dial %s: %w", sh.addr, err)
+		}
+		sh.nc, sh.br = nc, bufio.NewReader(nc)
+	}
+	sh.reqSeq++
+	id := sh.reqSeq
+	sh.nc.SetDeadline(time.Now().Add(sh.timeout))
+	if err := wire.WriteFrame(sh.nc, wire.Frame{RequestID: id, Op: op, Payload: payload}); err != nil {
+		sh.Close()
+		return nil, fmt.Errorf("replica: write: %w", err)
+	}
+	for {
+		f, err := wire.ReadFrame(sh.br, false)
+		if err != nil {
+			sh.Close()
+			return nil, fmt.Errorf("replica: read: %w", err)
+		}
+		if f.RequestID != id {
+			continue // the connection greeting (and any stale notice)
+		}
+		code, msg, body, err := wire.DecodeResponse(f.Payload)
+		if err != nil {
+			sh.Close()
+			return nil, fmt.Errorf("replica: %w", err)
+		}
+		if code != wire.CodeOK {
+			return nil, wire.FromCode(code, msg)
+		}
+		// body aliases the read buffer only until the next frame; copy.
+		return append([]byte(nil), body...), nil
+	}
+}
+
+// Hello fetches the primary's manifest identity and current CSN.
+func (sh *Shipper) Hello() (srss.PLogID, uint64, error) {
+	body, err := sh.roundTrip(wire.OpReplHello, nil)
+	if err != nil {
+		return srss.PLogID{}, 0, err
+	}
+	m, csn, err := wire.DecodeReplHello(body)
+	if err != nil {
+		return srss.PLogID{}, 0, err
+	}
+	sh.manifest = m
+	sh.helloCSN.Store(csn)
+	return m, csn, nil
+}
+
+// Manifest returns the primary's manifest PLog ID (valid after Hello).
+func (sh *Shipper) Manifest() srss.PLogID { return sh.manifest }
+
+// HelloCSN returns the primary CSN observed by the last Hello: the
+// freshness target the lag gauges measure against.
+func (sh *Shipper) HelloCSN() uint64 { return sh.helloCSN.Load() }
+
+// LagBytes returns the bytes the local mirror trailed the primary by at
+// the end of the last ShipOnce.
+func (sh *Shipper) LagBytes() int64 { return sh.lagBytes.Load() }
+
+// ShipOnce lists the primary's PLogs and pulls every local mirror up to
+// date, sealing mirrors of sealed PLogs (torn state mirrored). Returns
+// the number of bytes shipped.
+func (sh *Shipper) ShipOnce() (int64, error) {
+	body, err := sh.roundTrip(wire.OpReplList, nil)
+	if err != nil {
+		return 0, err
+	}
+	stats, err := wire.DecodeReplList(body)
+	if err != nil {
+		return 0, err
+	}
+	var shipped, lag int64
+	for _, st := range stats {
+		n, behind, err := sh.shipOne(st)
+		shipped += n
+		lag += behind
+		if err != nil {
+			sh.lagBytes.Store(lag)
+			return shipped, err
+		}
+	}
+	sh.lagBytes.Store(lag)
+	return shipped, nil
+}
+
+// shipOne mirrors a single PLog, returning bytes shipped and bytes still
+// behind the primary afterwards.
+func (sh *Shipper) shipOne(st wire.PLogStat) (shipped, behind int64, err error) {
+	p, err := sh.svc.ImportPLog(st.ID, st.Tier)
+	if err != nil {
+		return 0, 0, err
+	}
+	for !p.Sealed() && p.Size() < st.Size {
+		want := st.Size - p.Size()
+		if want > chunkSize {
+			want = chunkSize
+		}
+		cur, data, ferr := sh.fetch(st.ID, p.Size(), int(want))
+		if ferr != nil || len(data) == 0 {
+			if cur.Torn || st.Torn {
+				// The primary's tail past the surviving extent is
+				// unreadable: mirror the torn seal at what we hold; the
+				// follower truncates at the last valid record like
+				// recovery would.
+				p.SealTorn()
+				return shipped, 0, nil
+			}
+			if ferr == nil {
+				ferr = fmt.Errorf("replica: short fetch of %v at %d", st.ID, p.Size())
+			}
+			return shipped, st.Size - p.Size(), ferr
+		}
+		if _, aerr := p.Append(data); aerr != nil {
+			return shipped, st.Size - p.Size(), aerr
+		}
+		shipped += int64(len(data))
+		st = cur // the primary may have grown or sealed meanwhile
+	}
+	if st.Sealed && !p.Sealed() && p.Size() >= st.Size {
+		if st.Torn {
+			p.SealTorn()
+		} else {
+			p.Seal()
+		}
+	}
+	if behind = st.Size - p.Size(); behind < 0 {
+		behind = 0
+	}
+	return shipped, behind, nil
+}
+
+func (sh *Shipper) fetch(id srss.PLogID, off int64, max int) (wire.PLogStat, []byte, error) {
+	body, err := sh.roundTrip(wire.OpReplFetch, wire.EncodeReplFetch(id, off, max))
+	if err != nil {
+		return wire.PLogStat{}, nil, err
+	}
+	return wire.DecodeReplChunk(body)
+}
+
+// --- follower ---------------------------------------------------------------
+
+// Follower runs the replica loop: ship, replay, publish the watermark.
+type Follower struct {
+	sh       *Shipper
+	rep      *core.Replica
+	interval time.Duration
+
+	// pollMu serializes Poll rounds (the shipper connection is not safe
+	// for concurrent use); the network phase runs under it alone, so
+	// watermark readers and waiters never block behind a slow ship.
+	pollMu sync.Mutex
+
+	mu        sync.Mutex
+	watermark uint64
+	target    uint64        // primary CSN at last hello
+	wake      chan struct{} // closed and replaced on each watermark advance
+
+	stop chan struct{}
+	done chan struct{}
+	err  error
+}
+
+// NewFollower binds a shipper and an open core.Replica into a polling
+// loop (interval <= 0 defaults to 10ms). Lag gauges land in reg (nil =
+// none): replica.applied_csn, replica.lag_csn, replica.lag_bytes.
+func NewFollower(sh *Shipper, rep *core.Replica, interval time.Duration, reg *obs.Registry) *Follower {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	f := &Follower{
+		sh:        sh,
+		rep:       rep,
+		interval:  interval,
+		watermark: rep.AppliedCSN(),
+		target:    sh.HelloCSN(),
+		wake:      make(chan struct{}),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if reg != nil {
+		reg.GaugeFunc("replica.applied_csn", func() int64 { return int64(f.AppliedCSN()) })
+		reg.GaugeFunc("replica.lag_csn", func() int64 { return f.LagCSN() })
+		reg.GaugeFunc("replica.lag_bytes", func() int64 { return f.sh.LagBytes() })
+	}
+	return f
+}
+
+// SetInterval adjusts the poll cadence. Call before Start.
+func (f *Follower) SetInterval(d time.Duration) {
+	if d > 0 {
+		f.interval = d
+	}
+}
+
+// Start launches the follow loop.
+func (f *Follower) Start() {
+	go f.run()
+}
+
+func (f *Follower) run() {
+	defer close(f.done)
+	tick := time.NewTicker(f.interval)
+	defer tick.Stop()
+	for {
+		// Poll errors are transient (the primary may be restarting or
+		// mid-drop): Err keeps the last one visible; retry next tick.
+		_ = f.Poll()
+		select {
+		case <-f.stop:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// Poll runs one ship+replay round and advances the watermark. Exposed so
+// tests (and single-threaded drivers) can pump the follower directly.
+func (f *Follower) Poll() error {
+	f.pollMu.Lock()
+	_, csn, err := f.sh.Hello()
+	if err == nil {
+		_, err = f.sh.ShipOnce()
+	}
+	if err == nil {
+		_, err = f.rep.CatchUp()
+	}
+	w := f.rep.AppliedCSN()
+	f.pollMu.Unlock()
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if csn > f.target {
+		f.target = csn
+	}
+	if w > f.watermark {
+		f.watermark = w
+		close(f.wake)
+		f.wake = make(chan struct{})
+	}
+	f.err = err
+	return err
+}
+
+// AppliedCSN returns the replica's durable watermark: every commit at or
+// below it is visible to snapshot reads here.
+func (f *Follower) AppliedCSN() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.watermark
+}
+
+// LagCSN returns how far the watermark trails the primary CSN observed at
+// the last hello (0 when caught up).
+func (f *Follower) LagCSN() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.target <= f.watermark {
+		return 0
+	}
+	return int64(f.target - f.watermark)
+}
+
+// Err returns the last poll error, nil after a clean round.
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// WaitCSN blocks until the watermark reaches csn or timeout elapses,
+// reporting whether it did: the server side of the read-your-writes
+// token.
+func (f *Follower) WaitCSN(csn uint64, timeout time.Duration) bool {
+	f.mu.Lock()
+	if f.watermark >= csn {
+		f.mu.Unlock()
+		return true
+	}
+	f.mu.Unlock()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	for {
+		f.mu.Lock()
+		if f.watermark >= csn {
+			f.mu.Unlock()
+			return true
+		}
+		wake := f.wake
+		f.mu.Unlock()
+		select {
+		case <-wake:
+		case <-t.C:
+			f.mu.Lock()
+			ok := f.watermark >= csn
+			f.mu.Unlock()
+			return ok
+		}
+	}
+}
+
+// Stop halts the loop and closes the shipping connection.
+func (f *Follower) Stop() {
+	close(f.stop)
+	<-f.done
+	f.sh.Close()
+}
+
+// --- bootstrap --------------------------------------------------------------
+
+// Bootstrap dials the primary, mirrors its PLogs into a fresh local SRSS
+// service, and opens a core.Replica over the mirror. The returned
+// follower is NOT started; callers wire it into their server first (the
+// watermark is valid immediately -- it is the recovery MaxCSN).
+func Bootstrap(primaryAddr string, cfg core.Config, opt core.RecoverOptions, reg *obs.Registry) (*Follower, *core.Replica, error) {
+	if cfg.Service == nil {
+		return nil, nil, errors.New("replica: Bootstrap requires cfg.Service (the local mirror)")
+	}
+	sh := NewShipper(primaryAddr, cfg.Service)
+	manifest, _, err := sh.Hello()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := sh.ShipOnce(); err != nil {
+		sh.Close()
+		return nil, nil, err
+	}
+	rep, _, err := core.OpenReplica(cfg, manifest, opt)
+	if err != nil {
+		sh.Close()
+		return nil, nil, err
+	}
+	f := NewFollower(sh, rep, 0, reg)
+	return f, rep, nil
+}

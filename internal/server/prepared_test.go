@@ -150,6 +150,9 @@ func TestPreparedRawProtocol(t *testing.T) {
 	}
 	defer nc.Close()
 	nc.SetDeadline(time.Now().Add(10 * time.Second))
+	if f, err := wire.ReadFrame(nc, false); err != nil || f.RequestID != 0 {
+		t.Fatalf("greeting frame: id=%d err=%v", f.RequestID, err)
+	}
 	var reqID uint64
 	roundTrip := func(op wire.Op, payload []byte) (wire.Code, string, []byte) {
 		t.Helper()

@@ -60,8 +60,10 @@ import (
 	"time"
 
 	"hiengine/internal/chaos"
+	"hiengine/internal/core"
 	"hiengine/internal/obs"
 	"hiengine/internal/sqlfront"
+	"hiengine/internal/srss"
 	"hiengine/internal/wire"
 )
 
@@ -143,6 +145,43 @@ type Config struct {
 	// Chaos is the fault-injection engine shared with the deployment
 	// (nil = inert).
 	Chaos *chaos.Engine
+	// Replica, when set, marks this server a read-only replica: the
+	// greeting advertises the replica role and the primary's address,
+	// OpExecAt honors the read-your-writes token against the replica's
+	// applied-CSN watermark, and writes fail with CodeReadOnly.
+	Replica *ReplicaConfig
+	// ReplSource, when set, serves the log-shipping opcodes (OpReplHello/
+	// OpReplList/OpReplFetch) so replica processes can mirror this server's
+	// PLogs. Set it on primaries.
+	ReplSource ReplicationSource
+}
+
+// ReplicaConfig wires a replica server to its follower state.
+type ReplicaConfig struct {
+	// PrimaryAddr is advertised in the greeting so clients connected only
+	// to the replica can find the write endpoint.
+	PrimaryAddr string
+	// AppliedCSN reports the replica's durable watermark (for /statusz and
+	// token fast-paths).
+	AppliedCSN func() uint64
+	// WaitCSN blocks until the watermark reaches csn or the timeout
+	// expires, reporting whether it did. Required.
+	WaitCSN func(csn uint64, timeout time.Duration) bool
+	// TokenWait bounds how long OpExecAt waits for the read-your-writes
+	// token before answering CodeBusy (default 1s), at which point the
+	// client redirects the read to the primary.
+	TokenWait time.Duration
+}
+
+// ReplicationSource exposes a primary's PLogs to shipping followers.
+type ReplicationSource interface {
+	// ReplHello identifies the primary: its manifest PLog and current CSN.
+	ReplHello() (manifest srss.PLogID, csn uint64)
+	// ReplList enumerates the primary's PLogs across both tiers.
+	ReplList() []wire.PLogStat
+	// ReplFetch reads up to maxBytes from one PLog at offset, returning
+	// the PLog's current stat alongside the chunk.
+	ReplFetch(id srss.PLogID, offset int64, maxBytes int) (wire.PLogStat, []byte, error)
 }
 
 func (c *Config) fill() {
@@ -169,6 +208,9 @@ func (c *Config) fill() {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
+	}
+	if c.Replica != nil && c.Replica.TokenWait <= 0 {
+		c.Replica.TokenWait = time.Second
 	}
 }
 
@@ -254,7 +296,7 @@ func New(cfg Config) (*Server, error) {
 			}
 			s.mReqs[op] = r.Counter("server.requests." + op.String())
 		}
-		for c := wire.CodeConflict; c <= wire.CodeInternal; c++ {
+		for c := wire.CodeConflict; c <= wire.MaxCode; c++ {
 			s.mErrs[c] = r.Counter("server.errors." + c.String())
 		}
 	}
@@ -463,6 +505,7 @@ func isTimeout(err error) bool {
 // releases the worker slot and the MaxConns seat.
 func (c *conn) serve() {
 	defer c.teardown()
+	c.greet()
 	fr := wire.NewFrameReader(c.br, true)
 	inFrame := false
 	var frameT0 time.Time
@@ -520,6 +563,18 @@ func (c *conn) serve() {
 			return
 		}
 	}
+}
+
+// greet sends the server greeting: an unsolicited RequestID-0 CodeOK
+// response carrying the server's role (primary or replica) and, on a
+// replica, the primary's address. Clients that predate the greeting ignore
+// unknown-ID OK frames, so it is backward-compatible.
+func (c *conn) greet() {
+	role, primary := wire.RolePrimary, ""
+	if rc := c.s.cfg.Replica; rc != nil {
+		role, primary = wire.RoleReplica, rc.PrimaryAddr
+	}
+	c.respond(0, wire.CodeOK, "", wire.EncodeGreeting(role, primary))
 }
 
 // teardown runs when the read loop exits: the open transaction (if any)
@@ -662,7 +717,7 @@ func (c *conn) handle(f wire.Frame) bool {
 		finish(err, nil)
 
 	case wire.OpCommit:
-		c.commit(f.RequestID, false, release)
+		c.commit(f.RequestID, release)
 
 	case wire.OpExec:
 		sql, args, err := wire.DecodeExec(f.Payload)
@@ -673,31 +728,55 @@ func (c *conn) handle(f wire.Frame) bool {
 			finish(err, nil)
 			return false
 		}
-		// SQL COMMIT goes through the pipelined path so every commit,
-		// however expressed, batches into the group append.
-		if isCommitText(sql) {
-			c.commit(f.RequestID, true, release)
-			return true
-		}
-		if err := c.acquireSlot(); err != nil {
-			finish(err, nil)
-			return true
-		}
-		stmt, err := c.sess.Prepare(sql)
+		c.execSQL(f.RequestID, sql, args, finish, release)
+
+	case wire.OpExecAt:
+		minCSN, sql, args, err := wire.DecodeExecAt(f.Payload)
 		if err != nil {
-			// Parse/plan/arity failures are bad requests, distinct from
-			// engine-side execution failures.
-			c.releaseSlot()
-			finish(fmt.Errorf("%w: %v", wire.ErrBadStatement, err), nil)
-			return true
-		}
-		res, err := stmt.Exec(args...)
-		c.releaseSlot()
-		if err != nil {
+			c.s.mProtoErrs.Inc()
 			finish(err, nil)
+			return false
+		}
+		// The read-your-writes token: on a replica, wait (bounded) until
+		// the applied watermark covers the client's last commit; a primary
+		// trivially satisfies any token it issued. A timeout is CodeBusy:
+		// the client redirects the read to the primary rather than see a
+		// stale snapshot.
+		if rc := c.s.cfg.Replica; rc != nil && minCSN > 0 {
+			if !rc.WaitCSN(minCSN, rc.TokenWait) {
+				finish(fmt.Errorf("replica behind read-your-writes token %d: %w",
+					minCSN, ErrServerBusy), nil)
+				return true
+			}
+		}
+		c.execSQL(f.RequestID, sql, args, finish, release)
+
+	case wire.OpReplHello, wire.OpReplList, wire.OpReplFetch:
+		src := c.s.cfg.ReplSource
+		if src == nil {
+			finish(fmt.Errorf("%w: replication source not enabled", wire.ErrBadStatement), nil)
 			return true
 		}
-		c.finishResult(finish, res)
+		switch f.Op {
+		case wire.OpReplHello:
+			manifest, csn := src.ReplHello()
+			finish(nil, wire.EncodeReplHello(manifest, csn))
+		case wire.OpReplList:
+			finish(nil, wire.EncodeReplList(src.ReplList()))
+		default:
+			id, off, maxBytes, err := wire.DecodeReplFetch(f.Payload)
+			if err != nil {
+				c.s.mProtoErrs.Inc()
+				finish(err, nil)
+				return false
+			}
+			st, data, err := src.ReplFetch(id, off, maxBytes)
+			if err != nil {
+				finish(err, nil)
+				return true
+			}
+			finish(nil, wire.EncodeReplChunk(st, data))
+		}
 
 	case wire.OpPrepare:
 		sql, err := wire.DecodePrepare(f.Payload)
@@ -740,7 +819,7 @@ func (c *conn) handle(f wire.Frame) bool {
 		}
 		// A prepared COMMIT pipelines exactly like the textual form.
 		if e.commit {
-			c.commit(f.RequestID, true, release)
+			c.commit(f.RequestID, release)
 			return true
 		}
 		if err := c.acquireSlot(); err != nil {
@@ -778,36 +857,69 @@ func (c *conn) handle(f wire.Frame) bool {
 	return true
 }
 
-// finishResult responds CodeOK with res encoded into a pooled body
-// buffer; the buffer returns to the pool once the response frame is
-// written (finish responds synchronously, so the body is dead by then).
+// execSQL runs one SQL statement: the shared body of OpExec and OpExecAt.
+// SQL COMMIT goes through the pipelined path so every commit, however
+// expressed, batches into the group append.
+func (c *conn) execSQL(reqID uint64, sql string, args []core.Value, finish func(error, []byte), release func()) {
+	if isCommitText(sql) {
+		c.commit(reqID, release)
+		return
+	}
+	if err := c.acquireSlot(); err != nil {
+		finish(err, nil)
+		return
+	}
+	stmt, err := c.sess.Prepare(sql)
+	if err != nil {
+		// Parse/plan/arity failures are bad requests, distinct from
+		// engine-side execution failures.
+		c.releaseSlot()
+		finish(fmt.Errorf("%w: %v", wire.ErrBadStatement, err), nil)
+		return
+	}
+	res, err := stmt.Exec(args...)
+	c.releaseSlot()
+	if err != nil {
+		finish(err, nil)
+		return
+	}
+	c.finishResult(finish, res)
+}
+
+// finishResult responds CodeOK with res encoded into a pooled body buffer,
+// suffixed with the session's read-your-writes token; the buffer returns to
+// the pool once the response frame is written (finish responds
+// synchronously, so the body is dead by then).
 func (c *conn) finishResult(finish func(error, []byte), res *sqlfront.Result) {
 	bp := wire.GetBuf()
-	body := wire.AppendResult((*bp)[:0], &wire.Result{
+	body := wire.AppendResultCSN((*bp)[:0], &wire.Result{
 		Columns: res.Columns, Rows: res.Rows, Affected: res.Affected,
-	})
+	}, c.sess.LastCSN())
 	finish(nil, body)
 	*bp = body
 	wire.PutBuf(bp)
 }
 
-// emptyResultBody is the static body of a SQL COMMIT response (an empty
-// Result); commit responses may fire from durability callbacks, so they
-// use a shared immutable body instead of a pooled buffer.
-var emptyResultBody = wire.EncodeResult(&wire.Result{})
-
 // commit runs the session commit through the pipelined path: on an async
 // commit the response (and the admission token) is deferred to the
 // durability callback while the read loop moves on -- the out-of-order
-// case of the protocol. viaExec selects the response body shape for SQL
-// COMMIT (a Result) vs OpCommit (empty).
-func (c *conn) commit(reqID uint64, viaExec bool, release func()) {
+// case of the protocol. The response body is an empty Result suffixed with
+// the session's post-commit CSN -- the read-your-writes token the client
+// presents to replicas -- for both the SQL COMMIT and OpCommit forms
+// (clients decode any commit body as a Result, so the shape must not
+// depend on the form).
+func (c *conn) commit(reqID uint64, release func()) {
 	start := time.Now()
-	body := func() []byte {
-		if viaExec {
-			return emptyResultBody
-		}
-		return nil
+	var emptyRes wire.Result
+	respondOK := func(tr *obs.Trace) {
+		// Built per response from a pooled buffer: the CSN is only known
+		// once the commit has run, and respondTr consumes the body
+		// synchronously.
+		bp := wire.GetBuf()
+		body := wire.AppendResultCSN((*bp)[:0], &emptyRes, c.sess.LastCSN())
+		c.respondTr(reqID, tr, wire.CodeOK, "", body)
+		*bp = body
+		wire.PutBuf(bp)
 	}
 	// The commit response terminates the traced unit. Detach the trace from
 	// the connection before CommitAsync: on the async path the engine's
@@ -821,7 +933,7 @@ func (c *conn) commit(reqID uint64, viaExec bool, release func()) {
 		if cerr != nil {
 			c.respondTrErr(reqID, tr, cerr)
 		} else {
-			c.respondTr(reqID, tr, wire.CodeOK, "", body())
+			respondOK(tr)
 		}
 		release()
 	})
@@ -836,7 +948,7 @@ func (c *conn) commit(reqID uint64, viaExec bool, release func()) {
 	if err != nil {
 		c.respondTrErr(reqID, tr, err)
 	} else {
-		c.respondTr(reqID, tr, wire.CodeOK, "", body())
+		respondOK(tr)
 	}
 	release()
 }

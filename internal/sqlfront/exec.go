@@ -78,6 +78,27 @@ func (f *Frontend) Register(name string, db engineapi.DB) {
 	f.schemaGen.Add(1)
 }
 
+// Adopt registers a table that already exists inside a storage engine --
+// e.g. one recovered from a replica's shipped manifest -- so statements can
+// resolve it without running CREATE TABLE (which would attempt a write).
+// The engine must already be registered. Catalog DDL: bumps the schema
+// generation.
+func (f *Frontend) Adopt(engine string, schema *core.Schema) error {
+	engine = strings.ToLower(engine)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	db, ok := f.engines[engine]
+	if !ok {
+		return fmt.Errorf("sqlfront: unknown engine %q", engine)
+	}
+	if _, dup := f.tables[schema.Name]; dup {
+		return fmt.Errorf("sqlfront: table %q exists", schema.Name)
+	}
+	f.tables[schema.Name] = &tableInfo{engine: engine, db: db, schema: schema}
+	f.schemaGen.Add(1)
+	return nil
+}
+
 // PlanCacheStats snapshots the plan-cache counters.
 func (f *Frontend) PlanCacheStats() PlanCacheStats {
 	f.mu.RLock()
@@ -153,10 +174,49 @@ type Session struct {
 	txn       engineapi.Txn
 	txnEngine string
 
+	// lastCSN is the session's read-your-writes token: the highest commit
+	// sequence number this session has committed at (engines that report
+	// one, see engineapi.CSNReporter). Atomic because pipelined commits
+	// publish it from the WAL durability callback while the session is
+	// already executing its next statement.
+	lastCSN atomic.Uint64
+
 	// tr, when non-nil, is the active request trace: Exec brackets the
 	// plan-cache and execution stages against it, and transactions opened
 	// while it is set carry it through the engine's commit pipeline.
 	tr *obs.Trace
+}
+
+// LastCSN returns the session's read-your-writes token: the commit sequence
+// number of its most recent write commit (0 before the first one).
+func (s *Session) LastCSN() uint64 { return s.lastCSN.Load() }
+
+// noteCSN records t's commit CSN as the session token (monotonic max).
+func (s *Session) noteCSN(t engineapi.Txn) {
+	r, ok := t.(engineapi.CSNReporter)
+	if !ok {
+		return
+	}
+	csn := r.CSN()
+	if csn == 0 {
+		return
+	}
+	for {
+		cur := s.lastCSN.Load()
+		if csn <= cur || s.lastCSN.CompareAndSwap(cur, csn) {
+			return
+		}
+	}
+}
+
+// commitAuto finishes an auto-commit statement: commit, then record the
+// session's read-your-writes token.
+func (s *Session) commitAuto(tx engineapi.Txn) error {
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	s.noteCSN(tx)
+	return nil
 }
 
 // SetTrace attaches (or with nil, detaches) the active request trace. An
@@ -330,9 +390,13 @@ func (s *Session) commit() error {
 		}
 		return ErrNoTxn
 	}
-	err := s.txn.Commit()
+	t := s.txn
+	err := t.Commit()
 	s.txn = nil
 	s.txnEngine = ""
+	if err == nil {
+		s.noteCSN(t)
+	}
 	return err
 }
 
@@ -357,12 +421,24 @@ func (s *Session) CommitAsync(done func(error)) (async bool, err error) {
 	s.txn = nil
 	s.txnEngine = ""
 	if ac, ok := t.(engineapi.AsyncCommitter); ok {
-		if err := ac.CommitAsync(done); err != nil {
+		wrapped := func(err error) {
+			if err == nil {
+				// Publish the token before done: the network server builds
+				// its commit response (which carries the token) inside done.
+				s.noteCSN(t)
+			}
+			done(err)
+		}
+		if err := ac.CommitAsync(wrapped); err != nil {
 			return false, err
 		}
 		return true, nil
 	}
-	return false, t.Commit()
+	err = t.Commit()
+	if err == nil {
+		s.noteCSN(t)
+	}
+	return false, err
 }
 
 func (s *Session) rollback() error {
@@ -581,7 +657,7 @@ func (f *Frontend) compile(st stmt) (func(*Session, []core.Value) (*Result, erro
 				return nil, err
 			}
 			if auto {
-				if err := tx.Commit(); err != nil {
+				if err := s.commitAuto(tx); err != nil {
 					return nil, err
 				}
 			}
@@ -641,7 +717,7 @@ func (f *Frontend) compile(st stmt) (func(*Session, []core.Value) (*Result, erro
 				}
 			}
 			if auto {
-				if err := tx.Commit(); err != nil {
+				if err := s.commitAuto(tx); err != nil {
 					return nil, err
 				}
 			}
@@ -702,7 +778,7 @@ func (f *Frontend) compile(st stmt) (func(*Session, []core.Value) (*Result, erro
 				return nil, err
 			}
 			if auto {
-				if err := tx.Commit(); err != nil {
+				if err := s.commitAuto(tx); err != nil {
 					return nil, err
 				}
 			}
@@ -737,7 +813,7 @@ func (f *Frontend) compile(st stmt) (func(*Session, []core.Value) (*Result, erro
 				return nil, err
 			}
 			if auto {
-				if err := tx.Commit(); err != nil {
+				if err := s.commitAuto(tx); err != nil {
 					return nil, err
 				}
 			}

@@ -397,6 +397,54 @@ func (s *Service) Create(tier Tier) (*PLog, error) {
 	return p, nil
 }
 
+// ImportPLog creates (or reopens) a PLog under a caller-supplied ID. Log
+// shipping uses it: a replica process mirrors the primary's PLogs into its
+// own SRSS deployment under the same identities, so the WAL directory and
+// manifest it ships refer to valid local PLogs. Idempotent: importing an
+// existing ID returns the existing PLog. The internal ID counter is bumped
+// past the imported counter so locally-created PLogs never collide with
+// later imports.
+func (s *Service) ImportPLog(id PLogID, tier Tier) (*PLog, error) {
+	s.mu.Lock()
+	if p, ok := s.plogs[id]; ok {
+		s.mu.Unlock()
+		if p.deleted.Load() {
+			return nil, fmt.Errorf("%w: %v", ErrDeleted, id)
+		}
+		return p, nil
+	}
+	s.mu.Unlock()
+	nodes, err := s.pickNodes(tier)
+	if err != nil {
+		return nil, err
+	}
+	p := &PLog{id: id, tier: tier, svc: s}
+	reps := make([]*replica, 0, len(nodes))
+	for _, n := range nodes {
+		reps = append(reps, &replica{node: n, chunkSize: s.cfg.ChunkSize})
+	}
+	p.reps.Store(&reps)
+	s.mu.Lock()
+	if existing, ok := s.plogs[id]; ok { // lost a race with another import
+		s.mu.Unlock()
+		return existing, nil
+	}
+	s.plogs[id] = p
+	s.mu.Unlock()
+	// Keep newID ahead of the imported counter (bytes 8..15 of the ID).
+	var ctr uint64
+	for i := 0; i < 8; i++ {
+		ctr = ctr<<8 | uint64(id[8+i])
+	}
+	for {
+		cur := s.nextID.Load()
+		if cur >= ctr || s.nextID.CompareAndSwap(cur, ctr) {
+			break
+		}
+	}
+	return p, nil
+}
+
 // Open returns an existing PLog by ID.
 func (s *Service) Open(id PLogID) (*PLog, error) {
 	s.mu.RLock()
@@ -709,6 +757,16 @@ func (p *PLog) sealTornLocked(torn bool) {
 // Torn reports whether a torn write was injected into this PLog: replica
 // contents past the last acked append may diverge.
 func (p *PLog) Torn() bool { return p.torn.Load() }
+
+// SealTorn seals the PLog and marks it torn. Log shipping uses it to mirror
+// a primary PLog's torn state onto the follower's local copy, so the
+// follower's tail classification truncates at the same offset recovery
+// would.
+func (p *PLog) SealTorn() {
+	p.mu.Lock()
+	p.sealTornLocked(true)
+	p.mu.Unlock()
+}
 
 // replicaFor returns a replica whose extent covers [0, end), preferring
 // healthy nodes; if none covers it (possible only on torn PLogs), the

@@ -459,14 +459,35 @@ type Manager struct {
 	mTornTails     *obs.Counter // checksum-invalid tails truncated during scans
 
 	// Torn-tail truncation totals (also mirrored to obs); recovery reports
-	// them in its stats.
+	// them in its stats. truncSeen dedups the counting: a follower's
+	// repeated catch-up scans re-hit the same torn tail every poll, and each
+	// distinct truncation must count exactly once.
 	tailTruncs     atomic.Int64
 	tailTruncBytes atomic.Int64
+	truncMu        sync.Mutex
+	truncSeen      map[uint16]int64 // segment -> counted truncation offset
+
+	// liveTail marks read-only follower managers: the segment under a scan
+	// may still be growing (a live writer, or a log shipper materializing
+	// records chunk by chunk), so a decode failure on an unsealed PLog is
+	// "end of available log, retry later", never torn-tail truncation and
+	// never corruption. Once the PLog seals the strict classification
+	// applies again.
+	liveTail bool
 
 	nextSeg atomic.Uint32
 
 	mu    sync.RWMutex
 	views map[uint16]*srss.View
+
+	// scanMu fences DropSegment against in-progress scans: a drop marks the
+	// segment and waits for its scanRefs to drain before deleting the
+	// backing PLog, and later scans of the segment fail with
+	// ErrSegmentDropped instead of an unclassified read error.
+	scanMu      sync.Mutex
+	scanCond    *sync.Cond
+	scanRefs    map[uint16]int
+	droppedSegs map[uint16]bool
 
 	destageMu sync.Mutex
 	destaged  map[uint16]srss.PLogID
@@ -480,6 +501,13 @@ var ErrClosed = errors.New("wal: manager closed")
 // ErrTooLarge is returned when one transaction's log exceeds the segment
 // size.
 var ErrTooLarge = errors.New("wal: transaction log exceeds segment size")
+
+// ErrSegmentDropped is returned when a scan targets a segment whose backing
+// PLog has been (or is being) dropped -- by this manager's DropSegment, or
+// by the primary underneath a read-only follower. A follower treats it as
+// "restart from the directory": forget the segment's progress, refresh the
+// directory, and continue with the segments that remain.
+var ErrSegmentDropped = errors.New("wal: segment dropped")
 
 // Open creates a fresh log with a new metadata PLog.
 func Open(cfg Config) (*Manager, error) {
@@ -510,7 +538,9 @@ func OpenReadOnly(cfg Config, metaID srss.PLogID) (*Manager, error) {
 	if err := dir.load(); err != nil {
 		return nil, err
 	}
-	return &Manager{cfg: cfg, dir: dir, views: make(map[uint16]*srss.View)}, nil
+	m := &Manager{cfg: cfg, dir: dir, views: make(map[uint16]*srss.View), liveTail: true}
+	m.mTornTails = cfg.Obs.Counter("wal.torn_tail_truncations")
+	return m, nil
 }
 
 // Reopen attaches to an existing log via its metadata PLog ID (recovery).
@@ -926,9 +956,13 @@ func (m *Manager) ScanSegment(seg uint16, fn func(addr Addr, rec Record) bool) e
 // beginning) and returns the offset just past the last record seen, which a
 // follower passes back on its next catch-up scan.
 func (m *Manager) ScanSegmentFrom(seg uint16, from int64, fn func(addr Addr, rec Record) bool) (int64, error) {
+	if err := m.beginScan(seg); err != nil {
+		return from, err
+	}
+	defer m.endScan(seg)
 	v, err := m.view(seg)
 	if err != nil {
-		return from, err
+		return from, m.mapSegErr(seg, err)
 	}
 	size := v.Len()
 	if size == 0 || from >= size {
@@ -938,7 +972,7 @@ func (m *Manager) ScanSegmentFrom(seg uint16, from int64, fn func(addr Addr, rec
 		from = 1 // skip the segment header byte
 		h, err := v.At(0, 1)
 		if err != nil {
-			return 0, err
+			return 0, m.mapSegErr(seg, err)
 		}
 		if h[0] != segmentHeader {
 			return 0, fmt.Errorf("wal: segment %d missing header", seg)
@@ -948,21 +982,25 @@ func (m *Manager) ScanSegmentFrom(seg uint16, from int64, fn func(addr Addr, rec
 	// pattern on log-structured storage.
 	b, err := v.At(from, int(size-from))
 	if err != nil {
-		return from, err
+		return from, m.mapSegErr(seg, err)
 	}
 	pos := 0
 	for pos < len(b) {
 		rec, n, err := DecodeRecord(b[pos:])
 		if err != nil {
 			abs := from + int64(pos)
-			if m.tornTailAt(v.PLog(), abs) {
+			switch m.classifyTail(v.PLog(), abs) {
+			case tailTorn:
 				// Torn tail: the writer died mid-replication, leaving a
 				// partially materialized final record. Truncate the scan at
 				// the last valid record; the bytes past abs were never
 				// acked to any committer, so dropping them is correct.
-				m.mTornTails.Inc()
-				m.tailTruncs.Add(1)
-				m.tailTruncBytes.Add(size - abs)
+				m.countTailTrunc(seg, abs, size)
+				return abs, nil
+			case tailLive:
+				// End of the currently-available log: the record past abs is
+				// still being appended (or shipped). Not torn, not corrupt --
+				// the follower retries from abs on its next poll.
 				return abs, nil
 			}
 			return abs, fmt.Errorf("wal: segment %d at %d: %w", seg, abs, err)
@@ -975,17 +1013,102 @@ func (m *Manager) ScanSegmentFrom(seg uint16, from int64, fn func(addr Addr, rec
 	return from + int64(pos), nil
 }
 
-// tornTailAt classifies a decode failure at absolute offset abs of segment
-// PLog p: is it a torn write tail (truncate and continue) or genuine
-// corruption (fail the scan)? A tail is torn when the PLog recorded a torn
-// write, or when the replicas disagree from abs onward -- divergent replica
-// suffixes can only be left by a writer dying mid-replication, because
-// acknowledged appends are replica-identical by construction.
-func (m *Manager) tornTailAt(p *srss.PLog, abs int64) bool {
+type tailClass int
+
+const (
+	tailCorrupt tailClass = iota // genuine corruption: fail the scan
+	tailTorn                     // crash-time torn write: truncate here
+	tailLive                     // in-flight append: retry later
+)
+
+// classifyTail classifies a decode failure at absolute offset abs of segment
+// PLog p. A tail is torn when the PLog recorded a torn write, or when it is
+// sealed with replicas disagreeing from abs onward -- divergent replica
+// suffixes on a sealed PLog can only be left by a writer dying
+// mid-replication, because acknowledged appends are replica-identical by
+// construction. On an UNSEALED PLog the same divergence is expected in
+// steady state: a live reader can observe a record mid-replication, so the
+// tail is merely incomplete and the scan must retry later rather than
+// "truncate" bytes that are about to become durable. Follower managers
+// (liveTail) extend the retry classification to every unsealed tail, since
+// log shipping materializes records chunk by chunk with all local replicas
+// consistent; once the shipped PLog seals, the strict rules resume.
+func (m *Manager) classifyTail(p *srss.PLog, abs int64) tailClass {
 	if p == nil {
-		return false
+		return tailCorrupt
 	}
-	return p.Torn() || !p.ReplicasConsistentFrom(abs)
+	if p.Torn() {
+		return tailTorn
+	}
+	if !p.Sealed() {
+		if m.liveTail || !p.ReplicasConsistentFrom(abs) {
+			return tailLive
+		}
+		return tailCorrupt
+	}
+	if !p.ReplicasConsistentFrom(abs) {
+		return tailTorn
+	}
+	return tailCorrupt
+}
+
+// countTailTrunc records one torn-tail truncation at (seg, abs), exactly
+// once: repeated catch-up scans re-hit the same truncation every poll and
+// must not re-increment the counters the torture harness asserts on.
+func (m *Manager) countTailTrunc(seg uint16, abs, size int64) {
+	m.truncMu.Lock()
+	if prev, ok := m.truncSeen[seg]; ok && prev == abs {
+		m.truncMu.Unlock()
+		return
+	}
+	if m.truncSeen == nil {
+		m.truncSeen = make(map[uint16]int64)
+	}
+	m.truncSeen[seg] = abs
+	m.truncMu.Unlock()
+	m.mTornTails.Inc()
+	m.tailTruncs.Add(1)
+	m.tailTruncBytes.Add(size - abs)
+}
+
+// beginScan takes a scan reference on seg, failing fast if the segment has
+// been dropped. endScan releases it and wakes any fenced DropSegment.
+func (m *Manager) beginScan(seg uint16) error {
+	m.scanMu.Lock()
+	defer m.scanMu.Unlock()
+	if m.droppedSegs[seg] {
+		return fmt.Errorf("wal: segment %d: %w", seg, ErrSegmentDropped)
+	}
+	if m.scanRefs == nil {
+		m.scanRefs = make(map[uint16]int)
+	}
+	m.scanRefs[seg]++
+	return nil
+}
+
+func (m *Manager) endScan(seg uint16) {
+	m.scanMu.Lock()
+	m.scanRefs[seg]--
+	if m.scanRefs[seg] <= 0 {
+		delete(m.scanRefs, seg)
+		if m.scanCond != nil {
+			m.scanCond.Broadcast()
+		}
+	}
+	m.scanMu.Unlock()
+}
+
+// mapSegErr converts "the PLog vanished underneath us" storage errors into
+// the typed ErrSegmentDropped a follower knows how to handle, and drops the
+// stale cached view so a later directory refresh starts clean.
+func (m *Manager) mapSegErr(seg uint16, err error) error {
+	if errors.Is(err, srss.ErrDeleted) || errors.Is(err, srss.ErrNotFound) {
+		m.mu.Lock()
+		delete(m.views, seg)
+		m.mu.Unlock()
+		return fmt.Errorf("wal: segment %d: %w", seg, ErrSegmentDropped)
+	}
+	return err
 }
 
 // TailTruncations reports how many checksum-invalid segment tails scans have
@@ -1017,12 +1140,31 @@ func (m *Manager) RotateAll() error {
 
 // DropSegment removes a segment from the directory (persisting a tombstone
 // mapping) and deletes its backing PLog, reclaiming its storage. The caller
-// guarantees no live record address still points into the segment.
+// guarantees no live record address still points into the segment. The drop
+// is fenced against in-progress scans: it marks the segment dropped (so new
+// scans fail with ErrSegmentDropped) and waits for current scan references
+// to drain before deleting the backing PLog.
 func (m *Manager) DropSegment(seg uint16) error {
 	id, ok := m.dir.Lookup(seg)
 	if !ok {
 		return fmt.Errorf("wal: unknown segment %d", seg)
 	}
+	m.scanMu.Lock()
+	if m.droppedSegs == nil {
+		m.droppedSegs = make(map[uint16]bool)
+	}
+	if m.droppedSegs[seg] {
+		m.scanMu.Unlock()
+		return fmt.Errorf("wal: segment %d: %w", seg, ErrSegmentDropped)
+	}
+	m.droppedSegs[seg] = true
+	if m.scanCond == nil {
+		m.scanCond = sync.NewCond(&m.scanMu)
+	}
+	for m.scanRefs[seg] > 0 {
+		m.scanCond.Wait()
+	}
+	m.scanMu.Unlock()
 	if err := m.dir.drop(seg); err != nil {
 		return err
 	}

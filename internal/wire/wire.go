@@ -37,6 +37,7 @@ import (
 	"hiengine/internal/engineapi"
 	"hiengine/internal/obs"
 	"hiengine/internal/sqlfront"
+	"hiengine/internal/srss"
 )
 
 // MaxFrame bounds the length field: requestID + opcode + payload. Large
@@ -76,6 +77,17 @@ const (
 	OpPrepare   Op = 8  // sql string; response: stmt id + param count
 	OpExecStmt  Op = 9  // stmt id, args row; response: result body
 	OpCloseStmt Op = 10 // stmt id; response: empty body
+	// OpExecAt is OpExec with a read-your-writes token: the payload carries
+	// the client's last-seen commit CSN ahead of the statement. A replica
+	// waits (bounded) until its applied watermark reaches the token before
+	// executing, or answers CodeBusy so the client redirects to the primary.
+	OpExecAt Op = 11 // min csn, sql string, args row; response: result body
+	// Log-shipping opcodes: a replica process follows a remote primary by
+	// mirroring its PLogs. Hello identifies the primary (manifest + current
+	// CSN), List enumerates its PLogs, Fetch reads a bounded chunk of one.
+	OpReplHello Op = 12 // empty; response: manifest id + current csn
+	OpReplList  Op = 13 // empty; response: plog stat list
+	OpReplFetch Op = 14 // plog id, offset, max bytes; response: stat + data
 )
 
 // String names the opcode.
@@ -101,13 +113,21 @@ func (o Op) String() string {
 		return "exec_stmt"
 	case OpCloseStmt:
 		return "close_stmt"
+	case OpExecAt:
+		return "exec_at"
+	case OpReplHello:
+		return "repl_hello"
+	case OpReplList:
+		return "repl_list"
+	case OpReplFetch:
+		return "repl_fetch"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
 }
 
 // MaxOp is the highest assigned opcode (sizing per-opcode metric tables).
-const MaxOp = OpCloseStmt
+const MaxOp = OpReplFetch
 
 // TraceFlag marks a traced frame. It rides the opcode byte's high bit (no
 // assigned opcode comes near it) so untraced frames are byte-identical to
@@ -123,7 +143,7 @@ const traceIDSize = 8
 
 // validRequest reports whether o is a client-issued opcode.
 func validRequest(o Op) bool {
-	return (o >= OpPing && o <= OpStats) || (o >= OpPrepare && o <= OpCloseStmt)
+	return (o >= OpPing && o <= OpStats) || (o >= OpPrepare && o <= OpReplFetch)
 }
 
 // Code is a stable wire status code.
@@ -153,7 +173,15 @@ const (
 	CodeDurabilityLost Code = 7
 	// CodeInternal: unclassified server-side failure. Not retryable.
 	CodeInternal Code = 8
+	// CodeReadOnly: the statement needs write access but the server is a
+	// read-only replica. Not retryable here -- the client must redirect the
+	// statement to the primary.
+	CodeReadOnly Code = 9
 )
+
+// MaxCode is the highest assigned status code (sizing per-code metric
+// tables).
+const MaxCode = CodeReadOnly
 
 // String names the code.
 func (c Code) String() string {
@@ -176,6 +204,8 @@ func (c Code) String() string {
 		return "durability_lost"
 	case CodeInternal:
 		return "internal"
+	case CodeReadOnly:
+		return "read_only"
 	default:
 		return fmt.Sprintf("code(%d)", uint16(c))
 	}
@@ -219,6 +249,8 @@ func Classify(err error) Code {
 		return CodeClosed
 	case errors.Is(err, ErrServerBusy), errors.Is(err, core.ErrWorkerBusy):
 		return CodeBusy
+	case errors.Is(err, core.ErrReadOnlyReplica):
+		return CodeReadOnly
 	case errors.Is(err, engineapi.ErrConflict):
 		return CodeConflict
 	case errors.Is(err, engineapi.ErrDuplicate):
@@ -260,6 +292,8 @@ func sentinel(c Code) error {
 		return core.ErrClosed
 	case CodeDurabilityLost:
 		return core.ErrDurabilityLost
+	case CodeReadOnly:
+		return core.ErrReadOnlyReplica
 	default:
 		return nil
 	}
@@ -823,16 +857,48 @@ func EncodeResult(r *Result) []byte {
 	return AppendResult(nil, r)
 }
 
-// DecodeResult parses a Result body.
+// DecodeResult parses a Result body. Trailing bytes past the encoded result
+// are ignored, which is what lets newer servers append a commit-CSN suffix
+// (AppendResultCSN) without breaking older clients.
 func DecodeResult(body []byte) (*Result, error) {
+	r, _, err := decodeResult(body)
+	return r, err
+}
+
+// AppendResultCSN appends a Result followed by the session's last commit
+// CSN. Decoders that know about the suffix recover it with DecodeResultCSN;
+// older decoders ignore it.
+func AppendResultCSN(buf []byte, r *Result, csn uint64) []byte {
+	buf = AppendResult(buf, r)
+	return binary.AppendUvarint(buf, csn)
+}
+
+// DecodeResultCSN parses a Result body plus the optional trailing commit
+// CSN (0 when the server did not send one).
+func DecodeResultCSN(body []byte) (*Result, uint64, error) {
+	r, rest, err := decodeResult(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(rest) == 0 {
+		return r, 0, nil
+	}
+	csn, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return nil, 0, ErrPayloadCorrupt
+	}
+	return r, csn, nil
+}
+
+func decodeResult(body []byte) (*Result, []byte, error) {
 	affected, w := binary.Uvarint(body)
 	if w <= 0 {
-		return nil, ErrPayloadCorrupt
+		return nil, nil, ErrPayloadCorrupt
 	}
 	body = body[w:]
 	nCols, w := binary.Uvarint(body)
 	if w <= 0 || nCols > 1<<16 {
-		return nil, ErrPayloadCorrupt
+		return nil, nil, ErrPayloadCorrupt
 	}
 	body = body[w:]
 	r := &Result{Affected: int(affected)}
@@ -841,22 +907,229 @@ func DecodeResult(body []byte) (*Result, error) {
 		var err error
 		c, body, err = readString(body)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		r.Columns = append(r.Columns, c)
 	}
 	nRows, w := binary.Uvarint(body)
 	if w <= 0 || nRows > 1<<24 {
-		return nil, ErrPayloadCorrupt
+		return nil, nil, ErrPayloadCorrupt
 	}
 	body = body[w:]
 	for i := uint64(0); i < nRows; i++ {
 		row, rest, err := core.DecodeRowPrefix(body)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrPayloadCorrupt, err)
+			return nil, nil, fmt.Errorf("%w: %v", ErrPayloadCorrupt, err)
 		}
 		body = rest
 		r.Rows = append(r.Rows, row)
 	}
-	return r, nil
+	return r, body, nil
+}
+
+// --- greeting --------------------------------------------------------------
+
+// Server roles carried in the connection greeting.
+const (
+	RolePrimary byte = 0
+	RoleReplica byte = 1
+)
+
+// greetingMagic distinguishes a greeting body from other RequestID-0
+// responses.
+var greetingMagic = [4]byte{'H', 'I', 'G', 'R'}
+
+// EncodeGreeting builds the server greeting body: magic, the server's role,
+// and (for a replica) the primary's address so a client connected only to
+// the replica can find the write endpoint. The greeting travels as an
+// unsolicited CodeOK response with RequestID 0 immediately after accept;
+// clients that predate it ignore unknown-ID OK frames, so it is
+// backward-compatible.
+func EncodeGreeting(role byte, primaryAddr string) []byte {
+	buf := append([]byte(nil), greetingMagic[:]...)
+	buf = append(buf, role)
+	return appendString(buf, primaryAddr)
+}
+
+// DecodeGreeting parses a greeting body. ok is false when the body is not a
+// greeting (some other RequestID-0 response).
+func DecodeGreeting(body []byte) (role byte, primaryAddr string, ok bool) {
+	if len(body) < 5 || [4]byte(body[:4]) != greetingMagic {
+		return 0, "", false
+	}
+	role = body[4]
+	primaryAddr, rest, err := readString(body[5:])
+	if err != nil || len(rest) != 0 {
+		return 0, "", false
+	}
+	return role, primaryAddr, true
+}
+
+// --- read-your-writes exec -------------------------------------------------
+
+// AppendExecAt appends an OpExecAt payload: the read-your-writes token (the
+// client's last-seen commit CSN), then sql and the argument row.
+func AppendExecAt(buf []byte, minCSN uint64, sql string, args []core.Value) []byte {
+	buf = binary.AppendUvarint(buf, minCSN)
+	return AppendExec(buf, sql, args)
+}
+
+// EncodeExecAt builds an OpExecAt payload.
+func EncodeExecAt(minCSN uint64, sql string, args []core.Value) []byte {
+	return AppendExecAt(nil, minCSN, sql, args)
+}
+
+// DecodeExecAt parses an OpExecAt payload.
+func DecodeExecAt(payload []byte) (minCSN uint64, sql string, args []core.Value, err error) {
+	minCSN, w := binary.Uvarint(payload)
+	if w <= 0 {
+		return 0, "", nil, ErrPayloadCorrupt
+	}
+	sql, args, err = DecodeExec(payload[w:])
+	return minCSN, sql, args, err
+}
+
+// --- log-shipping payloads -------------------------------------------------
+
+// PLogStat is the wire form of one primary PLog's state, enough for a
+// shipper to mirror it: identity, placement tier, durable size, and the
+// sealed/torn flags that gate tail classification on the follower.
+type PLogStat struct {
+	ID     srss.PLogID
+	Tier   srss.Tier
+	Size   int64
+	Sealed bool
+	Torn   bool
+}
+
+// plog stat flag bits.
+const (
+	plogFlagSealed = 1 << 0
+	plogFlagTorn   = 1 << 1
+)
+
+func appendPLogStat(buf []byte, st PLogStat) []byte {
+	buf = append(buf, st.ID[:]...)
+	buf = append(buf, byte(st.Tier))
+	var flags byte
+	if st.Sealed {
+		flags |= plogFlagSealed
+	}
+	if st.Torn {
+		flags |= plogFlagTorn
+	}
+	buf = append(buf, flags)
+	return binary.AppendUvarint(buf, uint64(st.Size))
+}
+
+func readPLogStat(buf []byte) (PLogStat, []byte, error) {
+	var st PLogStat
+	if len(buf) < len(st.ID)+2 {
+		return st, nil, ErrPayloadCorrupt
+	}
+	copy(st.ID[:], buf)
+	buf = buf[len(st.ID):]
+	st.Tier = srss.Tier(buf[0])
+	flags := buf[1]
+	st.Sealed = flags&plogFlagSealed != 0
+	st.Torn = flags&plogFlagTorn != 0
+	size, w := binary.Uvarint(buf[2:])
+	if w <= 0 {
+		return st, nil, ErrPayloadCorrupt
+	}
+	st.Size = int64(size)
+	return st, buf[2+w:], nil
+}
+
+// EncodeReplHello builds the OpReplHello success body: the primary's
+// manifest PLog ID and its current commit CSN.
+func EncodeReplHello(manifest srss.PLogID, csn uint64) []byte {
+	buf := append([]byte(nil), manifest[:]...)
+	return binary.AppendUvarint(buf, csn)
+}
+
+// DecodeReplHello parses an OpReplHello success body.
+func DecodeReplHello(body []byte) (manifest srss.PLogID, csn uint64, err error) {
+	if len(body) < len(manifest) {
+		return manifest, 0, ErrPayloadCorrupt
+	}
+	copy(manifest[:], body)
+	csn, w := binary.Uvarint(body[len(manifest):])
+	if w <= 0 {
+		return manifest, 0, ErrPayloadCorrupt
+	}
+	return manifest, csn, nil
+}
+
+// EncodeReplList builds the OpReplList success body: every PLog the primary
+// currently holds.
+func EncodeReplList(stats []PLogStat) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(stats)))
+	for _, st := range stats {
+		buf = appendPLogStat(buf, st)
+	}
+	return buf
+}
+
+// DecodeReplList parses an OpReplList success body.
+func DecodeReplList(body []byte) ([]PLogStat, error) {
+	n, w := binary.Uvarint(body)
+	if w <= 0 || n > 1<<20 {
+		return nil, ErrPayloadCorrupt
+	}
+	body = body[w:]
+	out := make([]PLogStat, 0, n)
+	for i := uint64(0); i < n; i++ {
+		st, rest, err := readPLogStat(body)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+		body = rest
+	}
+	return out, nil
+}
+
+// EncodeReplFetch builds an OpReplFetch request payload: which PLog, from
+// which offset, at most how many bytes.
+func EncodeReplFetch(id srss.PLogID, offset int64, maxBytes int) []byte {
+	buf := append([]byte(nil), id[:]...)
+	buf = binary.AppendUvarint(buf, uint64(offset))
+	return binary.AppendUvarint(buf, uint64(maxBytes))
+}
+
+// DecodeReplFetch parses an OpReplFetch request payload.
+func DecodeReplFetch(payload []byte) (id srss.PLogID, offset int64, maxBytes int, err error) {
+	if len(payload) < len(id) {
+		return id, 0, 0, ErrPayloadCorrupt
+	}
+	copy(id[:], payload)
+	payload = payload[len(id):]
+	off, w := binary.Uvarint(payload)
+	if w <= 0 {
+		return id, 0, 0, ErrPayloadCorrupt
+	}
+	mx, w2 := binary.Uvarint(payload[w:])
+	if w2 <= 0 || mx > MaxPayload {
+		return id, 0, 0, ErrPayloadCorrupt
+	}
+	return id, int64(off), int(mx), nil
+}
+
+// EncodeReplChunk builds the OpReplFetch success body: the PLog's current
+// stat (so the shipper can seal its mirror the moment it holds all bytes of
+// a sealed PLog) followed by the data chunk read at the requested offset.
+func EncodeReplChunk(st PLogStat, data []byte) []byte {
+	buf := appendPLogStat(nil, st)
+	return append(buf, data...)
+}
+
+// DecodeReplChunk parses an OpReplFetch success body. The returned data
+// aliases body.
+func DecodeReplChunk(body []byte) (PLogStat, []byte, error) {
+	st, rest, err := readPLogStat(body)
+	if err != nil {
+		return st, nil, err
+	}
+	return st, rest, nil
 }
