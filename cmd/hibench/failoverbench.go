@@ -1,0 +1,253 @@
+// Failover mode: measure what a primary crash costs the write path. One
+// primary plus one log-shipping replica run in-process over loopback TCP;
+// pooled failover clients hammer autocommit inserts while the primary is
+// killed and the replica promoted. Two numbers come out per trial:
+//
+//   - time-to-promote: kill-to-writable on the promoted node (final
+//     catch-up drain + tail seal + epoch bump + role flip);
+//
+//   - per-client write gap: the longest ack-to-ack silence each client
+//     observed, i.e. the outage as the application felt it, including
+//     rediscovery and backoff.
+//
+// Usage:
+//
+//	hibench -failover -clients 4 -duration 2s
+//
+// The trial series is written to BENCH_failover.json so the failover
+// cost trajectory is recorded per run.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hiengine/internal/adapt"
+	"hiengine/internal/client"
+	"hiengine/internal/core"
+	"hiengine/internal/delay"
+	"hiengine/internal/replica"
+	"hiengine/internal/server"
+	"hiengine/internal/sqlfront"
+	"hiengine/internal/srss"
+)
+
+const failoverTrials = 3
+
+// failoverReport is the BENCH_failover.json document.
+type failoverReport struct {
+	Bench     string          `json:"bench"`
+	Clients   int             `json:"clients"`
+	DurationS float64         `json:"duration_s"`
+	Trials    []failoverTrial `json:"trials"`
+	// Aggregates across every client of every trial.
+	WriteGapP50MS float64 `json:"write_gap_p50_ms"`
+	WriteGapMaxMS float64 `json:"write_gap_max_ms"`
+	Timestamp     string  `json:"timestamp"`
+}
+
+type failoverTrial struct {
+	TimeToPromoteMS float64 `json:"time_to_promote_ms"`
+	// WriteGapMS is each client's longest ack-to-ack gap (ms).
+	WriteGapMS  []float64 `json:"client_write_gap_ms"`
+	AckedBefore int64     `json:"acked_before_kill"`
+	AckedAfter  int64     `json:"acked_after_promote"`
+}
+
+// failoverBench runs the kill/promote experiment and writes
+// BENCH_failover.json. Each half of a trial (before the kill, after
+// reconvergence) runs for d.
+func failoverBench(nClients, workers int, d time.Duration) error {
+	rep := failoverReport{
+		Bench:     "failover_promote",
+		Clients:   nClients,
+		DurationS: d.Seconds(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	for trial := 0; trial < failoverTrials; trial++ {
+		tr, err := failoverTrialRun(trial, nClients, workers, d)
+		if err != nil {
+			return fmt.Errorf("trial %d: %w", trial, err)
+		}
+		rep.Trials = append(rep.Trials, tr)
+		fmt.Printf("failover trial=%d clients=%-3d promote=%6.1fms gaps(ms)=%v\n",
+			trial, nClients, tr.TimeToPromoteMS, tr.WriteGapMS)
+	}
+	var gaps []float64
+	for _, tr := range rep.Trials {
+		gaps = append(gaps, tr.WriteGapMS...)
+	}
+	sort.Float64s(gaps)
+	if n := len(gaps); n > 0 {
+		rep.WriteGapP50MS = gaps[n/2]
+		rep.WriteGapMaxMS = gaps[n-1]
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile("BENCH_failover.json", buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("failover: wrote BENCH_failover.json")
+	return nil
+}
+
+// failoverClientStat is one writer's view of the outage.
+type failoverClientStat struct {
+	maxGap      time.Duration
+	ackedBefore int64
+	ackedAfter  int64
+}
+
+func failoverTrialRun(trial, nClients, workers int, d time.Duration) (failoverTrial, error) {
+	var out failoverTrial
+
+	// --- primary ---------------------------------------------------------
+	engine, err := core.Open(core.Config{
+		Service:    srss.New(srss.Config{Model: delay.Zero()}),
+		Workers:    workers,
+		LogStreams: 1, // prefix-exact shipped watermark (see failover tests)
+	})
+	if err != nil {
+		return out, err
+	}
+	defer engine.Close()
+	front := sqlfront.NewFrontend("hiengine", adapt.New(engine))
+	srv, err := server.New(server.Config{
+		Frontend:     front,
+		WorkerSlots:  engine.Workers(),
+		ReplSource:   replica.NewSource(engine),
+		Epoch:        engine.Epoch,
+		ObserveEpoch: engine.ObserveEpoch,
+		DrainTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		return out, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return out, err
+	}
+	go srv.Serve(ln)
+	primaryAddr := ln.Addr().String()
+
+	seed, err := client.New(client.Options{Addr: primaryAddr})
+	if err != nil {
+		return out, err
+	}
+	if _, err := seed.Exec("CREATE TABLE failover (id INT, c TEXT, PRIMARY KEY(id))"); err != nil {
+		seed.Close()
+		return out, err
+	}
+	seed.Close()
+
+	// --- replica ---------------------------------------------------------
+	rs, err := startReplicaStack(primaryAddr, workers)
+	if err != nil {
+		return out, err
+	}
+	defer rs.close()
+
+	// --- writers ---------------------------------------------------------
+	var (
+		stop  atomic.Bool
+		phase atomic.Uint64 // 0 = old primary, 1 = promoted
+		wg    sync.WaitGroup
+		stats = make([]failoverClientStat, nClients)
+		errs  = make(chan error, nClients)
+	)
+	for i := 0; i < nClients; i++ {
+		cl, err := client.New(client.Options{
+			Addr:            primaryAddr,
+			ReplicaAddrs:    []string{rs.addr},
+			DialTimeout:     500 * time.Millisecond,
+			MaxRetries:      2,
+			FailoverRetries: 12,
+			FailoverBase:    5 * time.Millisecond,
+			FailoverMax:     100 * time.Millisecond,
+			Seed:            uint64(trial*100 + i + 1),
+		})
+		if err != nil {
+			stop.Store(true)
+			wg.Wait()
+			return out, err
+		}
+		defer cl.Close()
+		wg.Add(1)
+		go func(i int, cl *client.Client) {
+			defer wg.Done()
+			st := &stats[i]
+			lastAck := time.Now()
+			for seq := int64(0); !stop.Load(); seq++ {
+				key := int64(trial)*1_000_000_000 + int64(i)*1_000_000 + seq
+				p := phase.Load()
+				_, err := cl.Exec("INSERT INTO failover VALUES (?, ?)", core.I(key), core.S("x"))
+				if err != nil {
+					continue // outage window; the gap clock keeps running
+				}
+				now := time.Now()
+				if gap := now.Sub(lastAck); gap > st.maxGap {
+					st.maxGap = gap
+				}
+				lastAck = now
+				if p == 0 {
+					st.ackedBefore++
+				} else {
+					st.ackedAfter++
+				}
+			}
+		}(i, cl)
+	}
+
+	// Phase 0: steady state on the old primary.
+	time.Sleep(d)
+
+	// Kill and promote; time-to-promote is kill-to-writable.
+	t0 := time.Now()
+	srv.Close()
+	var epoch uint64
+	for attempt := 0; ; attempt++ {
+		if epoch, err = rs.follower.Promote(); err == nil {
+			break
+		}
+		if attempt > 10 {
+			stop.Store(true)
+			wg.Wait()
+			return out, fmt.Errorf("promote: %w", err)
+		}
+	}
+	_ = epoch
+	rs.srv.Promote(replica.NewSource(rs.rep.Engine()))
+	out.TimeToPromoteMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	phase.Store(1)
+
+	// Phase 1: steady state on the promoted node, then stop.
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return out, err
+	default:
+	}
+
+	for i := range stats {
+		st := &stats[i]
+		if st.ackedAfter == 0 {
+			return out, fmt.Errorf("client %d never reconverged on the promoted node", i)
+		}
+		out.WriteGapMS = append(out.WriteGapMS, float64(st.maxGap)/float64(time.Millisecond))
+		out.AckedBefore += st.ackedBefore
+		out.AckedAfter += st.ackedAfter
+	}
+	return out, nil
+}

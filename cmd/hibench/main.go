@@ -16,6 +16,7 @@
 //	hibench -connect host:port -clients 8   # drive a remote server
 //	hibench -netlocal -clients 8            # loopback vs in-process
 //	hibench -replicas 2 -clients 8          # read fan-out across replicas
+//	hibench -failover -clients 4            # failover cost (promote + write gap)
 package main
 
 import (
@@ -44,10 +45,11 @@ func main() {
 		prepared = flag.Bool("prepared", false, "networked mode: use prepared statements (OpPrepare/OpExecStmt) instead of per-call SQL text")
 		trace    = flag.Bool("trace", false, "networked mode: trace every transaction and append a per-stage latency table to the report")
 		replicas = flag.Int("replicas", 0, "networked mode: spin N read replicas and measure SELECT fan-out scaling (writes BENCH_replica.json)")
+		failover = flag.Bool("failover", false, "networked mode: kill the primary under load, promote a replica, and measure time-to-promote and client write gaps (writes BENCH_failover.json)")
 	)
 	flag.Parse()
 
-	if *serve != "" || *connect != "" || *netlocal || *replicas > 0 {
+	if *serve != "" || *connect != "" || *netlocal || *replicas > 0 || *failover {
 		workers := *threads
 		if workers <= 0 {
 			workers = 8
@@ -58,6 +60,8 @@ func main() {
 		}
 		var err error
 		switch {
+		case *failover:
+			err = failoverBench(*clients, workers, d)
 		case *replicas > 0:
 			err = replBench(*replicas, *clients, workers, d)
 		case *serve != "":

@@ -86,6 +86,8 @@ func startReplicaStack(primaryAddr string, workers int) (*replicaStack, error) {
 			AppliedCSN:  f.AppliedCSN,
 			WaitCSN:     f.WaitCSN,
 		},
+		Epoch:        engine.Epoch,
+		ObserveEpoch: engine.ObserveEpoch,
 	})
 	if err != nil {
 		rep.Close()

@@ -21,6 +21,13 @@
 // requests are refused with the fatal wire code, and in-flight commits
 // finish durably before the process exits; the final metrics snapshot is
 // dumped to stderr so a scrape-less deployment still gets its numbers.
+//
+// A replica process (-replica-of) can be promoted to primary at runtime
+// with SIGUSR1 or POST /promote on the admin plane: the follower drains
+// a final catch-up, the engine seals the shipped log tail and starts
+// writing at a bumped epoch, and the wire server flips to the primary
+// role -- clients rediscover it through greetings, and the fenced old
+// primary refuses writes with the stale-epoch code.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -87,10 +95,13 @@ func main() {
 	}
 
 	var (
-		engine   *core.Engine
-		follower *replica.Follower
+		engine      *core.Engine
+		follower    *replica.Follower
+		roleMu      sync.Mutex
+		catalogSync func() error // replica mode: frontend catalog re-sync
 	)
 	role := "primary"
+	getRole := func() string { roleMu.Lock(); defer roleMu.Unlock(); return role }
 	if *replicaOf != "" {
 		// Replica mode: mirror the primary's PLogs into a fresh local
 		// SRSS deployment, open a read-only engine over the mirror, and
@@ -126,16 +137,34 @@ func main() {
 	if follower != nil {
 		// Adopt the primary's tables into the frontend catalog (the
 		// replica never runs DDL; its catalog is the recovered manifest).
-		for _, name := range engine.Tables() {
-			t, err := engine.Table(name)
-			if err != nil {
-				continue
+		// Replay keeps creating tables after bootstrap, so the sync
+		// repeats on a ticker below and once more during promotion.
+		syncCatalog := func() error {
+			var schemas []*core.Schema
+			for _, name := range engine.Tables() {
+				t, err := engine.Table(name)
+				if err != nil {
+					continue
+				}
+				schemas = append(schemas, t.Schema)
 			}
-			if err := front.Adopt("hiengine", t.Schema); err != nil {
-				fmt.Fprintln(os.Stderr, "hiserver: adopt:", err)
-				os.Exit(1)
-			}
+			_, err := front.AdoptAll("hiengine", schemas)
+			return err
 		}
+		if err := syncCatalog(); err != nil {
+			fmt.Fprintln(os.Stderr, "hiserver: adopt:", err)
+			os.Exit(1)
+		}
+		catalogSync = syncCatalog
+		go func() {
+			tick := time.NewTicker(*replicaPoll)
+			defer tick.Stop()
+			for range tick.C {
+				if err := syncCatalog(); err != nil {
+					fmt.Fprintln(os.Stderr, "hiserver: adopt:", err)
+				}
+			}
+		}()
 		follower.SetInterval(*replicaPoll)
 		follower.Start()
 		defer follower.Stop()
@@ -167,6 +196,8 @@ func main() {
 		Tracer:       tracer,
 		Chaos:        eng,
 		Stats:        func() string { return statsLine() + "\n" },
+		Epoch:        engine.Epoch,
+		ObserveEpoch: engine.ObserveEpoch,
 	}
 	if follower != nil {
 		scfg.Replica = &server.ReplicaConfig{
@@ -183,6 +214,50 @@ func main() {
 		os.Exit(1)
 	}
 
+	// promote transitions a replica process to primary: the follower seals
+	// its shipped log and the engine starts writing at a bumped epoch, then
+	// the wire server flips roles so greetings advertise the new primary.
+	// Serialized and idempotent; nil on a process started as primary.
+	var promote func() (uint64, error)
+	if follower != nil {
+		var promoteMu sync.Mutex
+		promote = func() (uint64, error) {
+			promoteMu.Lock()
+			defer promoteMu.Unlock()
+			epoch, err := follower.Promote()
+			if err != nil {
+				return 0, err
+			}
+			// The final catch-up drain may have applied DDL; make it
+			// visible before the first post-promotion statement lands.
+			if err := catalogSync(); err != nil {
+				return 0, fmt.Errorf("catalog sync: %w", err)
+			}
+			srv.Promote(replica.NewSource(engine))
+			roleMu.Lock()
+			role = "primary (promoted)"
+			roleMu.Unlock()
+			return epoch, nil
+		}
+	}
+
+	status := func() map[string]any {
+		st := map[string]any{
+			"role":      getRole(),
+			"epoch":     engine.Epoch(),
+			"fenced_by": engine.FencedBy(),
+			"fenced":    engine.Fenced(),
+		}
+		if follower != nil {
+			st["applied_csn"] = follower.AppliedCSN()
+			st["lag_csn"] = follower.LagCSN()
+			if err := follower.Err(); err != nil {
+				st["poll_error"] = err.Error()
+			}
+		}
+		return st
+	}
+
 	var adm *admin.Server
 	if *httpAddr != "" {
 		adm = admin.New(admin.Config{
@@ -191,9 +266,10 @@ func main() {
 			Info: map[string]string{
 				"addr":    *addr,
 				"profile": *profile,
-				"role":    role,
 				"primary": *replicaOf,
 			},
+			Status:  status,
+			Promote: promote,
 		})
 		aln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
@@ -230,6 +306,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hiserver: drain:", err)
 		}
 	}()
+
+	// SIGUSR1 promotes a replica process to primary (same path as the
+	// admin plane's POST /promote).
+	if promote != nil {
+		promoteSig := make(chan os.Signal, 1)
+		signal.Notify(promoteSig, syscall.SIGUSR1)
+		go func() {
+			for range promoteSig {
+				if epoch, err := promote(); err != nil {
+					fmt.Fprintln(os.Stderr, "hiserver: promote:", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "hiserver: promoted to primary at epoch %d\n", epoch)
+				}
+			}
+		}()
+	}
 
 	if follower != nil {
 		fmt.Fprintf(os.Stderr, "hiserver: read replica of %s; listening on %s\n", *replicaOf, *addr)

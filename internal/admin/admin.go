@@ -7,10 +7,13 @@
 //	/metrics        metrics in Prometheus text exposition format
 //	/statusz        JSON status: uptime, build info, full metrics snapshot
 //	/traces         recent/slow request traces as JSON (?min_us=N filters)
+//	/promote        POST: promote a replica process to primary
 //	/debug/pprof/   the standard Go profiling handlers
 //
-// The admin plane is read-only: it never mutates engine state, so exposing
-// it carries only information risk, not control risk.
+// The admin plane is read-only except /promote, the one control verb:
+// it is POST-only, wired only when the process can promote (a replica
+// with a follower), and idempotent -- promoting a primary returns its
+// current epoch. Everything else never mutates engine state.
 package admin
 
 import (
@@ -35,6 +38,13 @@ type Config struct {
 	Tracer *obs.Tracer
 	// Info adds static key/value pairs (version, addr, profile) to /statusz.
 	Info map[string]string
+	// Status supplies live key/value pairs (role, epoch, replication
+	// watermarks) merged into /statusz on each request (nil = omitted).
+	Status func() map[string]any
+	// Promote, when non-nil, enables POST /promote: it promotes the
+	// process to primary and returns the new epoch. Implementations must
+	// be idempotent (promoting a primary reports its current epoch).
+	Promote func() (uint64, error)
 }
 
 // Server serves the admin plane over HTTP.
@@ -52,6 +62,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
 	s.mux.HandleFunc("/traces", s.handleTraces)
+	s.mux.HandleFunc("/promote", s.handlePromote)
 	// pprof.Index routes the named profiles (heap, goroutine, block, ...)
 	// under the /debug/pprof/ prefix; the four below need explicit routes.
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -103,6 +114,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		GoVersion     string            `json:"go_version"`
 		Goroutines    int               `json:"goroutines"`
 		Info          map[string]string `json:"info,omitempty"`
+		Status        map[string]any    `json:"status,omitempty"`
 		Metrics       json.RawMessage   `json:"metrics,omitempty"`
 	}
 	st := statusz{
@@ -111,11 +123,36 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Goroutines:    runtime.NumGoroutine(),
 		Info:          s.cfg.Info,
 	}
+	if s.cfg.Status != nil {
+		st.Status = s.cfg.Status()
+	}
 	if s.cfg.Registry != nil {
 		st.Name = s.cfg.Registry.Name()
 		st.Metrics = json.RawMessage(s.cfg.Registry.Snapshot().JSON())
 	}
 	writeJSON(w, st)
+}
+
+// handlePromote promotes the process to primary (POST-only; the one
+// admin verb that mutates state). 404 on processes that cannot promote,
+// 405 on non-POST, 500 with the error text when promotion fails; on
+// success the JSON body reports the node's new primary epoch.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Promote == nil {
+		http.Error(w, "promote: not a promotable replica", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "promote: POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	epoch, err := s.cfg.Promote()
+	if err != nil {
+		http.Error(w, "promote: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{"promoted": true, "epoch": epoch})
 }
 
 // handleTraces returns the tracer's recent and slow rings, oldest first.

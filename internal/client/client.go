@@ -23,6 +23,15 @@
 //     server makes clients fail fast, not retry-storm.
 //   - A connection that times out, tears a frame, or yields any I/O error
 //     is discarded, never returned to the pool.
+//
+// When ReplicaAddrs is configured the client also handles failover: a
+// primary connection failure (or a stale-epoch / read-only refusal)
+// triggers primary rediscovery, probing the configured endpoints -- and
+// any PrimaryAddr hints their greetings carry -- with jittered
+// exponential backoff until a primary at the newest observed epoch
+// answers. Writes then resume against the promoted node with no
+// reconfiguration; if no primary is reachable within FailoverRetries
+// rounds, ErrNoPrimary surfaces.
 package client
 
 import (
@@ -45,6 +54,12 @@ var ErrClientClosed = errors.New("client: closed")
 
 // ErrStmtClosed is returned by operations on a closed Stmt.
 var ErrStmtClosed = errors.New("client: statement closed")
+
+// ErrNoPrimary is returned when primary rediscovery exhausts its retry
+// budget without finding a reachable primary at the newest observed
+// epoch. The cluster may still be mid-failover; a later call retries
+// rediscovery from scratch.
+var ErrNoPrimary = errors.New("client: no reachable primary")
 
 // Options configures a Client.
 type Options struct {
@@ -74,7 +89,20 @@ type Options struct {
 	// commit CSN as a read-your-writes token; a replica that cannot serve
 	// the statement (behind the token, unreachable, or refusing writes)
 	// falls back to the primary transparently.
+	//
+	// ReplicaAddrs are also the failover candidates: when the primary
+	// becomes unreachable or demotes, rediscovery probes them (and any
+	// PrimaryAddr their greetings name) for the new primary.
 	ReplicaAddrs []string
+	// FailoverRetries bounds primary-rediscovery rounds after a primary
+	// failure (default 8; failover runs only when ReplicaAddrs is
+	// non-empty). Each round probes every candidate once.
+	FailoverRetries int
+	// FailoverBase / FailoverMax shape the jittered backoff between
+	// rediscovery rounds: round i sleeps around FailoverBase<<i, capped
+	// at FailoverMax (defaults 25ms / 1s).
+	FailoverBase time.Duration
+	FailoverMax  time.Duration
 }
 
 func (o *Options) fill() {
@@ -101,6 +129,15 @@ func (o *Options) fill() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.FailoverRetries <= 0 {
+		o.FailoverRetries = 8
+	}
+	if o.FailoverBase <= 0 {
+		o.FailoverBase = 25 * time.Millisecond
+	}
+	if o.FailoverMax <= 0 {
+		o.FailoverMax = time.Second
+	}
 }
 
 // Client is a pooled wire-protocol client for one server.
@@ -117,17 +154,26 @@ type Client struct {
 	rr       atomic.Uint64 // round-robin cursor over replicas
 	greeting atomic.Pointer[Greeting]
 
+	// primary is the current write endpoint, initially Options.Addr and
+	// repointed by failover; maxEpoch latches the highest primary epoch
+	// any greeting has claimed, so rediscovery never adopts (and probes
+	// actively fence) a stale pre-failover primary.
+	primary  atomic.Pointer[string]
+	maxEpoch atomic.Uint64
+
 	mu     sync.Mutex
 	idle   []*wconn
 	rng    *chaos.Rand
 	closed bool
 }
 
-// Greeting is the server's connection greeting: its role and, for a
-// replica, where the write endpoint lives.
+// Greeting is the server's connection greeting: its role, its primary
+// epoch (0 from servers that make no epoch claim), and, for a replica,
+// where the write endpoint lives.
 type Greeting struct {
 	Role        byte // wire.RolePrimary or wire.RoleReplica
 	PrimaryAddr string
+	Epoch       uint64
 }
 
 // New builds a client. No connection is dialed until first use.
@@ -142,6 +188,8 @@ func New(opts Options) (*Client, error) {
 		rng:    chaos.NewRand(opts.Seed, "client.retry"),
 		csn:    new(atomic.Uint64),
 	}
+	addr := opts.Addr
+	c.primary.Store(&addr)
 	for i := 0; i < opts.PoolSize; i++ {
 		c.tokens <- struct{}{}
 	}
@@ -183,6 +231,23 @@ func (c *Client) Greeting() *Greeting { return c.greeting.Load() }
 // LastCSN returns the highest commit CSN this client has observed: the
 // read-your-writes token it presents to replicas.
 func (c *Client) LastCSN() uint64 { return c.csn.Load() }
+
+// PrimaryAddr returns the address the client currently writes to:
+// Options.Addr until failover repoints it at a promoted node.
+func (c *Client) PrimaryAddr() string { return *c.primary.Load() }
+
+// noteEpoch latches a greeting's epoch claim (monotonic max; 0 no-op).
+func (c *Client) noteEpoch(v uint64) {
+	if v == 0 {
+		return
+	}
+	for {
+		cur := c.maxEpoch.Load()
+		if v <= cur || c.maxEpoch.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
 
 // backoff sleeps the jittered exponential backoff for attempt (0-based).
 func (c *Client) backoff(attempt int) {
@@ -245,17 +310,19 @@ func (c *Client) conn() (*wconn, error) {
 }
 
 func (c *Client) dial() (*wconn, error) {
-	nc, err := net.DialTimeout("tcp", c.opts.Addr, c.opts.DialTimeout)
+	addr := *c.primary.Load()
+	nc, err := net.DialTimeout("tcp", addr, c.opts.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", c.opts.Addr, err)
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	w := &wconn{
 		nc:      nc,
 		br:      bufio.NewReader(nc),
 		pending: make(map[uint64]chan response),
 		csn:     c.csn,
-		onGreeting: func(role byte, primary string) {
-			c.greeting.Store(&Greeting{Role: role, PrimaryAddr: primary})
+		onGreeting: func(role byte, primary string, epoch uint64) {
+			c.noteEpoch(epoch)
+			c.greeting.Store(&Greeting{Role: role, PrimaryAddr: primary, Epoch: epoch})
 		},
 	}
 	go w.readLoop()
@@ -322,13 +389,31 @@ func (c *Client) execReplica(sql string, args []core.Value) (*wire.Result, error
 // retryable wire errors with backoff. When the client has replicas,
 // read-only statements route to a replica first and fall back to the
 // primary if the replica cannot serve them (behind the read-your-writes
-// token, unreachable, or read-only refusal).
+// token, unreachable, or read-only refusal); and a primary failure that
+// signals failover (connection loss, stale epoch, demotion) triggers
+// primary rediscovery followed by one replay of the statement. The
+// replay is at-least-once: a write whose acknowledgement was lost in
+// the failover may be applied twice (for inserts, the replay then
+// surfaces CodeDuplicate).
 func (c *Client) Exec(sql string, args ...core.Value) (*wire.Result, error) {
 	if len(c.replicas) > 0 && isReadOnlySQL(sql) {
 		if res, err := c.execReplica(sql, args); err == nil {
 			return res, nil
 		}
 	}
+	res, err := c.execPrimary(sql, args)
+	if err == nil || !c.failoverEnabled() || !failoverable(err) {
+		return res, err
+	}
+	if ferr := c.rediscoverPrimary(); ferr != nil {
+		return nil, ferr
+	}
+	return c.execPrimary(sql, args)
+}
+
+// execPrimary runs one autocommit statement against the current primary,
+// retrying retryable wire errors with backoff.
+func (c *Client) execPrimary(sql string, args []core.Value) (*wire.Result, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		s, err := c.Session()
@@ -347,6 +432,158 @@ func (c *Client) Exec(sql string, args ...core.Value) (*wire.Result, error) {
 		}
 		c.backoff(attempt)
 	}
+}
+
+// --- failover --------------------------------------------------------------
+
+// failoverEnabled reports whether the client performs primary
+// rediscovery: only when it knows other endpoints to probe.
+func (c *Client) failoverEnabled() bool {
+	return len(c.opts.ReplicaAddrs) > 0 && c.opts.FailoverRetries > 0
+}
+
+// failoverable reports whether err signals that the current primary is
+// gone or demoted, so rediscovery (not retry-in-place) is the remedy:
+// connection-level I/O failures, and the wire codes a losing-side node
+// answers with after a failover (stale epoch, read-only demotion, closed
+// engine). Retryable codes (conflict, busy) and statement errors stay
+// with the current primary.
+func failoverable(err error) bool {
+	if err == nil || errors.Is(err, ErrClientClosed) {
+		return false
+	}
+	var we *wire.Error
+	if errors.As(err, &we) {
+		switch we.Code {
+		case wire.CodeStaleEpoch, wire.CodeReadOnly, wire.CodeClosed:
+			return true
+		}
+		return false
+	}
+	return true // dial / read / write / timeout: the connection is gone
+}
+
+// rediscoverPrimary probes the candidate endpoints for a primary at the
+// newest observed epoch, following PrimaryAddr hints from replica
+// greetings, with jittered exponential backoff between rounds. On
+// success the client's write endpoint is repointed and pooled
+// connections to the old primary are discarded. Exhausting
+// FailoverRetries rounds returns ErrNoPrimary.
+func (c *Client) rediscoverPrimary() error {
+	var lastErr error
+	for round := 0; round < c.opts.FailoverRetries; round++ {
+		// Candidate queue: current primary (it may have come back), the
+		// configured endpoints, plus any greeting hints discovered while
+		// probing this round.
+		queue := []string{*c.primary.Load(), c.opts.Addr}
+		queue = append(queue, c.opts.ReplicaAddrs...)
+		if g := c.greeting.Load(); g != nil && g.PrimaryAddr != "" {
+			queue = append(queue, g.PrimaryAddr)
+		}
+		seen := make(map[string]bool)
+		var bestAddr string
+		var best *Greeting
+		for i := 0; i < len(queue); i++ {
+			addr := queue[i]
+			if addr == "" || seen[addr] {
+				continue
+			}
+			seen[addr] = true
+			g, err := c.probe(addr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c.noteEpoch(g.Epoch)
+			if g.PrimaryAddr != "" && !seen[g.PrimaryAddr] {
+				queue = append(queue, g.PrimaryAddr)
+			}
+			if g.Role == wire.RolePrimary && (best == nil || g.Epoch > best.Epoch) {
+				bestAddr, best = addr, g
+			}
+		}
+		// Adopt only a primary at the newest epoch any greeting has ever
+		// claimed: a not-yet-fenced pre-failover primary presents a lower
+		// epoch and is skipped (and was fence-assisted by the probe).
+		if best != nil && best.Epoch >= c.maxEpoch.Load() {
+			c.adoptPrimary(bestAddr, best)
+			return nil
+		}
+		c.failoverBackoff(round)
+	}
+	if lastErr != nil {
+		return fmt.Errorf("%w after %d rounds (last error: %v)",
+			ErrNoPrimary, c.opts.FailoverRetries, lastErr)
+	}
+	return fmt.Errorf("%w after %d rounds", ErrNoPrimary, c.opts.FailoverRetries)
+}
+
+// probe dials addr, reads its greeting, and closes the connection. A
+// probed node claiming a primary role at an epoch below the client's
+// observed maximum is fence-assisted: the probe presents the newer epoch
+// over the replication hello before hanging up, demoting the stale
+// primary even before the promoted node's own fencer reaches it.
+func (c *Client) probe(addr string) (*Greeting, error) {
+	nc, err := net.DialTimeout("tcp", addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: probe %s: %w", addr, err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(c.opts.DialTimeout))
+	fr := wire.NewFrameReader(bufio.NewReader(nc), false)
+	f, err := fr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("client: probe %s: %w", addr, err)
+	}
+	code, msg, body, err := wire.DecodeResponse(f.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("client: probe %s: %w", addr, err)
+	}
+	if code != wire.CodeOK {
+		return nil, fmt.Errorf("client: probe %s: %w", addr, wire.FromCode(code, msg))
+	}
+	role, primary, epoch, ok := wire.DecodeGreeting(body)
+	if !ok {
+		return nil, fmt.Errorf("client: probe %s: malformed greeting", addr)
+	}
+	if max := c.maxEpoch.Load(); role == wire.RolePrimary && epoch < max {
+		buf := wire.AppendFrame(nil, wire.Frame{
+			RequestID: 1,
+			Op:        wire.OpReplHello,
+			Payload:   wire.EncodeReplHelloReq(max),
+		})
+		if _, err := nc.Write(buf); err == nil {
+			_, _ = fr.Read() // best effort: wait for the fence to land
+		}
+	}
+	return &Greeting{Role: role, PrimaryAddr: primary, Epoch: epoch}, nil
+}
+
+// adoptPrimary repoints the client's write endpoint and drops pooled
+// connections to the old one.
+func (c *Client) adoptPrimary(addr string, g *Greeting) {
+	c.primary.Store(&addr)
+	c.greeting.Store(g)
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, w := range idle {
+		w.fail(errors.New("client: primary changed"))
+	}
+}
+
+// failoverBackoff sleeps the jittered rediscovery backoff for round
+// (0-based).
+func (c *Client) failoverBackoff(round int) {
+	d := c.opts.FailoverBase << uint(round)
+	if d > c.opts.FailoverMax || d <= 0 {
+		d = c.opts.FailoverMax
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Uint64() % uint64(d/2+1))
+	c.mu.Unlock()
+	time.Sleep(d/2 + j)
 }
 
 // --- session ---------------------------------------------------------------
@@ -838,7 +1075,7 @@ type wconn struct {
 	// csn is the owning client's shared read-your-writes token; commit
 	// CSNs riding response bodies fold into it (monotonic max).
 	csn        *atomic.Uint64
-	onGreeting func(role byte, primary string)
+	onGreeting func(role byte, primary string, epoch uint64)
 
 	writeMu sync.Mutex
 
@@ -985,8 +1222,8 @@ func (w *wconn) readLoop() {
 				w.fail(wire.FromCode(code, msg))
 				return
 			}
-			if role, primary, gok := wire.DecodeGreeting(body); gok && w.onGreeting != nil {
-				w.onGreeting(role, primary)
+			if role, primary, epoch, gok := wire.DecodeGreeting(body); gok && w.onGreeting != nil {
+				w.onGreeting(role, primary, epoch)
 			}
 			continue
 		}

@@ -266,10 +266,19 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 	var ckptCSN uint64
 	var fenced map[uint16]bool
 	haveCkpt := false
+	var epoch, fencedBy uint64
 	if err := scanManifest(manifest, func(typ byte, payload []byte) error {
 		switch typ {
 		case manifestWAL:
 			copy(walMeta[:], payload)
+		case manifestEpoch:
+			if e, n := binary.Uvarint(payload); n > 0 && e > epoch {
+				epoch = e
+			}
+		case manifestFence:
+			if f, n := binary.Uvarint(payload); n > 0 && f > fencedBy {
+				fencedBy = f
+			}
 		case manifestTable:
 			id, n := binary.Uvarint(payload)
 			if n <= 0 {
@@ -325,6 +334,11 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 	if walMeta.IsZero() {
 		return nil, nil, errors.New("core: manifest has no WAL record")
 	}
+	if epoch == 0 {
+		epoch = 1 // pre-epoch manifest: the original lineage
+	}
+	e.epoch.Store(epoch)
+	e.fencedBy.Store(fencedBy)
 
 	walCfg := wal.Config{
 		Service:     e.svc,
@@ -339,7 +353,7 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 	}
 	var log *wal.Manager
 	if opt.readOnly {
-		e.readOnly = true
+		e.readOnly.Store(true)
 		log, err = wal.OpenReadOnly(walCfg, walMeta)
 	} else {
 		log, err = wal.Reopen(walCfg, walMeta)

@@ -53,6 +53,14 @@ func (t *Txn) commitStart(durable func(error)) (bool, error) {
 		_ = t.Abort()
 		return false, ErrDurabilityLost
 	}
+	// A node fenced mid-transaction must not acknowledge buffered writes:
+	// the new lineage would lose them.
+	if len(t.writes) > 0 {
+		if err := t.e.writeBlocked(); err != nil {
+			_ = t.Abort()
+			return false, err
+		}
+	}
 	// Register-and-report (Section 5.2): wait for every transaction whose
 	// uncommitted data we read; abort if any of them aborted.
 	for _, dep := range t.deps {

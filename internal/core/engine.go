@@ -233,8 +233,18 @@ type Engine struct {
 
 	// readOnly marks replica engines: write operations are rejected, and
 	// index scans always verify entry keys (a follower applies no GC, so
-	// stale entries from key-changing updates can linger).
-	readOnly bool
+	// stale entries from key-changing updates can linger). Atomic because
+	// promotion clears it while reads are in flight.
+	readOnly atomic.Bool
+
+	// epoch is the primary epoch of this node's write lineage, persisted in
+	// the manifest and bumped on every promotion. fencedBy latches the
+	// highest epoch observed from another node; once it exceeds epoch the
+	// node is fenced -- demoted to read-only, refusing writes and repl
+	// fetches with ErrStaleEpoch -- so a revived old primary can never
+	// accept acked writes the new lineage would lose.
+	epoch    atomic.Uint64
+	fencedBy atomic.Uint64
 }
 
 // Open creates a fresh engine instance.
@@ -276,6 +286,11 @@ func Open(cfg Config) (*Engine, error) {
 	e.log = log
 	metaID := log.Directory().MetaID()
 	if err := e.appendManifest(manifestWAL, metaID[:]); err != nil {
+		return nil, err
+	}
+	// A fresh primary starts its write lineage at epoch 1.
+	e.epoch.Store(1)
+	if err := e.appendManifest(manifestEpoch, binary.AppendUvarint(nil, 1)); err != nil {
 		return nil, err
 	}
 	if cfg.RepairInterval > 0 {
@@ -342,6 +357,56 @@ func (e *Engine) CurrentCSN() uint64 { return uint64(e.clk.Now()) }
 // Workers returns the session-slot count.
 func (e *Engine) Workers() int { return len(e.workers) }
 
+// Epoch returns the node's primary epoch: the lineage number of the write
+// history it serves (or, for a replica, follows).
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// FencedBy returns the highest foreign primary epoch this node has
+// observed (0 if none).
+func (e *Engine) FencedBy() uint64 { return e.fencedBy.Load() }
+
+// Fenced reports whether the node has observed a newer primary lineage
+// than its own and must therefore refuse writes and repl fetches.
+func (e *Engine) Fenced() bool { return e.fencedBy.Load() > e.epoch.Load() }
+
+// ReadOnly reports whether the engine rejects writes (replica mode).
+func (e *Engine) ReadOnly() bool { return e.readOnly.Load() }
+
+// ObserveEpoch folds a primary epoch observed from a remote node into the
+// fencing state and reports whether this node is now fenced. Observing an
+// epoch above our own demotes the node: the latch is monotonic and
+// persisted to the manifest (best-effort -- fencing is enforced from the
+// atomic even if the append fails) so a restart cannot forget it.
+func (e *Engine) ObserveEpoch(remote uint64) bool {
+	if remote > e.epoch.Load() {
+		for {
+			cur := e.fencedBy.Load()
+			if remote <= cur {
+				break
+			}
+			if e.fencedBy.CompareAndSwap(cur, remote) {
+				_ = e.appendManifest(manifestFence, binary.AppendUvarint(nil, remote))
+				break
+			}
+		}
+	}
+	return e.Fenced()
+}
+
+// writeBlocked classifies why a write must be refused right now: a fenced
+// node surfaces the stale-epoch sentinel (rediscover the primary), a
+// replica the read-only one (redirect to the primary). nil means writes
+// are admitted.
+func (e *Engine) writeBlocked() error {
+	if e.Fenced() {
+		return ErrStaleEpoch
+	}
+	if e.readOnly.Load() {
+		return ErrReadOnlyReplica
+	}
+	return nil
+}
+
 // Close shuts down the engine. In-flight commits are drained first.
 func (e *Engine) Close() {
 	if e.closed.Swap(true) {
@@ -360,6 +425,8 @@ const (
 	manifestWAL        = 'W' // payload: 24-byte WAL metadata PLog ID
 	manifestTable      = 'T' // payload: uvarint tableID | schema JSON
 	manifestCheckpoint = 'C' // payload: 24-byte ckpt PLog ID | uvarint csn | uvarint entries
+	manifestEpoch      = 'E' // payload: uvarint primary epoch of this lineage
+	manifestFence      = 'F' // payload: uvarint foreign epoch this node is fenced by
 )
 
 func (e *Engine) appendManifest(typ byte, payload []byte) error {
@@ -424,6 +491,16 @@ func (e *Engine) appendManifest(typ byte, payload []byte) error {
 	}
 	if e.lastCkptPayload != nil {
 		if werr := write(manifestCheckpoint, e.lastCkptPayload); werr != nil {
+			return werr
+		}
+	}
+	if ep := e.epoch.Load(); ep != 0 {
+		if werr := write(manifestEpoch, binary.AppendUvarint(nil, ep)); werr != nil {
+			return werr
+		}
+	}
+	if fb := e.fencedBy.Load(); fb != 0 {
+		if werr := write(manifestFence, binary.AppendUvarint(nil, fb)); werr != nil {
 			return werr
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"sync"
 
@@ -20,16 +21,23 @@ import (
 // ErrReadOnlyReplica is returned for write operations on a replica.
 var ErrReadOnlyReplica = errors.New("core: engine is a read-only replica")
 
+// ErrStaleEpoch is returned when a node refuses work because a newer
+// primary epoch than its own has been observed: the caller is talking to
+// (or is) the losing side of a failover and must rediscover the current
+// primary rather than retry here.
+var ErrStaleEpoch = errors.New("core: stale primary epoch")
+
 // Replica is a read-only follower of a primary engine sharing the same
 // SRSS deployment.
 type Replica struct {
 	e *Engine
 
-	mu      sync.Mutex
-	applied map[uint16]int64 // segment -> next unread offset
-	fenced  map[uint16]bool  // segments covered by the recovery checkpoint
-	catalog map[uint32]*Table
-	maxCSN  uint64
+	mu       sync.Mutex
+	applied  map[uint16]int64 // segment -> next unread offset
+	fenced   map[uint16]bool  // segments covered by the recovery checkpoint
+	catalog  map[uint32]*Table
+	maxCSN   uint64
+	manifest srss.PLogID // current manifest (the primary migrates it; TrackManifest follows)
 }
 
 // OpenReplica spawns a read-only replica from the primary's manifest. The
@@ -56,7 +64,68 @@ func OpenReplica(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Repli
 		r.catalog[id] = t
 	}
 	e.mu.RUnlock()
+	r.manifest = manifestID
 	return r, stats, nil
+}
+
+// TrackManifest records the primary's current manifest PLog ID so catalog
+// refreshes read the live manifest even after the primary migrates it to a
+// fresh PLog. Followers call this once per poll from the hello response.
+func (r *Replica) TrackManifest(id srss.PLogID) {
+	if id.IsZero() {
+		return
+	}
+	r.mu.Lock()
+	r.manifest = id
+	r.mu.Unlock()
+}
+
+// refreshCatalogLocked re-scans the manifest for table records the replica
+// has not built yet -- DDL that ran on the primary after this replica
+// recovered. New tables are registered in the engine catalog (so reads and
+// a future promotion see them) and in the replay catalog. Requires r.mu.
+func (r *Replica) refreshCatalogLocked() (int, error) {
+	p, err := r.e.svc.Open(r.manifest)
+	if err != nil {
+		return 0, err
+	}
+	added := 0
+	e := r.e
+	err = scanManifest(p, func(typ byte, payload []byte) error {
+		if typ != manifestTable {
+			return nil
+		}
+		id64, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return errors.New("core: corrupt table manifest record")
+		}
+		id := uint32(id64)
+		if _, known := r.catalog[id]; known {
+			return nil
+		}
+		s, err := unmarshalSchema(payload[n:])
+		if err != nil {
+			return err
+		}
+		e.mu.Lock()
+		t, dup := e.tablesByID[id]
+		if !dup {
+			if t, err = e.buildTable(id, s); err != nil {
+				e.mu.Unlock()
+				return err
+			}
+			e.tables[s.Name] = t
+			e.tablesByID[id] = t
+			if id > e.nextTable {
+				e.nextTable = id
+			}
+			added++
+		}
+		e.mu.Unlock()
+		r.catalog[id] = t
+		return nil
+	})
+	return added, err
 }
 
 // Engine returns the replica's engine for read transactions. Writes fail
@@ -86,12 +155,29 @@ func (r *Replica) CatchUp() (int64, error) {
 		return 0, err
 	}
 	var applied int64
+	refreshed := false
 	for _, seg := range r.e.log.Segments() {
 		if r.fenced[seg] {
 			continue
 		}
 		from := r.applied[seg]
 		next, err := r.e.log.ScanSegmentFrom(seg, from, func(addr wal.Addr, rec wal.Record) bool {
+			if _, known := r.catalog[rec.Table]; !known {
+				// DDL ran on the primary after this replica recovered.
+				// The manifest 'T' record precedes any WAL record for the
+				// table, so one refresh per pass resolves it -- unless the
+				// manifest bytes simply have not shipped yet, in which
+				// case stop HERE (offset stays at this record) and retry
+				// next pass. Skipping would silently drop the row and
+				// advance the watermark over an unapplied commit.
+				if !refreshed {
+					refreshed = true
+					_, _ = r.refreshCatalogLocked()
+				}
+				if _, known = r.catalog[rec.Table]; !known {
+					return false
+				}
+			}
 			if r.applyFollower(addr, rec) {
 				applied++
 			}
@@ -117,15 +203,56 @@ func (r *Replica) CatchUp() (int64, error) {
 	return applied, nil
 }
 
+// Promote transitions the replica into a writable primary engine -- the
+// paper's "promotion = finish replay, then start writing". The shipped
+// log's tail is sealed and group-commit streams start on fresh segments
+// (wal.Manager.Promote); the background repairer starts if configured.
+// observed is the highest foreign primary epoch seen while following; the
+// new lineage's epoch is one past the max of it and the local (recovered)
+// epoch, persisted in the manifest BEFORE the first write is admitted so a
+// crash right after promotion still recovers into the new lineage.
+// Idempotent: promoting an already-writable replica returns the current
+// epoch. The caller must have stopped follower application and drained a
+// final CatchUp first.
+func (r *Replica) Promote(observed uint64) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.e
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	if !e.readOnly.Load() {
+		return e.Epoch(), nil
+	}
+	if err := e.log.Promote(func(id srss.PLogID) error {
+		return e.appendManifest(manifestWAL, id[:])
+	}); err != nil {
+		return 0, err
+	}
+	epoch := e.epoch.Load()
+	if observed > epoch {
+		epoch = observed
+	}
+	epoch++
+	if err := e.appendManifest(manifestEpoch, binary.AppendUvarint(nil, epoch)); err != nil {
+		return 0, err
+	}
+	e.epoch.Store(epoch)
+	if e.cfg.RepairInterval > 0 && e.stopRepair == nil {
+		e.stopRepair = e.svc.StartRepairer(e.cfg.RepairInterval)
+	}
+	e.readOnly.Store(false)
+	return epoch, nil
+}
+
 // applyFollower applies one log record on the replica: newest-CSN-wins into
 // the PIA plus index maintenance (recovery defers index work to a bulk
 // rebuild; a live follower must keep indexes current incrementally).
 func (r *Replica) applyFollower(addr wal.Addr, rec wal.Record) bool {
 	t, ok := r.catalog[rec.Table]
 	if !ok {
-		// A table created on the primary after the replica spawned; pick
-		// it up from the manifest on the next full refresh. (Catalog DDL
-		// following is out of scope; skip its records.)
+		// Unreachable from CatchUp (it refreshes the catalog and halts
+		// the scan on unknown tables before applying); kept as a guard.
 		return false
 	}
 	if !applyReplay(map[uint32]*Table{rec.Table: t}, addr, rec) {

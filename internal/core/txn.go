@@ -307,7 +307,7 @@ func (t *Txn) scanEncoded(tbl *Table, idx int, fromK, toK []byte, fn func(rid RI
 		// A single-version chain whose head is the visible version cannot
 		// have stale entries: GC removes stale keys before pruning chains
 		// to depth one, so the verification is skipped on that fast path.
-		if t.e.readOnly || v != head || head.next.Load() != nil {
+		if t.e.readOnly.Load() || v != head || head.next.Load() != nil {
 			kbuf, err = tbl.indexKeyAppend(kbuf[:0], idx, row, rid)
 			if err != nil {
 				scanErr = err
@@ -334,8 +334,8 @@ func (t *Txn) Insert(tbl *Table, row Row) (RID, error) {
 	if t.finished {
 		return 0, ErrTxnDone
 	}
-	if t.e.readOnly {
-		return 0, ErrReadOnlyReplica
+	if err := t.e.writeBlocked(); err != nil {
+		return 0, err
 	}
 	if len(row) != len(tbl.Schema.Columns) {
 		return 0, fmt.Errorf("core: row arity %d != %d columns", len(row), len(tbl.Schema.Columns))
@@ -482,8 +482,8 @@ func (t *Txn) Update(tbl *Table, rid RID, row Row) error {
 	if t.finished {
 		return ErrTxnDone
 	}
-	if t.e.readOnly {
-		return ErrReadOnlyReplica
+	if err := t.e.writeBlocked(); err != nil {
+		return err
 	}
 	if len(row) != len(tbl.Schema.Columns) {
 		return fmt.Errorf("core: row arity %d != %d columns", len(row), len(tbl.Schema.Columns))
@@ -549,8 +549,8 @@ func (t *Txn) Delete(tbl *Table, rid RID) error {
 	if t.finished {
 		return ErrTxnDone
 	}
-	if t.e.readOnly {
-		return ErrReadOnlyReplica
+	if err := t.e.writeBlocked(); err != nil {
+		return err
 	}
 	oldRow, head, err := t.fetchForWrite(tbl, rid)
 	if err != nil {

@@ -29,11 +29,31 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hiengine/internal/chaos"
 	"hiengine/internal/core"
 	"hiengine/internal/obs"
 	"hiengine/internal/srss"
 	"hiengine/internal/wire"
 )
+
+// Chaos sites on the replication path (see internal/chaos). The failover
+// torture harness arms these to tear shipping mid-chunk, fail catch-up
+// application, and fail promotion mid-step.
+const (
+	// SiteShipFetch fires before each log-shipping fetch round trip.
+	SiteShipFetch = "replica.ship.fetch"
+	// SiteApply fires before each follower catch-up application pass.
+	SiteApply = "replica.apply"
+	// SitePromote fires mid-promotion: after the final catch-up drain,
+	// before the engine transition.
+	SitePromote = "replica.promote"
+)
+
+func init() {
+	chaos.RegisterSite(SiteShipFetch, "before each log-shipping fetch round trip")
+	chaos.RegisterSite(SiteApply, "before each follower catch-up application pass")
+	chaos.RegisterSite(SitePromote, "mid-promotion, between final drain and engine transition")
+}
 
 // --- primary side -----------------------------------------------------------
 
@@ -123,11 +143,38 @@ type Shipper struct {
 	// them mid-poll.
 	helloCSN atomic.Uint64
 	lagBytes atomic.Int64
+
+	// epoch is the highest primary epoch observed in hello responses,
+	// presented on every hello/fetch so a stale server can detect it is
+	// fenced. Atomic: status surfaces read it off the shipping goroutine.
+	epoch atomic.Uint64
+
+	// chaos (nil = inert) arms the replica.ship.fetch site.
+	chaos *chaos.Engine
 }
 
 // NewShipper ships from the primary at addr into svc.
 func NewShipper(addr string, svc *srss.Service) *Shipper {
-	return &Shipper{addr: addr, svc: svc, timeout: 10 * time.Second}
+	sh := &Shipper{addr: addr, svc: svc, timeout: 10 * time.Second}
+	if svc != nil {
+		sh.chaos = svc.Chaos()
+	}
+	return sh
+}
+
+// Epoch returns the highest primary epoch observed so far.
+func (sh *Shipper) Epoch() uint64 { return sh.epoch.Load() }
+
+// ObserveEpoch raises the shipper's observed epoch (monotonic). Callers
+// seed it with the replica's recovered epoch so the first hello already
+// presents the lineage being followed.
+func (sh *Shipper) ObserveEpoch(e uint64) {
+	for {
+		cur := sh.epoch.Load()
+		if e <= cur || sh.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
 }
 
 // Close drops the connection. The next round trip redials.
@@ -176,15 +223,26 @@ func (sh *Shipper) roundTrip(op wire.Op, payload []byte) ([]byte, error) {
 	}
 }
 
-// Hello fetches the primary's manifest identity and current CSN.
+// Hello fetches the primary's manifest identity and current CSN,
+// presenting the shipper's observed epoch. A primary answering with a
+// LOWER epoch than one already observed is a revived old primary: the
+// hello fails with core.ErrStaleEpoch so the follower never applies a
+// superseded lineage's log.
 func (sh *Shipper) Hello() (srss.PLogID, uint64, error) {
-	body, err := sh.roundTrip(wire.OpReplHello, nil)
+	body, err := sh.roundTrip(wire.OpReplHello, wire.EncodeReplHelloReq(sh.Epoch()))
 	if err != nil {
 		return srss.PLogID{}, 0, err
 	}
-	m, csn, err := wire.DecodeReplHello(body)
+	m, csn, epoch, err := wire.DecodeReplHello(body)
 	if err != nil {
 		return srss.PLogID{}, 0, err
+	}
+	if epoch != 0 {
+		if cur := sh.Epoch(); epoch < cur {
+			return srss.PLogID{}, 0, fmt.Errorf("replica: primary %s at epoch %d, already observed %d: %w",
+				sh.addr, epoch, cur, core.ErrStaleEpoch)
+		}
+		sh.ObserveEpoch(epoch)
 	}
 	sh.manifest = m
 	sh.helloCSN.Store(csn)
@@ -275,7 +333,11 @@ func (sh *Shipper) shipOne(st wire.PLogStat) (shipped, behind int64, err error) 
 }
 
 func (sh *Shipper) fetch(id srss.PLogID, off int64, max int) (wire.PLogStat, []byte, error) {
-	body, err := sh.roundTrip(wire.OpReplFetch, wire.EncodeReplFetch(id, off, max))
+	if err := sh.chaos.Check(SiteShipFetch); err != nil {
+		sh.Close() // injected tear: drop the conn like a real network fault
+		return wire.PLogStat{}, nil, err
+	}
+	body, err := sh.roundTrip(wire.OpReplFetch, wire.EncodeReplFetch(id, off, max, sh.Epoch()))
 	if err != nil {
 		return wire.PLogStat{}, nil, err
 	}
@@ -289,6 +351,7 @@ type Follower struct {
 	sh       *Shipper
 	rep      *core.Replica
 	interval time.Duration
+	chaos    *chaos.Engine
 
 	// pollMu serializes Poll rounds (the shipper connection is not safe
 	// for concurrent use); the network phase runs under it alone, so
@@ -299,10 +362,17 @@ type Follower struct {
 	watermark uint64
 	target    uint64        // primary CSN at last hello
 	wake      chan struct{} // closed and replaced on each watermark advance
+	started   bool
+	promoted  bool
 
-	stop chan struct{}
-	done chan struct{}
-	err  error
+	stop      chan struct{}
+	stopOnce  sync.Once
+	done      chan struct{}
+	fenceStop chan struct{}
+	fenceOnce sync.Once
+	err       error
+
+	mPollErrs *obs.Counter
 }
 
 // NewFollower binds a shipper and an open core.Replica into a polling
@@ -316,18 +386,33 @@ func NewFollower(sh *Shipper, rep *core.Replica, interval time.Duration, reg *ob
 		sh:        sh,
 		rep:       rep,
 		interval:  interval,
+		chaos:     rep.Engine().Service().Chaos(),
 		watermark: rep.AppliedCSN(),
 		target:    sh.HelloCSN(),
 		wake:      make(chan struct{}),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
+		fenceStop: make(chan struct{}),
 	}
+	// Present at least the lineage we recovered from on every exchange.
+	sh.ObserveEpoch(rep.Engine().Epoch())
+	f.mPollErrs = reg.Counter("replica.poll_errors")
 	if reg != nil {
 		reg.GaugeFunc("replica.applied_csn", func() int64 { return int64(f.AppliedCSN()) })
 		reg.GaugeFunc("replica.lag_csn", func() int64 { return f.LagCSN() })
 		reg.GaugeFunc("replica.lag_bytes", func() int64 { return f.sh.LagBytes() })
 	}
 	return f
+}
+
+// Epoch returns the highest primary epoch this node knows: its own
+// engine's (bumped by promotion) or the highest observed while shipping.
+func (f *Follower) Epoch() uint64 {
+	e := f.rep.Engine().Epoch()
+	if o := f.sh.Epoch(); o > e {
+		e = o
+	}
+	return e
 }
 
 // SetInterval adjusts the poll cadence. Call before Start.
@@ -339,21 +424,50 @@ func (f *Follower) SetInterval(d time.Duration) {
 
 // Start launches the follow loop.
 func (f *Follower) Start() {
+	f.mu.Lock()
+	if f.started {
+		f.mu.Unlock()
+		return
+	}
+	f.started = true
+	f.mu.Unlock()
 	go f.run()
 }
 
 func (f *Follower) run() {
 	defer close(f.done)
-	tick := time.NewTicker(f.interval)
-	defer tick.Stop()
+	// Consecutive poll errors back off exponentially (jittered, capped at
+	// ~10x the configured interval) so a dead primary doesn't produce a
+	// tight dial-fail loop; a clean round snaps back to the base cadence.
+	rng := chaos.NewRand(f.rep.Engine().Service().Chaos().Seed(), "replica.follower.backoff")
+	consecutive := 0
 	for {
 		// Poll errors are transient (the primary may be restarting or
-		// mid-drop): Err keeps the last one visible; retry next tick.
-		_ = f.Poll()
+		// mid-drop): Err keeps the last one visible; retry after backoff.
+		if err := f.Poll(); err != nil {
+			consecutive++
+		} else {
+			consecutive = 0
+		}
+		d := f.interval
+		if consecutive > 0 {
+			shift := consecutive - 1
+			if shift > 4 {
+				shift = 4
+			}
+			d = f.interval << shift
+			if max := 10 * f.interval; d > max {
+				d = max
+			}
+			// Full jitter in [d/2, d): failed pollers desynchronize.
+			d = d/2 + time.Duration(rng.Uint64()%uint64(d/2+1))
+		}
+		t := time.NewTimer(d)
 		select {
 		case <-f.stop:
+			t.Stop()
 			return
-		case <-tick.C:
+		case <-t.C:
 		}
 	}
 }
@@ -364,10 +478,15 @@ func (f *Follower) Poll() error {
 	f.pollMu.Lock()
 	_, csn, err := f.sh.Hello()
 	if err == nil {
+		// The hello response names the primary's CURRENT manifest; track
+		// it so catch-up catalog refreshes survive manifest migration.
+		f.rep.TrackManifest(f.sh.Manifest())
 		_, err = f.sh.ShipOnce()
 	}
 	if err == nil {
-		_, err = f.rep.CatchUp()
+		if err = f.chaos.Check(SiteApply); err == nil {
+			_, err = f.rep.CatchUp()
+		}
 	}
 	w := f.rep.AppliedCSN()
 	f.pollMu.Unlock()
@@ -383,6 +502,9 @@ func (f *Follower) Poll() error {
 		f.wake = make(chan struct{})
 	}
 	f.err = err
+	if err != nil {
+		f.mPollErrs.Inc()
+	}
 	return err
 }
 
@@ -443,11 +565,118 @@ func (f *Follower) WaitCSN(csn uint64, timeout time.Duration) bool {
 	}
 }
 
-// Stop halts the loop and closes the shipping connection.
+// Stop halts the loop (and any promotion fencer) and closes the shipping
+// connection. Idempotent, and safe when Start was never called.
 func (f *Follower) Stop() {
-	close(f.stop)
-	<-f.done
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.mu.Lock()
+	started := f.started
+	f.mu.Unlock()
+	if started {
+		<-f.done
+	}
+	f.fenceOnce.Do(func() { close(f.fenceStop) })
 	f.sh.Close()
+}
+
+// haltPolling stops the poll loop without touching the shipper (Promote
+// still needs the connection for the final drain) and waits for the loop
+// goroutine to exit so no Poll round races the promotion.
+func (f *Follower) haltPolling() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.mu.Lock()
+	started := f.started
+	f.mu.Unlock()
+	if started {
+		<-f.done
+	}
+}
+
+// Promote turns this follower's replica into the new primary: stop
+// polling, drain a final catch-up to the end of the shipped log, seal the
+// tail, and transition the engine into a writable one at a bumped,
+// persisted epoch (core.Replica.Promote). The final hello/ship is
+// best-effort -- the primary is normally already dead, and everything it
+// acked below the shipped horizon is what promotion preserves.
+//
+// After the transition a fencer goroutine keeps knocking on the old
+// primary's address with the new epoch until any response arrives, so a
+// revived old primary demotes immediately instead of waiting to stumble
+// over the new lineage. The fencer dies with Stop.
+//
+// Returns the new primary epoch. Idempotent: a second call returns the
+// epoch already won. On error (including an armed replica.promote chaos
+// fault) the replica is unchanged and Promote may be retried.
+func (f *Follower) Promote() (uint64, error) {
+	f.haltPolling()
+	f.pollMu.Lock()
+	defer f.pollMu.Unlock()
+	f.mu.Lock()
+	already := f.promoted
+	f.mu.Unlock()
+	if already {
+		return f.rep.Engine().Epoch(), nil
+	}
+	// Final drain: pull whatever the primary can still serve, then apply
+	// everything shipped. Ship errors are expected (dead primary); a
+	// catch-up failure is not -- promotion must not lose applied history.
+	if _, _, err := f.sh.Hello(); err == nil {
+		f.rep.TrackManifest(f.sh.Manifest())
+		_, _ = f.sh.ShipOnce()
+	}
+	if _, err := f.rep.CatchUp(); err != nil {
+		return 0, err
+	}
+	if err := f.chaos.Check(SitePromote); err != nil {
+		return 0, err
+	}
+	epoch, err := f.rep.Promote(f.sh.Epoch())
+	if err != nil {
+		return 0, err
+	}
+	w := f.rep.AppliedCSN()
+	f.mu.Lock()
+	f.promoted = true
+	f.err = nil
+	if w > f.watermark {
+		f.watermark = w
+		close(f.wake)
+		f.wake = make(chan struct{})
+	}
+	f.mu.Unlock()
+	f.sh.Close()
+	go f.fence(f.sh.addr, epoch)
+	return epoch, nil
+}
+
+// fence presents the promoted epoch at the old primary's address until any
+// response crosses the wire. One answered hello is enough: the server
+// folds the carried epoch into its fencing state before replying, so a
+// revived old primary demotes the moment it comes back -- it never has a
+// window to accept writes the new lineage would lose. Dial/read failures
+// (the address staying dead) just mean there is nothing to fence yet.
+func (f *Follower) fence(addr string, epoch uint64) {
+	sh := NewShipper(addr, nil)
+	sh.ObserveEpoch(epoch)
+	defer sh.Close()
+	retry := f.interval * 10
+	if retry < 10*time.Millisecond {
+		retry = 10 * time.Millisecond
+	}
+	for {
+		_, _, err := sh.Hello()
+		var we *wire.Error
+		if err == nil || errors.As(err, &we) || errors.Is(err, core.ErrStaleEpoch) {
+			return // a response arrived: the old node has observed our epoch
+		}
+		t := time.NewTimer(retry)
+		select {
+		case <-f.fenceStop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
 }
 
 // --- bootstrap --------------------------------------------------------------

@@ -154,6 +154,16 @@ type Config struct {
 	// OpReplList/OpReplFetch) so replica processes can mirror this server's
 	// PLogs. Set it on primaries.
 	ReplSource ReplicationSource
+	// Epoch reports the node's current primary epoch, stamped into the
+	// greeting and every repl response (nil = 0: no epoch claim, the
+	// pre-epoch protocol).
+	Epoch func() uint64
+	// ObserveEpoch folds a primary epoch presented by a remote node
+	// (repl hello/fetch requests) into the node's fencing state and
+	// reports whether this node is now fenced -- demoted by a newer
+	// lineage. A fenced node refuses repl fetches with CodeStaleEpoch
+	// (writes already fail inside the engine). nil = never fenced.
+	ObserveEpoch func(epoch uint64) bool
 }
 
 // ReplicaConfig wires a replica server to its follower state.
@@ -237,6 +247,13 @@ type Server struct {
 	draining atomic.Bool
 	closed   atomic.Bool
 
+	// Serving role, swappable at runtime by Promote: a replica server
+	// carries a ReplicaConfig and no replication source; a primary the
+	// reverse. Initialized from cfg; atomic because every greeting and
+	// repl request reads them off connection goroutines.
+	replica atomic.Pointer[ReplicaConfig]
+	replSrc atomic.Pointer[ReplicationSource]
+
 	// cached metrics (nil-safe when cfg.Obs is nil)
 	mConns        *obs.Gauge
 	mConnsTotal   *obs.Counter
@@ -274,6 +291,13 @@ func New(cfg Config) (*Server, error) {
 	for i := 0; i < cfg.WorkerSlots; i++ {
 		s.slots <- i
 	}
+	if cfg.Replica != nil {
+		s.replica.Store(cfg.Replica)
+	}
+	if cfg.ReplSource != nil {
+		src := cfg.ReplSource
+		s.replSrc.Store(&src)
+	}
 	r := cfg.Obs
 	s.mConns = r.Gauge("server.conns")
 	s.mConnsTotal = r.Counter("server.conns_total")
@@ -301,6 +325,38 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	return s, nil
+}
+
+// replicaCfg returns the current replica role config (nil on a primary).
+func (s *Server) replicaCfg() *ReplicaConfig { return s.replica.Load() }
+
+// replSource returns the current replication source (nil on a replica).
+func (s *Server) replSource() ReplicationSource {
+	if p := s.replSrc.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// epoch returns the node's current primary epoch (0 when unset).
+func (s *Server) epoch() uint64 {
+	if s.cfg.Epoch != nil {
+		return s.cfg.Epoch()
+	}
+	return 0
+}
+
+// Promote flips the serving role to primary: the replica token config is
+// dropped (new greetings advertise the primary role at the engine's
+// current epoch; read-your-writes tokens are trivially satisfied by the
+// promoted engine) and src, when non-nil, serves the log-shipping opcodes
+// so this node's own followers can ship from it. Connections opened before
+// the flip keep working -- their next write simply succeeds.
+func (s *Server) Promote(src ReplicationSource) {
+	s.replica.Store(nil)
+	if src != nil {
+		s.replSrc.Store(&src)
+	}
 }
 
 // ListenAndServe listens on addr and serves until Shutdown/Close.
@@ -571,10 +627,10 @@ func (c *conn) serve() {
 // unknown-ID OK frames, so it is backward-compatible.
 func (c *conn) greet() {
 	role, primary := wire.RolePrimary, ""
-	if rc := c.s.cfg.Replica; rc != nil {
+	if rc := c.s.replicaCfg(); rc != nil {
 		role, primary = wire.RoleReplica, rc.PrimaryAddr
 	}
-	c.respond(0, wire.CodeOK, "", wire.EncodeGreeting(role, primary))
+	c.respond(0, wire.CodeOK, "", wire.EncodeGreeting(role, primary, c.s.epoch()))
 }
 
 // teardown runs when the read loop exits: the open transaction (if any)
@@ -742,7 +798,7 @@ func (c *conn) handle(f wire.Frame) bool {
 		// trivially satisfies any token it issued. A timeout is CodeBusy:
 		// the client redirects the read to the primary rather than see a
 		// stale snapshot.
-		if rc := c.s.cfg.Replica; rc != nil && minCSN > 0 {
+		if rc := c.s.replicaCfg(); rc != nil && minCSN > 0 {
 			if !rc.WaitCSN(minCSN, rc.TokenWait) {
 				finish(fmt.Errorf("replica behind read-your-writes token %d: %w",
 					minCSN, ErrServerBusy), nil)
@@ -752,23 +808,45 @@ func (c *conn) handle(f wire.Frame) bool {
 		c.execSQL(f.RequestID, sql, args, finish, release)
 
 	case wire.OpReplHello, wire.OpReplList, wire.OpReplFetch:
-		src := c.s.cfg.ReplSource
+		src := c.s.replSource()
 		if src == nil {
 			finish(fmt.Errorf("%w: replication source not enabled", wire.ErrBadStatement), nil)
 			return true
 		}
 		switch f.Op {
 		case wire.OpReplHello:
-			manifest, csn := src.ReplHello()
-			finish(nil, wire.EncodeReplHello(manifest, csn))
-		case wire.OpReplList:
-			finish(nil, wire.EncodeReplList(src.ReplList()))
-		default:
-			id, off, maxBytes, err := wire.DecodeReplFetch(f.Payload)
+			// The hello carries the caller's observed epoch; folding it in
+			// is how a promoted node's fencer demotes this one. A fenced
+			// node still answers hello (with its stale epoch) -- refusing
+			// would hide the very state the caller is probing -- but it
+			// must not serve its log (fetch below).
+			remote, err := wire.DecodeReplHelloReq(f.Payload)
 			if err != nil {
 				c.s.mProtoErrs.Inc()
 				finish(err, nil)
 				return false
+			}
+			if c.s.cfg.ObserveEpoch != nil {
+				c.s.cfg.ObserveEpoch(remote)
+			}
+			manifest, csn := src.ReplHello()
+			finish(nil, wire.EncodeReplHello(manifest, csn, c.s.epoch()))
+		case wire.OpReplList:
+			finish(nil, wire.EncodeReplList(src.ReplList()))
+		default:
+			id, off, maxBytes, remote, err := wire.DecodeReplFetch(f.Payload)
+			if err != nil {
+				c.s.mProtoErrs.Inc()
+				finish(err, nil)
+				return false
+			}
+			// A node fenced by a newer lineage must not serve its log: a
+			// follower replaying it would diverge from the promoted
+			// history. The typed refusal is the follower's cue to
+			// rediscover the primary.
+			if c.s.cfg.ObserveEpoch != nil && c.s.cfg.ObserveEpoch(remote) {
+				finish(fmt.Errorf("fenced at epoch %d: %w", c.s.epoch(), core.ErrStaleEpoch), nil)
+				return true
 			}
 			st, data, err := src.ReplFetch(id, off, maxBytes)
 			if err != nil {

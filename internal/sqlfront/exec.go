@@ -99,6 +99,35 @@ func (f *Frontend) Adopt(engine string, schema *core.Schema) error {
 	return nil
 }
 
+// AdoptAll adopts every schema whose name is not yet in the catalog and
+// skips the rest. A replica's catalog trails its replayed manifest --
+// tables created on the primary after bootstrap exist in the engine but
+// not the frontend -- so callers re-sync by passing the engine's full
+// table list after each catch-up (and before serving writes on
+// promotion). Returns the number of tables newly adopted; the schema
+// generation is bumped only when that count is nonzero.
+func (f *Frontend) AdoptAll(engine string, schemas []*core.Schema) (int, error) {
+	engine = strings.ToLower(engine)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	db, ok := f.engines[engine]
+	if !ok {
+		return 0, fmt.Errorf("sqlfront: unknown engine %q", engine)
+	}
+	added := 0
+	for _, schema := range schemas {
+		if _, dup := f.tables[schema.Name]; dup {
+			continue
+		}
+		f.tables[schema.Name] = &tableInfo{engine: engine, db: db, schema: schema}
+		added++
+	}
+	if added > 0 {
+		f.schemaGen.Add(1)
+	}
+	return added, nil
+}
+
 // PlanCacheStats snapshots the plan-cache counters.
 func (f *Frontend) PlanCacheStats() PlanCacheStats {
 	f.mu.RLock()

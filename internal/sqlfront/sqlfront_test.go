@@ -286,3 +286,51 @@ func TestInterpretedVsCompiledSameResults(t *testing.T) {
 		}
 	}
 }
+
+func TestAdoptAllSyncsTrailingCatalog(t *testing.T) {
+	f, e := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE seen (a INT, PRIMARY KEY(a))")
+
+	// A second frontend over the same engine plays the primary whose DDL
+	// replays into the engine behind this frontend's back (the replica
+	// situation: the engine catalog advances, the frontend's does not).
+	other := NewFrontend("hiengine", adapt.New(e))
+	if _, err := other.AdoptAll("hiengine", nil); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, other.NewSession(1), "CREATE TABLE unseen (a INT, b TEXT, PRIMARY KEY(a))")
+	mustExec(t, other.NewSession(1), "INSERT INTO unseen VALUES (7, 'x')")
+
+	if _, err := s.Exec("SELECT * FROM unseen"); err == nil {
+		t.Fatal("frontend resolved a table it never adopted")
+	}
+
+	var schemas []*core.Schema
+	for _, name := range e.Tables() {
+		tbl, err := e.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemas = append(schemas, tbl.Schema)
+	}
+	added, err := f.AdoptAll("hiengine", schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 {
+		t.Fatalf("added = %d, want 1 (only the unseen table)", added)
+	}
+	res := mustExec(t, s, "SELECT b FROM unseen WHERE a = 7")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "x" {
+		t.Fatalf("post-adopt select: %+v", res.Rows)
+	}
+
+	// Idempotent: a second sync adopts nothing.
+	if added, err = f.AdoptAll("hiengine", schemas); err != nil || added != 0 {
+		t.Fatalf("resync: added=%d err=%v, want 0,nil", added, err)
+	}
+	if _, err := f.AdoptAll("bogus", schemas); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}

@@ -472,8 +472,9 @@ type Manager struct {
 	// records chunk by chunk), so a decode failure on an unsealed PLog is
 	// "end of available log, retry later", never torn-tail truncation and
 	// never corruption. Once the PLog seals the strict classification
-	// applies again.
-	liveTail bool
+	// applies again. Atomic because Promote clears it while follower scans
+	// may still be classifying tails.
+	liveTail atomic.Bool
 
 	nextSeg atomic.Uint32
 
@@ -538,7 +539,8 @@ func OpenReadOnly(cfg Config, metaID srss.PLogID) (*Manager, error) {
 	if err := dir.load(); err != nil {
 		return nil, err
 	}
-	m := &Manager{cfg: cfg, dir: dir, views: make(map[uint16]*srss.View), liveTail: true}
+	m := &Manager{cfg: cfg, dir: dir, views: make(map[uint16]*srss.View)}
+	m.liveTail.Store(true)
 	m.mTornTails = cfg.Obs.Counter("wal.torn_tail_truncations")
 	return m, nil
 }
@@ -569,6 +571,18 @@ func Reopen(cfg Config, metaID srss.PLogID) (*Manager, error) {
 
 func build(cfg Config, dir *Directory, nextSeg uint32) (*Manager, error) {
 	m := &Manager{cfg: cfg, dir: dir, views: make(map[uint16]*srss.View)}
+	m.nextSeg.Store(nextSeg)
+	if err := m.startStreams(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// startStreams caches the write-path metric handles and spins up the
+// group-commit streams, each opening a fresh segment. Called at build time
+// and again by Promote when a read-only follower manager becomes writable.
+func (m *Manager) startStreams() error {
+	cfg := m.cfg
 	m.mCommitLatency = cfg.Obs.Histogram("wal.commit_latency_ns")
 	m.mBatchTxns = cfg.Obs.Histogram("wal.batch_txns")
 	m.mBatchBytes = cfg.Obs.Histogram("wal.batch_bytes")
@@ -577,7 +591,6 @@ func build(cfg Config, dir *Directory, nextSeg uint32) (*Manager, error) {
 	m.mOversized = cfg.Obs.Counter("wal.oversized_rejects")
 	m.mGiveups = cfg.Obs.Counter("wal.append_giveups")
 	m.mTornTails = cfg.Obs.Counter("wal.torn_tail_truncations")
-	m.nextSeg.Store(nextSeg)
 	var seed uint64
 	if ch := cfg.Service.Chaos(); ch != nil {
 		seed = ch.Seed()
@@ -586,13 +599,67 @@ func build(cfg Config, dir *Directory, nextSeg uint32) (*Manager, error) {
 		st := &Stream{id: i, mgr: m, ch: make(chan commitReq, cfg.QueueDepth)}
 		st.backoff = chaos.NewRand(seed, fmt.Sprintf("wal.stream.%d.backoff", i))
 		if err := st.rotate(); err != nil {
-			return nil, err
+			return err
 		}
 		st.wg.Add(1)
 		go st.ioLoop()
 		m.streams = append(m.streams, st)
 	}
-	return m, nil
+	return nil
+}
+
+// Promote transitions a read-only follower manager into a writable primary
+// log. The shipped log's tail is sealed: every segment PLog the dead
+// primary left unsealed is sealed torn, so a partially-shipped final record
+// classifies as a crash tail (truncate at the last valid record) rather
+// than staying a live tail forever. New commits then land in fresh segments
+// numbered after the highest shipped one, appended by newly-started group
+// commit streams; the mirrored segments are never appended to, so their
+// byte-for-byte identity with the dead primary's log is preserved.
+// onMetaChange re-anchors the directory's bootstrap reference exactly as on
+// a writable open. The caller must have finished (and stopped) all catch-up
+// application first.
+func (m *Manager) Promote(onMetaChange func(srss.PLogID) error) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	if len(m.streams) != 0 {
+		return errors.New("wal: manager already writable")
+	}
+	// Final directory refresh, then seal the shipped tail. Unsealed mirrors
+	// are sealed torn: acked-but-unshipped suffixes of the dead primary are
+	// crash tails here, and only the torn flag makes a trailing partial
+	// record truncate instead of failing scans as corruption (the local
+	// mirror's replicas never diverge).
+	if err := m.dir.load(); err != nil {
+		return err
+	}
+	next := uint32(0)
+	for _, seg := range m.dir.Segments() {
+		if uint32(seg)+1 > next {
+			next = uint32(seg) + 1
+		}
+		id, ok := m.dir.Lookup(seg)
+		if !ok {
+			continue
+		}
+		p, err := m.cfg.Service.Open(id)
+		if err != nil {
+			return err
+		}
+		if !p.Sealed() {
+			p.SealTorn()
+		}
+	}
+	if cur := m.nextSeg.Load(); cur > next {
+		next = cur
+	}
+	m.nextSeg.Store(next)
+	m.dir.onMetaChange = onMetaChange
+	m.cfg.OnMetaChange = onMetaChange
+	// Strict tail classification from here on: the log has a writer again.
+	m.liveTail.Store(false)
+	return m.startStreams()
 }
 
 // Directory exposes the segment directory.
@@ -1041,7 +1108,7 @@ func (m *Manager) classifyTail(p *srss.PLog, abs int64) tailClass {
 		return tailTorn
 	}
 	if !p.Sealed() {
-		if m.liveTail || !p.ReplicasConsistentFrom(abs) {
+		if m.liveTail.Load() || !p.ReplicasConsistentFrom(abs) {
 			return tailLive
 		}
 		return tailCorrupt

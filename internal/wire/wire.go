@@ -177,11 +177,16 @@ const (
 	// read-only replica. Not retryable here -- the client must redirect the
 	// statement to the primary.
 	CodeReadOnly Code = 9
+	// CodeStaleEpoch: the request carried (or the serving node holds) a
+	// primary epoch older than one it has observed. The losing side of a
+	// failover returns this for writes and repl fetches; the fix is
+	// rediscovery of the current primary, never a retry here.
+	CodeStaleEpoch Code = 10
 )
 
 // MaxCode is the highest assigned status code (sizing per-code metric
 // tables).
-const MaxCode = CodeReadOnly
+const MaxCode = CodeStaleEpoch
 
 // String names the code.
 func (c Code) String() string {
@@ -206,6 +211,8 @@ func (c Code) String() string {
 		return "internal"
 	case CodeReadOnly:
 		return "read_only"
+	case CodeStaleEpoch:
+		return "stale_epoch"
 	default:
 		return fmt.Sprintf("code(%d)", uint16(c))
 	}
@@ -249,6 +256,8 @@ func Classify(err error) Code {
 		return CodeClosed
 	case errors.Is(err, ErrServerBusy), errors.Is(err, core.ErrWorkerBusy):
 		return CodeBusy
+	case errors.Is(err, core.ErrStaleEpoch):
+		return CodeStaleEpoch
 	case errors.Is(err, core.ErrReadOnlyReplica):
 		return CodeReadOnly
 	case errors.Is(err, engineapi.ErrConflict):
@@ -294,6 +303,8 @@ func sentinel(c Code) error {
 		return core.ErrDurabilityLost
 	case CodeReadOnly:
 		return core.ErrReadOnlyReplica
+	case CodeStaleEpoch:
+		return core.ErrStaleEpoch
 	default:
 		return nil
 	}
@@ -940,29 +951,40 @@ const (
 var greetingMagic = [4]byte{'H', 'I', 'G', 'R'}
 
 // EncodeGreeting builds the server greeting body: magic, the server's role,
-// and (for a replica) the primary's address so a client connected only to
-// the replica can find the write endpoint. The greeting travels as an
-// unsolicited CodeOK response with RequestID 0 immediately after accept;
-// clients that predate it ignore unknown-ID OK frames, so it is
-// backward-compatible.
-func EncodeGreeting(role byte, primaryAddr string) []byte {
+// (for a replica) the primary's address so a client connected only to
+// the replica can find the write endpoint, and the node's current primary
+// epoch so failing-over clients can tell a promoted node from a stale one.
+// The greeting travels as an unsolicited CodeOK response with RequestID 0
+// immediately after accept; clients that predate it ignore unknown-ID OK
+// frames, so it is backward-compatible, and the epoch rides as a trailing
+// uvarint that pre-epoch decoders never read.
+func EncodeGreeting(role byte, primaryAddr string, epoch uint64) []byte {
 	buf := append([]byte(nil), greetingMagic[:]...)
 	buf = append(buf, role)
-	return appendString(buf, primaryAddr)
+	buf = appendString(buf, primaryAddr)
+	return binary.AppendUvarint(buf, epoch)
 }
 
 // DecodeGreeting parses a greeting body. ok is false when the body is not a
-// greeting (some other RequestID-0 response).
-func DecodeGreeting(body []byte) (role byte, primaryAddr string, ok bool) {
+// greeting (some other RequestID-0 response). A greeting from a pre-epoch
+// server decodes with epoch 0 (no epoch claim).
+func DecodeGreeting(body []byte) (role byte, primaryAddr string, epoch uint64, ok bool) {
 	if len(body) < 5 || [4]byte(body[:4]) != greetingMagic {
-		return 0, "", false
+		return 0, "", 0, false
 	}
 	role = body[4]
 	primaryAddr, rest, err := readString(body[5:])
-	if err != nil || len(rest) != 0 {
-		return 0, "", false
+	if err != nil {
+		return 0, "", 0, false
 	}
-	return role, primaryAddr, true
+	if len(rest) > 0 {
+		e, w := binary.Uvarint(rest)
+		if w <= 0 || w != len(rest) {
+			return 0, "", 0, false
+		}
+		epoch = e
+	}
+	return role, primaryAddr, epoch, true
 }
 
 // --- read-your-writes exec -------------------------------------------------
@@ -1041,24 +1063,55 @@ func readPLogStat(buf []byte) (PLogStat, []byte, error) {
 	return st, buf[2+w:], nil
 }
 
-// EncodeReplHello builds the OpReplHello success body: the primary's
-// manifest PLog ID and its current commit CSN.
-func EncodeReplHello(manifest srss.PLogID, csn uint64) []byte {
-	buf := append([]byte(nil), manifest[:]...)
-	return binary.AppendUvarint(buf, csn)
+// EncodeReplHelloReq builds an OpReplHello request payload: the caller's
+// highest observed primary epoch. Pre-epoch shippers send an empty payload,
+// which decodes as epoch 0 (no claim). A promoted primary also uses this to
+// fence its predecessor: presenting the new epoch forces the old node to
+// demote on receipt.
+func EncodeReplHelloReq(epoch uint64) []byte {
+	return binary.AppendUvarint(nil, epoch)
 }
 
-// DecodeReplHello parses an OpReplHello success body.
-func DecodeReplHello(body []byte) (manifest srss.PLogID, csn uint64, err error) {
+// DecodeReplHelloReq parses an OpReplHello request payload.
+func DecodeReplHelloReq(payload []byte) (epoch uint64, err error) {
+	if len(payload) == 0 {
+		return 0, nil
+	}
+	e, w := binary.Uvarint(payload)
+	if w <= 0 || w != len(payload) {
+		return 0, ErrPayloadCorrupt
+	}
+	return e, nil
+}
+
+// EncodeReplHello builds the OpReplHello success body: the primary's
+// manifest PLog ID, its current commit CSN, and its primary epoch (a
+// trailing uvarint pre-epoch decoders ignore).
+func EncodeReplHello(manifest srss.PLogID, csn uint64, epoch uint64) []byte {
+	buf := append([]byte(nil), manifest[:]...)
+	buf = binary.AppendUvarint(buf, csn)
+	return binary.AppendUvarint(buf, epoch)
+}
+
+// DecodeReplHello parses an OpReplHello success body. A body from a
+// pre-epoch primary decodes with epoch 0.
+func DecodeReplHello(body []byte) (manifest srss.PLogID, csn uint64, epoch uint64, err error) {
 	if len(body) < len(manifest) {
-		return manifest, 0, ErrPayloadCorrupt
+		return manifest, 0, 0, ErrPayloadCorrupt
 	}
 	copy(manifest[:], body)
 	csn, w := binary.Uvarint(body[len(manifest):])
 	if w <= 0 {
-		return manifest, 0, ErrPayloadCorrupt
+		return manifest, 0, 0, ErrPayloadCorrupt
 	}
-	return manifest, csn, nil
+	if rest := body[len(manifest)+w:]; len(rest) > 0 {
+		e, w2 := binary.Uvarint(rest)
+		if w2 <= 0 {
+			return manifest, 0, 0, ErrPayloadCorrupt
+		}
+		epoch = e
+	}
+	return manifest, csn, epoch, nil
 }
 
 // EncodeReplList builds the OpReplList success body: every PLog the primary
@@ -1091,29 +1144,39 @@ func DecodeReplList(body []byte) ([]PLogStat, error) {
 }
 
 // EncodeReplFetch builds an OpReplFetch request payload: which PLog, from
-// which offset, at most how many bytes.
-func EncodeReplFetch(id srss.PLogID, offset int64, maxBytes int) []byte {
+// which offset, at most how many bytes, and the caller's observed primary
+// epoch (trailing uvarint; pre-epoch decoders never read it).
+func EncodeReplFetch(id srss.PLogID, offset int64, maxBytes int, epoch uint64) []byte {
 	buf := append([]byte(nil), id[:]...)
 	buf = binary.AppendUvarint(buf, uint64(offset))
-	return binary.AppendUvarint(buf, uint64(maxBytes))
+	buf = binary.AppendUvarint(buf, uint64(maxBytes))
+	return binary.AppendUvarint(buf, epoch)
 }
 
-// DecodeReplFetch parses an OpReplFetch request payload.
-func DecodeReplFetch(payload []byte) (id srss.PLogID, offset int64, maxBytes int, err error) {
+// DecodeReplFetch parses an OpReplFetch request payload. A payload from a
+// pre-epoch shipper decodes with epoch 0 (no claim).
+func DecodeReplFetch(payload []byte) (id srss.PLogID, offset int64, maxBytes int, epoch uint64, err error) {
 	if len(payload) < len(id) {
-		return id, 0, 0, ErrPayloadCorrupt
+		return id, 0, 0, 0, ErrPayloadCorrupt
 	}
 	copy(id[:], payload)
 	payload = payload[len(id):]
 	off, w := binary.Uvarint(payload)
 	if w <= 0 {
-		return id, 0, 0, ErrPayloadCorrupt
+		return id, 0, 0, 0, ErrPayloadCorrupt
 	}
 	mx, w2 := binary.Uvarint(payload[w:])
 	if w2 <= 0 || mx > MaxPayload {
-		return id, 0, 0, ErrPayloadCorrupt
+		return id, 0, 0, 0, ErrPayloadCorrupt
 	}
-	return id, int64(off), int(mx), nil
+	if rest := payload[w+w2:]; len(rest) > 0 {
+		e, w3 := binary.Uvarint(rest)
+		if w3 <= 0 {
+			return id, 0, 0, 0, ErrPayloadCorrupt
+		}
+		epoch = e
+	}
+	return id, int64(off), int(mx), epoch, nil
 }
 
 // EncodeReplChunk builds the OpReplFetch success body: the PLog's current
