@@ -1,0 +1,134 @@
+// Core-engine baseline report: the default (experiment) mode finishes by
+// running a short fixed workload over the loopback wire server with every
+// transaction traced, and writes BENCH_core.json -- overall txn/s plus
+// p50/p99 per server-side commit stage -- so CI has one machine-readable
+// trend document for the single-node engine next to the human-readable
+// experiment tables.
+package main
+
+import (
+	"net"
+	"time"
+
+	"hiengine/internal/client"
+	"hiengine/internal/core"
+	"hiengine/internal/obs"
+	"hiengine/internal/server"
+)
+
+// coreReport is the BENCH_core.json document.
+type coreReport struct {
+	SchemaVersion int         `json:"schema_version"`
+	Bench         string      `json:"bench"`
+	Clients       int         `json:"clients"`
+	Workers       int         `json:"workers"`
+	DurationS     float64     `json:"duration_s"`
+	Txns          int64       `json:"txns"`
+	TxnsPS        float64     `json:"txns_per_s"`
+	P50MS         float64     `json:"p50_ms"`
+	P99MS         float64     `json:"p99_ms"`
+	Stages        []coreStage `json:"stages"`
+	Timestamp     string      `json:"timestamp"`
+}
+
+// coreStage is one server-side commit stage's latency profile.
+type coreStage struct {
+	Stage string  `json:"stage"`
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+// coreBench runs the traced loopback workload and writes BENCH_core.json.
+func coreBench(nClients, workers int, d time.Duration) error {
+	front, engine, err := netFrontend(workers)
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	srv, err := server.New(server.Config{
+		Frontend:    front,
+		WorkerSlots: workers,
+		Obs:         engine.Obs(),
+		Tracer:      obs.NewTracer(obs.TracerConfig{Registry: engine.Obs()}),
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+
+	cl, err := client.New(client.Options{Addr: ln.Addr().String(), PoolSize: nClients})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if _, err := cl.Exec(netbenchSchema); err != nil {
+		return err
+	}
+	agg := &stageAgg{}
+	txns, lat, err := netDrive(nClients, d, 1, func(i int) (netSession, error) {
+		s, err := cl.Session()
+		if err != nil {
+			return netSession{}, err
+		}
+		s.Trace(true)
+		return netSession{
+			txn: func(k1, k2 int64) error {
+				if err := s.Begin(); err != nil {
+					return err
+				}
+				if _, err := s.Exec("INSERT INTO netbench VALUES (?, ?)", core.I(k1), core.S("v")); err != nil {
+					s.Rollback()
+					return err
+				}
+				if _, err := s.Exec("INSERT INTO netbench VALUES (?, ?)", core.I(k2), core.S("v")); err != nil {
+					s.Rollback()
+					return err
+				}
+				return s.Commit()
+			},
+			query: func(k int64) error {
+				_, err := s.Exec("SELECT c FROM netbench WHERE id = ?", core.I(k))
+				return err
+			},
+			close: s.Close,
+		}.traced(agg, s), nil
+	})
+	if err != nil {
+		return err
+	}
+
+	rep := coreReport{
+		SchemaVersion: benchSchemaVersion,
+		Bench:         "core_commit_stages",
+		Clients:       nClients,
+		Workers:       workers,
+		DurationS:     d.Seconds(),
+		Txns:          txns,
+		TxnsPS:        float64(txns) / d.Seconds(),
+		P50MS:         ms(lat.Quantile(0.50)),
+		P99MS:         ms(lat.Quantile(0.99)),
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+	}
+	for i := range agg.stages {
+		h := &agg.stages[i]
+		if h.Count() == 0 || h.Max() == 0 {
+			continue
+		}
+		rep.Stages = append(rep.Stages, coreStage{
+			Stage: obs.Stage(i).String(),
+			P50MS: ms(h.Quantile(0.50)),
+			P99MS: ms(h.Quantile(0.99)),
+			MaxMS: ms(h.Max()),
+		})
+	}
+	printNetReport("core (traced)", nClients, d, txns, lat)
+	return writeBenchReport("BENCH_core.json", &rep)
+}

@@ -19,10 +19,8 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"net"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -42,10 +40,11 @@ const failoverTrials = 3
 
 // failoverReport is the BENCH_failover.json document.
 type failoverReport struct {
-	Bench     string          `json:"bench"`
-	Clients   int             `json:"clients"`
-	DurationS float64         `json:"duration_s"`
-	Trials    []failoverTrial `json:"trials"`
+	SchemaVersion int             `json:"schema_version"`
+	Bench         string          `json:"bench"`
+	Clients       int             `json:"clients"`
+	DurationS     float64         `json:"duration_s"`
+	Trials        []failoverTrial `json:"trials"`
 	// Aggregates across every client of every trial.
 	WriteGapP50MS float64 `json:"write_gap_p50_ms"`
 	WriteGapMaxMS float64 `json:"write_gap_max_ms"`
@@ -65,10 +64,11 @@ type failoverTrial struct {
 // reconvergence) runs for d.
 func failoverBench(nClients, workers int, d time.Duration) error {
 	rep := failoverReport{
-		Bench:     "failover_promote",
-		Clients:   nClients,
-		DurationS: d.Seconds(),
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		SchemaVersion: benchSchemaVersion,
+		Bench:         "failover_promote",
+		Clients:       nClients,
+		DurationS:     d.Seconds(),
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 	}
 	for trial := 0; trial < failoverTrials; trial++ {
 		tr, err := failoverTrialRun(trial, nClients, workers, d)
@@ -89,16 +89,7 @@ func failoverBench(nClients, workers int, d time.Duration) error {
 		rep.WriteGapMaxMS = gaps[n-1]
 	}
 
-	buf, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile("BENCH_failover.json", buf, 0o644); err != nil {
-		return err
-	}
-	fmt.Println("failover: wrote BENCH_failover.json")
-	return nil
+	return writeBenchReport("BENCH_failover.json", &rep)
 }
 
 // failoverClientStat is one writer's view of the outage.

@@ -46,10 +46,14 @@ func main() {
 		trace    = flag.Bool("trace", false, "networked mode: trace every transaction and append a per-stage latency table to the report")
 		replicas = flag.Int("replicas", 0, "networked mode: spin N read replicas and measure SELECT fan-out scaling (writes BENCH_replica.json)")
 		failover = flag.Bool("failover", false, "networked mode: kill the primary under load, promote a replica, and measure time-to-promote and client write gaps (writes BENCH_failover.json)")
+		shards   = flag.Int("shards", 0, "sharded mode: spin N shard nodes and measure routed + 2PC scaling vs a 1-shard baseline (writes BENCH_shard.json)")
+		crossPct = flag.Int("cross", 10, "sharded mode: percent of transactions that are cross-shard 2PC transfers")
+		outDir   = flag.String("out", "", "directory for BENCH_*.json documents (default: current directory)")
 	)
 	flag.Parse()
+	benchOutDir = *outDir
 
-	if *serve != "" || *connect != "" || *netlocal || *replicas > 0 || *failover {
+	if *serve != "" || *connect != "" || *netlocal || *replicas > 0 || *failover || *shards > 0 {
 		workers := *threads
 		if workers <= 0 {
 			workers = 8
@@ -60,6 +64,8 @@ func main() {
 		}
 		var err error
 		switch {
+		case *shards > 0:
+			err = shardBench(*shards, *clients, workers, *crossPct, d)
 		case *failover:
 			err = failoverBench(*clients, workers, d)
 		case *replicas > 0:
@@ -111,5 +117,23 @@ func main() {
 		}
 		fmt.Println(rep)
 		fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	// Default mode always ends with the machine-readable single-node
+	// baseline: BENCH_core.json (txn/s plus per-stage commit latency).
+	workers := *threads
+	if workers <= 0 {
+		workers = 8
+	}
+	d := *duration
+	if d <= 0 {
+		d = 2 * time.Second
+		if *quick {
+			d = 500 * time.Millisecond
+		}
+	}
+	if err := coreBench(*clients, workers, d); err != nil {
+		fmt.Fprintf(os.Stderr, "hibench: core report: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -11,10 +11,8 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"net"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,12 +32,13 @@ const replBenchRows = 2000
 
 // replReport is the BENCH_replica.json document.
 type replReport struct {
-	Bench     string            `json:"bench"`
-	Clients   int               `json:"clients"`
-	DurationS float64           `json:"duration_s"`
-	Rows      int               `json:"rows"`
-	Series    []replSeriesPoint `json:"series"`
-	Timestamp string            `json:"timestamp"`
+	SchemaVersion int               `json:"schema_version"`
+	Bench         string            `json:"bench"`
+	Clients       int               `json:"clients"`
+	DurationS     float64           `json:"duration_s"`
+	Rows          int               `json:"rows"`
+	Series        []replSeriesPoint `json:"series"`
+	Timestamp     string            `json:"timestamp"`
 }
 
 type replSeriesPoint struct {
@@ -177,11 +176,12 @@ func replBench(nReplicas, nClients, workers int, d time.Duration) error {
 
 	// --- measure 0..N replica fan-out ------------------------------------
 	rep := replReport{
-		Bench:     "replica_read_fanout",
-		Clients:   nClients,
-		DurationS: d.Seconds(),
-		Rows:      replBenchRows,
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		SchemaVersion: benchSchemaVersion,
+		Bench:         "replica_read_fanout",
+		Clients:       nClients,
+		DurationS:     d.Seconds(),
+		Rows:          replBenchRows,
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 	}
 	for k := 0; k <= nReplicas; k++ {
 		cl, err := client.New(client.Options{
@@ -203,16 +203,7 @@ func replBench(nReplicas, nClients, workers int, d time.Duration) error {
 			k, nClients, d, pt.Reads, pt.ReadsPS)
 	}
 
-	buf, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile("BENCH_replica.json", buf, 0o644); err != nil {
-		return err
-	}
-	fmt.Println("replbench: wrote BENCH_replica.json")
-	return nil
+	return writeBenchReport("BENCH_replica.json", &rep)
 }
 
 // replDrive runs nClients goroutines of point SELECTs through the routed

@@ -1,0 +1,45 @@
+// Shared machine-readable report plumbing: every BENCH_*.json document is
+// written through writeBenchReport so the -out directory and the schema
+// version stamp are uniform across benchmark modes. Downstream tooling
+// (perf dashboards, CI trend checks) keys on schema_version to know which
+// fields to expect; bump benchSchemaVersion whenever any document's shape
+// changes incompatibly.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// benchSchemaVersion stamps every BENCH_*.json document. Version history:
+//
+//	1: implicit (documents predating the stamp carry no field)
+//	2: schema_version added; BENCH_core.json and BENCH_shard.json introduced
+const benchSchemaVersion = 2
+
+// benchOutDir is the -out flag: the directory receiving BENCH_*.json
+// documents ("" = current directory).
+var benchOutDir string
+
+// writeBenchReport renders doc and writes it under the -out directory.
+func writeBenchReport(name string, doc any) error {
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	path := name
+	if benchOutDir != "" {
+		if err := os.MkdirAll(benchOutDir, 0o755); err != nil {
+			return err
+		}
+		path = filepath.Join(benchOutDir, name)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("hibench: wrote %s\n", path)
+	return nil
+}

@@ -37,6 +37,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -50,9 +51,42 @@ import (
 	"hiengine/internal/obs"
 	"hiengine/internal/replica"
 	"hiengine/internal/server"
+	"hiengine/internal/shard"
 	"hiengine/internal/sqlfront"
 	"hiengine/internal/srss"
+	"hiengine/internal/wire"
 )
+
+// parseShardMap turns the -shard-map flag into the address list: either a
+// comma-separated list inline, or "@path" naming a file with one address
+// per line (blank lines and #-comments ignored).
+func parseShardMap(v string) ([]string, error) {
+	if v == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(v, "@") {
+		b, err := os.ReadFile(v[1:])
+		if err != nil {
+			return nil, fmt.Errorf("read shard map: %w", err)
+		}
+		var addrs []string
+		for _, line := range strings.Split(string(b), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			addrs = append(addrs, line)
+		}
+		return addrs, nil
+	}
+	var addrs []string
+	for _, a := range strings.Split(v, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs, nil
+}
 
 func main() {
 	var (
@@ -68,8 +102,20 @@ func main() {
 		traceSlow   = flag.Duration("trace-slow", 0, "always capture traces slower than this (0 = off)")
 		replicaOf   = flag.String("replica-of", "", "primary wire address to follow as a read replica")
 		replicaPoll = flag.Duration("replica-poll", 10*time.Millisecond, "replica log-shipping poll interval")
+		shardID     = flag.Uint("shard-id", 0, "this node's shard id in -shard-map")
+		shardMap    = flag.String("shard-map", "", "cluster shard map: comma-separated node addresses (index = shard id), or @file with one address per line")
 	)
 	flag.Parse()
+
+	shardAddrs, err := parseShardMap(*shardMap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiserver:", err)
+		os.Exit(1)
+	}
+	if len(shardAddrs) > 0 && int(*shardID) >= len(shardAddrs) {
+		fmt.Fprintf(os.Stderr, "hiserver: -shard-id %d out of range for %d-shard map\n", *shardID, len(shardAddrs))
+		os.Exit(1)
+	}
 
 	model := delay.CloudProfile()
 	if *profile == "zero" {
@@ -132,6 +178,53 @@ func main() {
 		}
 	}
 	defer engine.Close()
+
+	// Sharded deployment: persist the flag-supplied topology (stamped with
+	// this node's shard id) as the newest manifest record, and serve
+	// whatever the manifest holds over OpShardMap so clients and resolvers
+	// can self-bootstrap from any member. A restart without the flags keeps
+	// serving the persisted map; a replica inherits its primary's record
+	// through log shipping.
+	if len(shardAddrs) > 0 {
+		if follower != nil {
+			fmt.Fprintln(os.Stderr, "hiserver: -shard-map is a primary flag; replicas inherit the map from their primary")
+			os.Exit(1)
+		}
+		m, err := shard.NewMap(1, shardAddrs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiserver:", err)
+			os.Exit(1)
+		}
+		m.SelfID = uint32(*shardID)
+		persist := true
+		if prev := engine.ShardMapPayload(); prev != nil {
+			if pm, err := shard.DecodeMap(prev); err == nil {
+				m.Version = pm.Version
+				if string(prev) == string(m.Encode()) {
+					persist = false // unchanged topology: keep the record
+				} else {
+					m.Version = pm.Version + 1
+				}
+			}
+		}
+		if persist {
+			if err := engine.SetShardMap(m.Encode()); err != nil {
+				fmt.Fprintln(os.Stderr, "hiserver: persist shard map:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	shardInfo := func() *wire.ShardMap {
+		b := engine.ShardMapPayload()
+		if b == nil {
+			return nil
+		}
+		sm, err := wire.DecodeShardMap(b)
+		if err != nil {
+			return nil
+		}
+		return sm
+	}
 
 	front := sqlfront.NewFrontend("hiengine", adapt.New(engine))
 	if follower != nil {
@@ -198,6 +291,11 @@ func main() {
 		Stats:        func() string { return statsLine() + "\n" },
 		Epoch:        engine.Epoch,
 		ObserveEpoch: engine.ObserveEpoch,
+		ShardInfo:    shardInfo,
+		// The 2PC participant surface is wired unconditionally: a promoted
+		// replica adopts its primary's prepared transactions and must serve
+		// OpTxnRecover/OpTxnDecide for coordinator recovery.
+		TwoPC: shard.EngineHooks(engine),
 	}
 	if follower != nil {
 		scfg.Replica = &server.ReplicaConfig{
@@ -255,6 +353,15 @@ func main() {
 				st["poll_error"] = err.Error()
 			}
 		}
+		if sm := shardInfo(); sm != nil {
+			st["shard"] = map[string]any{
+				"id":          sm.SelfID,
+				"shards":      len(sm.Addrs),
+				"map_version": sm.Version,
+				"addrs":       sm.Addrs,
+			}
+		}
+		st["indoubt_2pc"] = engine.InDoubt()
 		return st
 	}
 
@@ -327,6 +434,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hiserver: read replica of %s; listening on %s\n", *replicaOf, *addr)
 	} else {
 		fmt.Fprintf(os.Stderr, "hiserver: engines hiengine (default), innodb; listening on %s\n", *addr)
+	}
+	if sm := shardInfo(); sm != nil {
+		fmt.Fprintf(os.Stderr, "hiserver: shard %d of %d (map version %d)\n", sm.SelfID, len(sm.Addrs), sm.Version)
 	}
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "hiserver:", err)

@@ -125,6 +125,12 @@ func (tx *Txn) CommitAsync(cb func(error)) error {
 	return mapErr(tx.t.CommitAsync(func(err error) { cb(mapErr(err)) }))
 }
 
+// PrepareAsync implements engineapi.Preparer: the transaction becomes a 2PC
+// participant under gtid; cb fires when the prepare record is durable.
+func (tx *Txn) PrepareAsync(gtid string, cb func(readOnly bool, err error)) error {
+	return mapErr(tx.t.PrepareAsync(gtid, func(ro bool, err error) { cb(ro, mapErr(err)) }))
+}
+
 // CSN implements engineapi.CSNReporter.
 func (tx *Txn) CSN() uint64 { return tx.t.CSN() }
 

@@ -780,6 +780,85 @@ func (s *Session) Rollback() error {
 	return err
 }
 
+// ShardMap fetches the server's shard topology (OpShardMap) for router
+// bootstrap. With expect=true the request asserts this session is talking
+// to the node serving shard id; a mismatch is the typed CodeWrongShard
+// refusal, the router's cue that its map is stale.
+func (s *Session) ShardMap(expect bool, id uint32) (*wire.ShardMap, error) {
+	r, err := s.do(wire.OpShardMap, wire.EncodeShardMapReq(expect, id))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeShardMap(r.body)
+}
+
+// TxnPrepare votes on the open session transaction as a two-phase-commit
+// participant under gtid. The response arrives when the prepare record is
+// durable: wire.PreparedWrites means the coordinator owes this node a
+// decision (TxnDecide), wire.PreparedReadOnly means the transaction wrote
+// nothing and committed locally. An error response is a "no" vote -- the
+// server has already aborted the transaction. The session transaction is
+// over either way: a prepared participant belongs to the engine's decision
+// path, never to this session. Prepare is never retried here -- a lost ack
+// leaves the participant in-doubt, and only the coordinator's recovery
+// protocol may resolve that.
+func (s *Session) TxnPrepare(gtid string) (vote byte, err error) {
+	r, err := s.do(wire.OpTxnPrepare, wire.EncodeTxnPrepare(gtid))
+	if err == nil {
+		s.inTxn = false
+	} else {
+		// Any definitive server answer means the transaction is gone; only
+		// admission refusals (Busy/Closed) answer without executing.
+		var we *wire.Error
+		if errors.As(err, &we) && we.Code != wire.CodeBusy && we.Code != wire.CodeClosed {
+			s.inTxn = false
+		}
+		if !s.w.healthy() {
+			s.inTxn = false
+		}
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(r.body) != 1 || r.body[0] > wire.PreparedReadOnly {
+		return 0, wire.ErrPayloadCorrupt
+	}
+	return r.body[0], nil
+}
+
+// TxnDecide delivers the coordinator's decision for a prepared gtid; the
+// response (the commit CSN, 0 for abort) arrives when the decision record
+// is durable and applied. Idempotent server-side, so a coordinator may
+// re-deliver after a lost ack.
+func (s *Session) TxnDecide(gtid string, commit bool) (uint64, error) {
+	r, err := s.do(wire.OpTxnDecide, wire.EncodeTxnDecide(gtid, commit))
+	if err != nil {
+		return 0, err
+	}
+	return wire.DecodeTxnCSN(r.body)
+}
+
+// TxnStatus asks a participant for a gtid's outcome (wire.Txn* state byte
+// plus commit CSN). Recovering coordinators use it against a transaction's
+// home shard to learn the authoritative decision.
+func (s *Session) TxnStatus(gtid string) (state byte, csn uint64, err error) {
+	r, err := s.do(wire.OpTxnStatus, wire.EncodeTxnStatus(gtid))
+	if err != nil {
+		return 0, 0, err
+	}
+	return wire.DecodeTxnState(r.body)
+}
+
+// TxnRecover lists the gtids prepared on this node but still undecided --
+// the in-doubt set a recovering coordinator must resolve.
+func (s *Session) TxnRecover() ([]string, error) {
+	r, err := s.do(wire.OpTxnRecover, nil)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeGTIDList(r.body)
+}
+
 // Stats fetches the server stats snapshot.
 func (s *Session) Stats() (string, error) {
 	r, err := s.do(wire.OpStats, nil)

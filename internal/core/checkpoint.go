@@ -74,6 +74,11 @@ func (e *Engine) checkpointLocked() (uint64, error) {
 	for e.commitsDurable.Load() < target {
 		runtime.Gosched()
 	}
+	// Segments recovery still needs for 2PC state (undecided prepares,
+	// retained decisions) must stay outside the fence. The barrier above
+	// guarantees every entry whose records reached a sealed segment is
+	// registered with stable fields.
+	fence = e.filterFence2PC(fence, ckptCSN)
 	plog, err := e.svc.Create(srss.TierCompute)
 	if err != nil {
 		return 0, err
@@ -209,6 +214,9 @@ type RecoveryStats struct {
 	// bytes were never acknowledged to any committer.
 	TornTails      int64
 	TruncatedBytes int64
+	// InDoubt counts prepared-but-undecided global transactions
+	// reconstructed from OpPrepare records (awaiting their coordinator).
+	InDoubt int64
 
 	// fenced carries the checkpoint-covered segment set to OpenReplica.
 	fenced []uint16
@@ -249,6 +257,7 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 		tablesByID: make(map[uint32]*Table),
 		status:     newStatusMap(),
 		workers:    make([]workerSlot, cfg.Workers),
+		pend2pc:    make(map[string]*pend2pcEntry),
 	}
 	if c, ok := cfg.Clock.(*clock.Counter); ok {
 		e.counter = c
@@ -279,6 +288,8 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 			if f, n := binary.Uvarint(payload); n > 0 && f > fencedBy {
 				fencedBy = f
 			}
+		case manifestShard:
+			e.lastShardPayload = append([]byte(nil), payload...)
 		case manifestTable:
 			id, n := binary.Uvarint(payload)
 			if n <= 0 {
@@ -412,6 +423,22 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 		segCh <- s
 	}
 	close(segCh)
+	// 2PC records collected during replay. OpPrepare/OpDecide are handled
+	// BEFORE the skip-CSN check: a prepare record carries CSN 0 (the skip
+	// rule would always drop it) and decision records must always be
+	// collected so the node keeps answering TxnStatus.
+	type prepRec struct {
+		addr    wal.Addr
+		payload []byte
+	}
+	type decRec struct {
+		commit bool
+		csn    uint64
+		seg    uint16
+	}
+	var twopcMu sync.Mutex
+	preps := make(map[string]prepRec)
+	decs := make(map[string]decRec)
 	var wg sync.WaitGroup
 	errCh := make(chan error, opt.ReplayThreads)
 	for i := 0; i < opt.ReplayThreads; i++ {
@@ -427,6 +454,22 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 					localScanned++
 					if rec.CSN > localMax {
 						localMax = rec.CSN
+					}
+					switch rec.Op {
+					case wal.OpPrepare:
+						if gtid, _, err := decodePreparePayload(rec.Payload); err == nil {
+							twopcMu.Lock()
+							preps[gtid] = prepRec{addr: addr, payload: append([]byte(nil), rec.Payload...)}
+							twopcMu.Unlock()
+						}
+						return true
+					case wal.OpDecide:
+						if gtid, commit, err := decodeDecidePayload(rec.Payload); err == nil {
+							twopcMu.Lock()
+							decs[gtid] = decRec{commit: commit, csn: rec.CSN, seg: addr.Segment()}
+							twopcMu.Unlock()
+						}
+						return true
 					}
 					if rec.CSN <= skipCSN {
 						// Fully represented by the checkpoint image
@@ -458,6 +501,31 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 	case err := <-errCh:
 		return nil, nil, err
 	default:
+	}
+
+	// Apply decided 2PC writes: a prepare paired with a commit decision
+	// replays its embedded records at the decision CSN (newest-CSN-wins, so
+	// re-applying writes a checkpoint image already covers is a no-op). A
+	// prepare paired with an abort is dropped. Undecided prepares are
+	// reconstructed as in-doubt transactions after the index rebuild below.
+	for gtid, p := range preps {
+		d, decided := decs[gtid]
+		if !decided || !d.commit {
+			continue
+		}
+		if _, body, err := decodePreparePayload(p.payload); err == nil {
+			embBase := prepHeaderLen(len(p.payload)) + (len(p.payload) - len(body))
+			_ = forEachEmbedded(body, func(off int, rec wal.Record) error {
+				rec.CSN = d.csn
+				if applyReplay(catalog, p.addr.Add(uint32(embBase+off)), rec) {
+					applied.Add(1)
+				}
+				return nil
+			})
+		}
+		if d.csn > maxCSN.Load() {
+			maxCSN.Store(d.csn)
+		}
 	}
 	stats.RecordsScanned = scanned.Load()
 	stats.RecordsApplied = applied.Load()
@@ -493,6 +561,24 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 			return nil, nil, err
 		}
 		stats.IndexDuration = time.Since(ixStart)
+	}
+
+	// Phase 5: 2PC state. Undecided prepares become in-doubt transactions
+	// again -- TID-stamped versions on the heads (re-acquired write locks)
+	// plus their index entries -- awaiting the coordinator; decided gtids
+	// are remembered so TxnStatus keeps answering across the restart.
+	for gtid, p := range preps {
+		if _, decided := decs[gtid]; decided {
+			continue
+		}
+		if err := e.reconstructInDoubt(gtid, p.addr, p.payload); err != nil {
+			return nil, nil, fmt.Errorf("core: in-doubt reconstruction of %q: %w", gtid, err)
+		}
+		stats.InDoubt++
+	}
+	for gtid, d := range decs {
+		p, havePrep := preps[gtid]
+		e.noteDecision(gtid, d.commit, d.csn, d.seg, p.addr.Segment(), havePrep)
 	}
 	if cfg.RepairInterval > 0 && !opt.readOnly {
 		e.stopRepair = e.svc.StartRepairer(cfg.RepairInterval)

@@ -46,6 +46,10 @@ func (t *Txn) commitStart(durable func(error)) (bool, error) {
 	if t.finished {
 		return false, ErrTxnDone
 	}
+	if t.prepared {
+		// A prepared 2PC participant is decided only through Engine.Resolve.
+		return false, ErrInDoubt
+	}
 	// Fail-stop: once any commit's log append has failed durability, no
 	// further commit may be acknowledged -- the client-visible history
 	// would silently diverge from what recovery can reconstruct.
@@ -148,6 +152,11 @@ func (t *Txn) commitStart(durable func(error)) (bool, error) {
 func (t *Txn) Abort() error {
 	if t.finished {
 		return ErrTxnDone
+	}
+	if t.prepared {
+		// The write locks outlive the session: a prepared transaction is
+		// in-doubt until the coordinator's decision arrives via Resolve.
+		return ErrInDoubt
 	}
 	t.statusWord.Store(packStatus(txAborted, 0))
 	// Uninstall in reverse order so chained writes to the same RID unwind

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"hiengine/internal/wal"
 )
@@ -49,6 +50,16 @@ func (e *Engine) CompactFull() (CompactionStats, error) {
 	for _, s := range e.log.SealedSegments() {
 		oldSegs[s] = true
 	}
+	// Wait for in-flight prepare/decision/commit appends so every 2PC
+	// record that landed in a sealed segment has registered its segment,
+	// then keep those segments: an OpPrepare backing an undecided (or
+	// committed) transaction and every retained OpDecide record must
+	// survive compaction for recovery.
+	target := e.commitsStarted.Load()
+	for e.commitsDurable.Load() < target {
+		runtime.Gosched()
+	}
+	e.protect2PCSegments(oldSegs)
 	oldBytes := int64(0)
 	for s := range oldSegs {
 		if id, ok := e.log.Directory().Lookup(s); ok {

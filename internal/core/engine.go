@@ -187,9 +187,19 @@ type Engine struct {
 	// lastCkptPayload caches the newest checkpoint manifest record so a
 	// manifest migration can reproduce it.
 	lastCkptPayload []byte
+	// lastShardPayload caches the newest shard-map manifest record (opaque
+	// to core; internal/shard owns the encoding) for the same reason.
+	lastShardPayload []byte
 
 	tidSeq atomic.Uint64
 	status *statusMap
+
+	// pend2pc tracks global (2PC) transactions prepared on this node, keyed
+	// by gtid. Undecided entries are the in-doubt list; decided entries are
+	// retained so the node keeps answering TxnStatus across restarts (their
+	// decision segments are excluded from checkpoint fences).
+	pendMu  sync.Mutex
+	pend2pc map[string]*pend2pcEntry
 
 	workers []workerSlot
 
@@ -258,6 +268,7 @@ func Open(cfg Config) (*Engine, error) {
 		tablesByID: make(map[uint32]*Table),
 		status:     newStatusMap(),
 		workers:    make([]workerSlot, cfg.Workers),
+		pend2pc:    make(map[string]*pend2pcEntry),
 	}
 	if c, ok := cfg.Clock.(*clock.Counter); ok {
 		e.counter = c
@@ -319,6 +330,8 @@ func (e *Engine) initObs() {
 	reg.GaugeFunc("core.durability_lag", func() int64 {
 		return e.commitsStarted.Load() - e.commitsDurable.Load()
 	})
+	// Prepared-but-undecided global transactions awaiting a coordinator.
+	reg.GaugeFunc("core.indoubt_2pc", e.inDoubtCount)
 	e.svc.AttachObs(reg)
 }
 
@@ -427,6 +440,7 @@ const (
 	manifestCheckpoint = 'C' // payload: 24-byte ckpt PLog ID | uvarint csn | uvarint entries
 	manifestEpoch      = 'E' // payload: uvarint primary epoch of this lineage
 	manifestFence      = 'F' // payload: uvarint foreign epoch this node is fenced by
+	manifestShard      = 'S' // payload: opaque versioned shard-map bytes (wire encoding)
 )
 
 func (e *Engine) appendManifest(typ byte, payload []byte) error {
@@ -438,6 +452,9 @@ func (e *Engine) appendManifest(typ byte, payload []byte) error {
 	defer e.manifestMu.Unlock()
 	if typ == manifestCheckpoint {
 		e.lastCkptPayload = append([]byte(nil), payload...)
+	}
+	if typ == manifestShard {
+		e.lastShardPayload = append([]byte(nil), payload...)
 	}
 	_, err := e.manifest.Append(buf)
 	if err == nil {
@@ -494,6 +511,11 @@ func (e *Engine) appendManifest(typ byte, payload []byte) error {
 			return werr
 		}
 	}
+	if e.lastShardPayload != nil {
+		if werr := write(manifestShard, e.lastShardPayload); werr != nil {
+			return werr
+		}
+	}
 	if ep := e.epoch.Load(); ep != 0 {
 		if werr := write(manifestEpoch, binary.AppendUvarint(nil, ep)); werr != nil {
 			return werr
@@ -512,6 +534,27 @@ func (e *Engine) appendManifest(typ byte, payload []byte) error {
 	e.manifest = fresh
 	e.svc.SetWellKnown(e.cfg.Name, fresh.ID())
 	return nil
+}
+
+// SetShardMap persists an opaque shard-map record in the manifest (the
+// versioned topology record of internal/shard). The newest record wins on
+// recovery; the bytes are owned by the caller's encoding.
+func (e *Engine) SetShardMap(payload []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return e.appendManifest(manifestShard, payload)
+}
+
+// ShardMapPayload returns the newest persisted shard-map record (nil if
+// none was ever set).
+func (e *Engine) ShardMapPayload() []byte {
+	e.manifestMu.Lock()
+	defer e.manifestMu.Unlock()
+	if e.lastShardPayload == nil {
+		return nil
+	}
+	return append([]byte(nil), e.lastShardPayload...)
 }
 
 // --- DDL -----------------------------------------------------------------

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"sync"
 
 	"hiengine/internal/srss"
@@ -38,6 +39,18 @@ type Replica struct {
 	catalog  map[uint32]*Table
 	maxCSN   uint64
 	manifest srss.PLogID // current manifest (the primary migrates it; TrackManifest follows)
+
+	// pendPrep buffers OpPrepare records seen while following, keyed by
+	// gtid: their embedded writes apply only when the matching OpDecide
+	// ships (commit) or are dropped (abort). Prepares still undecided at
+	// promotion are adopted as in-doubt transactions.
+	pendPrep map[string]replPrepare
+}
+
+// replPrepare is one buffered prepare record on a follower.
+type replPrepare struct {
+	addr    wal.Addr
+	payload []byte
 }
 
 // OpenReplica spawns a read-only replica from the primary's manifest. The
@@ -50,11 +63,12 @@ func OpenReplica(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Repli
 		return nil, nil, err
 	}
 	r := &Replica{
-		e:       e,
-		applied: make(map[uint16]int64),
-		fenced:  make(map[uint16]bool),
-		catalog: make(map[uint32]*Table),
-		maxCSN:  stats.MaxCSN,
+		e:        e,
+		applied:  make(map[uint16]int64),
+		fenced:   make(map[uint16]bool),
+		catalog:  make(map[uint32]*Table),
+		maxCSN:   stats.MaxCSN,
+		pendPrep: make(map[string]replPrepare),
 	}
 	for _, seg := range stats.fenced {
 		r.fenced[seg] = true
@@ -162,6 +176,18 @@ func (r *Replica) CatchUp() (int64, error) {
 		}
 		from := r.applied[seg]
 		next, err := r.e.log.ScanSegmentFrom(seg, from, func(addr wal.Addr, rec wal.Record) bool {
+			// 2PC records carry table 0 and must be handled before the
+			// catalog check below (table 0 is never known; the scan would
+			// stall on them forever).
+			if rec.Op == wal.OpPrepare || rec.Op == wal.OpDecide {
+				if r.applyTwoPCFollower(addr, rec, &refreshed) {
+					applied++
+				}
+				if rec.CSN > r.maxCSN {
+					r.maxCSN = rec.CSN
+				}
+				return true
+			}
 			if _, known := r.catalog[rec.Table]; !known {
 				// DDL ran on the primary after this replica recovered.
 				// The manifest 'T' record precedes any WAL record for the
@@ -238,11 +264,83 @@ func (r *Replica) Promote(observed uint64) (uint64, error) {
 		return 0, err
 	}
 	e.epoch.Store(epoch)
+	// Adopt prepares that shipped while following but whose decisions never
+	// arrived: the new primary re-acquires their write locks as in-doubt
+	// transactions so the coordinator can resolve them here (recovery-time
+	// prepares were already reconstructed by OpenReplica's Recover).
+	for gtid, p := range r.pendPrep {
+		if err := e.reconstructInDoubt(gtid, p.addr, p.payload); err != nil {
+			return 0, fmt.Errorf("core: adopting in-doubt %q at promotion: %w", gtid, err)
+		}
+		delete(r.pendPrep, gtid)
+	}
 	if e.cfg.RepairInterval > 0 && e.stopRepair == nil {
 		e.stopRepair = e.svc.StartRepairer(e.cfg.RepairInterval)
 	}
 	e.readOnly.Store(false)
 	return epoch, nil
+}
+
+// applyTwoPCFollower applies one 2PC record on the follower. Prepares are
+// buffered (their writes must not become visible before the decision);
+// decisions resolve either a recovery-reconstructed in-doubt transaction or
+// a buffered prepare, and are always remembered so a promoted follower can
+// answer TxnStatus. Requires r.mu.
+func (r *Replica) applyTwoPCFollower(addr wal.Addr, rec wal.Record, refreshed *bool) bool {
+	e := r.e
+	switch rec.Op {
+	case wal.OpPrepare:
+		gtid, _, err := decodePreparePayload(rec.Payload)
+		if err != nil {
+			return false
+		}
+		r.pendPrep[gtid] = replPrepare{addr: addr, payload: append([]byte(nil), rec.Payload...)}
+		return true
+	case wal.OpDecide:
+		gtid, commit, err := decodeDecidePayload(rec.Payload)
+		if err != nil {
+			return false
+		}
+		e.pendMu.Lock()
+		entry := e.pend2pc[gtid]
+		e.pendMu.Unlock()
+		if entry != nil {
+			// Recovery reconstructed this prepare as an in-doubt
+			// transaction; deliver the decision to it directly.
+			entry.mu.Lock()
+			if !entry.decided {
+				entry.commit = commit
+				entry.csn = rec.CSN
+				entry.decSeg = addr.Segment()
+				e.applyDecisionLocked(entry)
+				entry.decided = true
+			}
+			entry.mu.Unlock()
+			delete(r.pendPrep, gtid)
+			return true
+		}
+		p, buffered := r.pendPrep[gtid]
+		if buffered {
+			delete(r.pendPrep, gtid)
+			if commit {
+				if _, body, err := decodePreparePayload(p.payload); err == nil {
+					embBase := prepHeaderLen(len(p.payload)) + (len(p.payload) - len(body))
+					_ = forEachEmbedded(body, func(off int, emb wal.Record) error {
+						if _, known := r.catalog[emb.Table]; !known && !*refreshed {
+							*refreshed = true
+							_, _ = r.refreshCatalogLocked()
+						}
+						emb.CSN = rec.CSN
+						r.applyFollower(p.addr.Add(uint32(embBase+off)), emb)
+						return nil
+					})
+				}
+			}
+		}
+		e.noteDecision(gtid, commit, rec.CSN, addr.Segment(), p.addr.Segment(), buffered)
+		return true
+	}
+	return false
 }
 
 // applyFollower applies one log record on the replica: newest-CSN-wins into

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// prepare is a test helper: runs Prepare and fails the test on error.
+func prepare(t *testing.T, tx *Txn, gtid string) {
+	t.Helper()
+	ro, err := tx.Prepare(gtid)
+	if err != nil {
+		t.Fatalf("prepare %s: %v", gtid, err)
+	}
+	if ro {
+		t.Fatalf("prepare %s: unexpected read-only vote", gtid)
+	}
+}
+
+func resolve(t *testing.T, e *Engine, gtid string, commit bool) uint64 {
+	t.Helper()
+	type res struct {
+		csn uint64
+		err error
+	}
+	ch := make(chan res, 1)
+	if err := e.Resolve(gtid, commit, func(csn uint64, err error) { ch <- res{csn, err} }); err != nil {
+		t.Fatalf("resolve %s: %v", gtid, err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("resolve %s durability: %v", gtid, r.err)
+	}
+	return r.csn
+}
+
+func TestPrepareCommitVisibility(t *testing.T) {
+	e := testEngine(t)
+	tbl := mustTable(t, e, usersSchema())
+	insertUser(t, e, tbl, 0, 1, "alice", 100)
+
+	tx, err := e.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, _, err := tx.GetByKey(tbl, 0, I(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update(tbl, rid, Row{I(1), S("alice"), I(150)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert(tbl, Row{I(2), S("bob"), I(50)}); err != nil {
+		t.Fatal(err)
+	}
+	prepare(t, tx, "h0-t1")
+
+	// Prepared writes are invisible and hold their locks.
+	snap := snapshotTable(t, e, "users")
+	if snap[1][1].(int64) != 100 {
+		t.Fatalf("prepared update visible early: %v", snap[1])
+	}
+	if _, ok := snap[2]; ok {
+		t.Fatal("prepared insert visible early")
+	}
+	tx2, _ := e.Begin(1)
+	rid2, _, err := tx2.GetByKey(tbl, 0, I(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Update(tbl, rid2, Row{I(1), S("alice"), I(999)}); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting write on prepared row: err=%v", err)
+	}
+	// The prepared txn refuses local commit/abort.
+	if err := tx.Abort(); !errors.Is(err, ErrInDoubt) {
+		t.Fatalf("abort of prepared txn: %v", err)
+	}
+	if st, _ := e.TxnStatus("h0-t1"); st != TxnInDoubt {
+		t.Fatalf("status before decision: %v", st)
+	}
+	if got := e.InDoubt(); len(got) != 1 || got[0] != "h0-t1" {
+		t.Fatalf("in-doubt list: %v", got)
+	}
+
+	csn := resolve(t, e, "h0-t1", true)
+	if csn == 0 {
+		t.Fatal("commit decision returned CSN 0")
+	}
+	snap = snapshotTable(t, e, "users")
+	if snap[1][1].(int64) != 150 || snap[2][1].(int64) != 50 {
+		t.Fatalf("committed writes not visible: %v", snap)
+	}
+	if st, gotCSN := e.TxnStatus("h0-t1"); st != TxnCommitted || gotCSN != csn {
+		t.Fatalf("status after commit: %v csn=%d want %d", st, gotCSN, csn)
+	}
+	// Idempotent re-delivery; conflicting decision rejected.
+	if got := resolve(t, e, "h0-t1", true); got != csn {
+		t.Fatalf("re-delivered commit csn %d != %d", got, csn)
+	}
+	if err := e.Resolve("h0-t1", false, func(uint64, error) {}); !errors.Is(err, ErrConflictingDecision) {
+		t.Fatalf("conflicting decision: %v", err)
+	}
+}
+
+func TestPrepareAbortUninstalls(t *testing.T) {
+	e := testEngine(t)
+	tbl := mustTable(t, e, usersSchema())
+	insertUser(t, e, tbl, 0, 1, "alice", 100)
+
+	tx, _ := e.Begin(0)
+	rid, _, err := tx.GetByKey(tbl, 0, I(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete(tbl, rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert(tbl, Row{I(3), S("carol"), I(7)}); err != nil {
+		t.Fatal(err)
+	}
+	prepare(t, tx, "h0-t2")
+	if csn := resolve(t, e, "h0-t2", false); csn != 0 {
+		t.Fatalf("abort decision returned csn %d", csn)
+	}
+	snap := snapshotTable(t, e, "users")
+	if snap[1][1].(int64) != 100 {
+		t.Fatalf("aborted delete leaked: %v", snap)
+	}
+	if _, ok := snap[3]; ok {
+		t.Fatal("aborted insert leaked")
+	}
+	// The lock is released: a new writer succeeds.
+	tx2, _ := e.Begin(1)
+	rid2, _, err := tx2.GetByKey(tbl, 0, I(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Update(tbl, rid2, Row{I(1), S("alice"), I(101)}); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, tx2)
+	if st, _ := e.TxnStatus("h0-t2"); st != TxnAborted {
+		t.Fatalf("status after abort: %v", st)
+	}
+	// Presumed abort: aborting an unknown gtid is a no-op, committing fails.
+	done := false
+	if err := e.Resolve("nope", false, func(uint64, error) { done = true }); err != nil || !done {
+		t.Fatalf("presumed abort of unknown gtid: %v done=%v", err, done)
+	}
+	if err := e.Resolve("nope", true, func(uint64, error) {}); !errors.Is(err, ErrUnknownGTID) {
+		t.Fatalf("commit of unknown gtid: %v", err)
+	}
+}
+
+func TestReadOnlyPrepareVotes(t *testing.T) {
+	e := testEngine(t)
+	tbl := mustTable(t, e, usersSchema())
+	insertUser(t, e, tbl, 0, 1, "alice", 100)
+	tx, _ := e.Begin(0)
+	if _, _, err := tx.GetByKey(tbl, 0, I(1)); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := tx.Prepare("h0-ro")
+	if err != nil || !ro {
+		t.Fatalf("read-only prepare: ro=%v err=%v", ro, err)
+	}
+	// No decision owed; the gtid is unknown.
+	if st, _ := e.TxnStatus("h0-ro"); st != TxnUnknown {
+		t.Fatalf("read-only prepare left state: %v", st)
+	}
+}
+
+// TestInDoubtSurvivesRecovery is the core crash-window contract: a prepare
+// with no decision recovers as an in-doubt transaction that still holds its
+// write locks and still resolves either way.
+func TestInDoubtSurvivesRecovery(t *testing.T) {
+	for _, decide := range []string{"commit", "abort"} {
+		t.Run(decide, func(t *testing.T) {
+			e := testEngine(t)
+			tbl := mustTable(t, e, usersSchema())
+			insertUser(t, e, tbl, 0, 1, "alice", 100)
+			insertUser(t, e, tbl, 0, 2, "bob", 200)
+
+			tx, _ := e.Begin(0)
+			rid, _, err := tx.GetByKey(tbl, 0, I(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Update(tbl, rid, Row{I(1), S("alice"), I(111)}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tx.Insert(tbl, Row{I(9), S("ivan"), I(9)}); err != nil {
+				t.Fatal(err)
+			}
+			rid2, _, err := tx.GetByKey(tbl, 0, I(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Delete(tbl, rid2); err != nil {
+				t.Fatal(err)
+			}
+			prepare(t, tx, "h0-crash")
+
+			e2, stats := recoverEngine(t, e, RecoverOptions{ReplayThreads: 2})
+			if stats.InDoubt != 1 {
+				t.Fatalf("recovered in-doubt count: %d", stats.InDoubt)
+			}
+			if got := e2.InDoubt(); len(got) != 1 || got[0] != "h0-crash" {
+				t.Fatalf("in-doubt after recovery: %v", got)
+			}
+			// Locks are held again.
+			snap := snapshotTable(t, e2, "users")
+			if snap[1][1].(int64) != 100 || snap[2][1].(int64) != 200 {
+				t.Fatalf("in-doubt writes leaked after recovery: %v", snap)
+			}
+			tx2, _ := e2.Begin(1)
+			tblv, err := e2.Table("users")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ridB, _, err := tx2.GetByKey(tblv, 0, I(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx2.Update(tblv, ridB, Row{I(1), S("alice"), I(777)}); !errors.Is(err, ErrConflict) {
+				t.Fatalf("in-doubt lock not held after recovery: %v", err)
+			}
+
+			wantCommit := decide == "commit"
+			csn := resolve(t, e2, "h0-crash", wantCommit)
+			snap = snapshotTable(t, e2, "users")
+			if wantCommit {
+				if csn == 0 {
+					t.Fatal("commit csn 0")
+				}
+				if snap[1][1].(int64) != 111 || snap[9][1].(int64) != 9 {
+					t.Fatalf("commit after recovery not applied: %v", snap)
+				}
+				if _, ok := snap[2]; ok {
+					t.Fatalf("committed delete not applied: %v", snap)
+				}
+			} else {
+				if snap[1][1].(int64) != 100 || snap[2][1].(int64) != 200 {
+					t.Fatalf("abort after recovery leaked writes: %v", snap)
+				}
+				if _, ok := snap[9]; ok {
+					t.Fatal("aborted insert leaked after recovery")
+				}
+			}
+
+			// The decision itself survives ANOTHER crash.
+			e3, _ := recoverEngine(t, e2, RecoverOptions{ReplayThreads: 2})
+			st, gotCSN := e3.TxnStatus("h0-crash")
+			if wantCommit && (st != TxnCommitted || gotCSN != csn) {
+				t.Fatalf("decision lost across second recovery: %v csn=%d want %d", st, gotCSN, csn)
+			}
+			if !wantCommit && st != TxnAborted {
+				t.Fatalf("abort decision lost across second recovery: %v", st)
+			}
+			snap3 := snapshotTable(t, e3, "users")
+			if fmt.Sprint(snap3) != fmt.Sprint(snap) {
+				t.Fatalf("state diverged across second recovery:\n  %v\n  %v", snap3, snap)
+			}
+		})
+	}
+}
+
+// TestDecidedTwoPCSurvivesCheckpoint: a checkpoint taken after the decision
+// must cover (or fence correctly around) 2PC writes, and an undecided
+// prepare must survive a checkpoint + recovery cycle.
+func TestTwoPCAcrossCheckpoint(t *testing.T) {
+	e := testEngine(t)
+	tbl := mustTable(t, e, usersSchema())
+	insertUser(t, e, tbl, 0, 1, "alice", 100)
+
+	// One committed, one in-doubt, then checkpoint, then crash.
+	tx, _ := e.Begin(0)
+	if _, err := tx.Insert(tbl, Row{I(10), S("pre"), I(10)}); err != nil {
+		t.Fatal(err)
+	}
+	prepare(t, tx, "h0-done")
+	resolve(t, e, "h0-done", true)
+
+	tx2, _ := e.Begin(1)
+	if _, err := tx2.Insert(tbl, Row{I(11), S("pending"), I(11)}); err != nil {
+		t.Fatal(err)
+	}
+	prepare(t, tx2, "h0-open")
+
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// More traffic after the checkpoint.
+	insertUser(t, e, tbl, 2, 12, "post", 12)
+
+	e2, _ := recoverEngine(t, e, RecoverOptions{ReplayThreads: 2})
+	snap := snapshotTable(t, e2, "users")
+	if snap[10][1].(int64) != 10 || snap[12][1].(int64) != 12 {
+		t.Fatalf("checkpointed 2PC commit lost: %v", snap)
+	}
+	if _, ok := snap[11]; ok {
+		t.Fatal("undecided prepare visible after recovery")
+	}
+	if st, _ := e2.TxnStatus("h0-done"); st != TxnCommitted {
+		t.Fatalf("decided status lost across checkpointed recovery: %v", st)
+	}
+	if got := e2.InDoubt(); len(got) != 1 || got[0] != "h0-open" {
+		t.Fatalf("in-doubt across checkpoint: %v", got)
+	}
+	resolve(t, e2, "h0-open", true)
+	snap = snapshotTable(t, e2, "users")
+	if snap[11][1].(int64) != 11 {
+		t.Fatalf("late commit not applied: %v", snap)
+	}
+}

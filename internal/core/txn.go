@@ -52,6 +52,10 @@ type Txn struct {
 	doneCh chan struct{}
 
 	finished bool
+	// prepared marks a 2PC participant transaction that has voted and now
+	// awaits the coordinator's decision: no further operations, commits or
+	// aborts are accepted through the Txn; Engine.Resolve owns its fate.
+	prepared bool
 
 	// trace, when non-nil, attributes the commit pipeline's WAL and
 	// replication stages to this transaction's request trace. Owned by the

@@ -53,6 +53,19 @@ type AsyncCommitter interface {
 	CommitAsync(cb func(error)) error
 }
 
+// Preparer is optionally implemented by transactions that can act as a
+// two-phase-commit participant. PrepareAsync durably logs the transaction's
+// writes under the global transaction id gtid and invokes cb once the
+// prepare record is durable: readOnly reports that the transaction wrote
+// nothing (a read-only "yes" vote that owes the coordinator no decision);
+// err is the participant's "no" vote (the transaction has been aborted).
+// After a successful non-read-only prepare the transaction is in-doubt:
+// Commit and Abort fail, and only the engine-level decision path can finish
+// it.
+type Preparer interface {
+	PrepareAsync(gtid string, cb func(readOnly bool, err error)) error
+}
+
 // CSNReporter is optionally implemented by transactions that can report the
 // commit sequence number they committed at. The service layer uses it to
 // hand clients a read-your-writes token they can present to a replica.

@@ -82,12 +82,19 @@ const (
 	// mid-response (a partial frame reaches the client), a Delay models a
 	// congested outbound link.
 	SiteWrite = "server.conn.write"
+	// Site2PCAck fires after a prepare or decision record is durable but
+	// before its acknowledgement is written: the canonical 2PC in-doubt
+	// window. Any injected error (fault or crash) drops the connection
+	// without responding, so the coordinator sees a dead peer while the
+	// participant's state is already durable.
+	Site2PCAck = "server.2pc.ack"
 )
 
 func init() {
 	chaos.RegisterSite(SiteAccept, "reject (fault) or slow (delay) an accepted connection")
 	chaos.RegisterSite(SiteRead, "fail the connection (fault) or slow (delay) a request read")
 	chaos.RegisterSite(SiteWrite, "drop the connection mid-response (fault) or slow (delay) a response write")
+	chaos.RegisterSite(Site2PCAck, "lose a durable prepare/decision acknowledgement (the in-doubt window)")
 }
 
 // ErrServerBusy is the admission-control sentinel (alias of the wire-level
@@ -164,6 +171,27 @@ type Config struct {
 	// lineage. A fenced node refuses repl fetches with CodeStaleEpoch
 	// (writes already fail inside the engine). nil = never fenced.
 	ObserveEpoch func(epoch uint64) bool
+	// ShardInfo, when set, serves OpShardMap: the cluster's shard topology
+	// for client self-bootstrap. A request asserting a shard id other than
+	// the map's SelfID is answered CodeWrongShard -- the router's stale-map
+	// detector. nil (or a nil map) = sharding not enabled.
+	ShardInfo func() *wire.ShardMap
+	// TwoPC, when set, serves the coordinator-facing 2PC opcodes
+	// (OpTxnDecide/OpTxnStatus/OpTxnRecover). OpTxnPrepare needs only the
+	// frontend (the session's open transaction prepares through it).
+	TwoPC *TwoPCConfig
+}
+
+// TwoPCConfig wires the server's 2PC participant opcodes to the engine.
+type TwoPCConfig struct {
+	// Resolve delivers a coordinator decision for a prepared gtid; done
+	// fires once the decision record is durable and applied. Required.
+	Resolve func(gtid string, commit bool, done func(csn uint64, err error)) error
+	// Status reports a gtid's outcome as a wire.Txn* state byte plus the
+	// commit CSN (0 unless committed). Required.
+	Status func(gtid string) (state byte, csn uint64)
+	// InDoubt lists the gtids prepared here but still undecided. Required.
+	InDoubt func() []string
 }
 
 // ReplicaConfig wires a replica server to its follower state.
@@ -856,6 +884,92 @@ func (c *conn) handle(f wire.Frame) bool {
 			finish(nil, wire.EncodeReplChunk(st, data))
 		}
 
+	case wire.OpShardMap:
+		expect, id, err := wire.DecodeShardMapReq(f.Payload)
+		if err != nil {
+			c.s.mProtoErrs.Inc()
+			finish(err, nil)
+			return false
+		}
+		var m *wire.ShardMap
+		if c.s.cfg.ShardInfo != nil {
+			m = c.s.cfg.ShardInfo()
+		}
+		if m == nil {
+			finish(fmt.Errorf("%w: sharding not enabled", wire.ErrBadStatement), nil)
+			return true
+		}
+		// The router's stale-map detector: a request asserting the wrong
+		// shard id gets the typed refusal (plus the current map in the
+		// message-free body) instead of silently serving foreign keys.
+		if expect && id != m.SelfID {
+			finish(fmt.Errorf("node serves shard %d, not %d: %w", m.SelfID, id, wire.ErrWrongShard), nil)
+			return true
+		}
+		finish(nil, wire.EncodeShardMap(m))
+
+	case wire.OpTxnPrepare:
+		gtid, err := wire.DecodeTxnPrepare(f.Payload)
+		if err != nil {
+			c.s.mProtoErrs.Inc()
+			finish(err, nil)
+			return false
+		}
+		c.prepare2pc(f.RequestID, gtid, release)
+
+	case wire.OpTxnDecide:
+		gtid, commit, err := wire.DecodeTxnDecide(f.Payload)
+		if err != nil {
+			c.s.mProtoErrs.Inc()
+			finish(err, nil)
+			return false
+		}
+		tp := c.s.cfg.TwoPC
+		if tp == nil {
+			finish(fmt.Errorf("%w: two-phase commit not enabled", wire.ErrBadStatement), nil)
+			return true
+		}
+		// Like commit, the decision answers at durability: the response
+		// (and the admission token) defers to the decision record's
+		// durability callback while the read loop moves on.
+		tr := c.takeTerminalTrace()
+		if rerr := tp.Resolve(gtid, commit, func(csn uint64, derr error) {
+			switch {
+			case derr != nil:
+				c.respondTrErr(f.RequestID, tr, derr)
+			case c.ackLost(tr):
+			default:
+				c.respondTr(f.RequestID, tr, wire.CodeOK, "", wire.EncodeTxnCSN(csn))
+			}
+			release()
+		}); rerr != nil {
+			c.respondTrErr(f.RequestID, tr, rerr)
+			release()
+		}
+
+	case wire.OpTxnStatus:
+		gtid, err := wire.DecodeTxnStatus(f.Payload)
+		if err != nil {
+			c.s.mProtoErrs.Inc()
+			finish(err, nil)
+			return false
+		}
+		tp := c.s.cfg.TwoPC
+		if tp == nil {
+			finish(fmt.Errorf("%w: two-phase commit not enabled", wire.ErrBadStatement), nil)
+			return true
+		}
+		st, csn := tp.Status(gtid)
+		finish(nil, wire.EncodeTxnState(st, csn))
+
+	case wire.OpTxnRecover:
+		tp := c.s.cfg.TwoPC
+		if tp == nil {
+			finish(fmt.Errorf("%w: two-phase commit not enabled", wire.ErrBadStatement), nil)
+			return true
+		}
+		finish(nil, wire.EncodeGTIDList(tp.InDoubt()))
+
 	case wire.OpPrepare:
 		sql, err := wire.DecodePrepare(f.Payload)
 		if err != nil {
@@ -1029,6 +1143,60 @@ func (c *conn) commit(reqID uint64, release func()) {
 		respondOK(tr)
 	}
 	release()
+}
+
+// prepare2pc runs phase one of 2PC on the session's open transaction
+// (OpTxnPrepare). Like commit, the response answers at durability: the vote
+// byte distinguishes a prepared write set (the coordinator owes a decision)
+// from a read-only local commit, and an error response is a "no" vote (the
+// transaction is already aborted). The session detaches from the
+// transaction either way -- the prepared participant belongs to the
+// engine's decision path, so the worker-slot lease returns immediately.
+func (c *conn) prepare2pc(reqID uint64, gtid string, release func()) {
+	start := time.Now()
+	tr := c.tr
+	c.tr = nil
+	err := c.sess.PrepareTxn(gtid, func(readOnly bool, perr error) {
+		c.s.mCommitDur.Record(time.Since(start).Nanoseconds())
+		switch {
+		case perr != nil:
+			c.respondTrErr(reqID, tr, perr)
+		case c.ackLost(tr):
+		default:
+			vote := wire.PreparedWrites
+			if readOnly {
+				vote = wire.PreparedReadOnly
+			}
+			c.respondTr(reqID, tr, wire.CodeOK, "", []byte{vote})
+		}
+		release()
+	})
+	c.sess.SetTrace(nil)
+	c.releaseSlot()
+	if err != nil {
+		// Immediate "no" vote; PrepareTxn never invokes the callback after
+		// a non-nil return.
+		c.respondTrErr(reqID, tr, err)
+		release()
+	}
+}
+
+// ackLost checks the 2PC ack-loss chaos site: on an injected error the
+// connection dies without a response -- the participant's durable state
+// outlives the coordinator's knowledge of it, which is the in-doubt window
+// the recovery protocol exists for. Reports whether the ack was dropped.
+func (c *conn) ackLost(tr *obs.Trace) bool {
+	if err := c.s.cfg.Chaos.Check(Site2PCAck); err == nil {
+		return false
+	}
+	c.writeMu.Lock()
+	c.dead = true
+	c.nc.Close()
+	c.writeMu.Unlock()
+	if tr != nil {
+		tr.Discard()
+	}
+	return true
 }
 
 // takeTerminalTrace detaches and returns the active trace if the response

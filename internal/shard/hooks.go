@@ -1,0 +1,22 @@
+package shard
+
+import (
+	"hiengine/internal/core"
+	"hiengine/internal/server"
+)
+
+// EngineHooks adapts a core engine's 2PC participant surface onto the wire
+// server's TwoPCConfig: hiserver and the in-process test harnesses wire
+// their servers through this one adapter so the state mapping lives in
+// exactly one place. The core TxnState values are defined to match the
+// wire-stable bytes (Unknown=0, InDoubt=1, Committed=2, Aborted=3).
+func EngineHooks(e *core.Engine) *server.TwoPCConfig {
+	return &server.TwoPCConfig{
+		Resolve: e.Resolve,
+		Status: func(gtid string) (byte, uint64) {
+			st, csn := e.TxnStatus(gtid)
+			return byte(st), csn
+		},
+		InDoubt: e.InDoubt,
+	}
+}

@@ -18,6 +18,7 @@ var (
 	ErrCrossEngine = errors.New("sqlfront: transaction cannot span storage engines")
 	ErrBadPlan     = errors.New("sqlfront: no usable index for WHERE clause")
 	ErrParamCount  = errors.New("sqlfront: wrong parameter count")
+	ErrNoPrepare   = errors.New("sqlfront: engine does not support two-phase commit")
 )
 
 // Frontend is the shared SQL layer (Figure 3): one parser/planner in front
@@ -468,6 +469,36 @@ func (s *Session) CommitAsync(done func(error)) (async bool, err error) {
 		s.noteCSN(t)
 	}
 	return false, err
+}
+
+// PrepareTxn votes on the open transaction as a two-phase-commit
+// participant under gtid (the wire protocol's OpTxnPrepare). On a nil
+// return, done is guaranteed to fire -- possibly before PrepareTxn returns
+// -- with the vote: readOnly=true is a "yes" vote that owes no decision
+// (the transaction wrote nothing and committed locally); err != nil means
+// the prepare record failed durability. A non-nil return is an immediate
+// "no" vote (the transaction has been aborted) and done is never called.
+// Either way the session is detached from the transaction when this
+// returns -- a prepared participant is finished only by the engine's
+// decision path, never by this session.
+func (s *Session) PrepareTxn(gtid string, done func(readOnly bool, err error)) error {
+	if s.txn == nil {
+		if s.txnEngine == "?pending" { // BEGIN; PREPARE with no statements
+			s.txnEngine = ""
+			done(true, nil)
+			return nil
+		}
+		return ErrNoTxn
+	}
+	t := s.txn
+	s.txn = nil
+	s.txnEngine = ""
+	p, ok := t.(engineapi.Preparer)
+	if !ok {
+		t.Abort()
+		return ErrNoPrepare
+	}
+	return p.PrepareAsync(gtid, done)
 }
 
 func (s *Session) rollback() error {

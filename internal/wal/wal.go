@@ -93,6 +93,17 @@ const (
 	OpInsert byte = 'I'
 	OpUpdate byte = 'U'
 	OpDelete byte = 'D'
+	// OpPrepare is a 2PC prepare record: its payload wraps the gtid plus
+	// the transaction's whole (unstamped) write buffer, so the prepared
+	// writes become durable in one group-commit append without becoming
+	// visible. Table/RID are 0 and the CSN field stays 0 -- visibility is
+	// deferred to the decision.
+	OpPrepare byte = 'P'
+	// OpDecide is a 2PC decision record: payload carries the gtid and the
+	// commit/abort verdict; the CSN field carries the decision CSN (commit
+	// and abort both consume one, so checkpoint fencing can order every
+	// decision against the checkpoint horizon).
+	OpDecide byte = 'G'
 )
 
 // Record is one decoded log record: a full record version (or a delete
@@ -151,7 +162,7 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 	}
 	r := Record{Op: buf[0]}
 	switch r.Op {
-	case OpInsert, OpUpdate, OpDelete:
+	case OpInsert, OpUpdate, OpDelete, OpPrepare, OpDecide:
 	default:
 		return Record{}, 0, fmt.Errorf("wal: bad op tag %#x", buf[0])
 	}

@@ -88,6 +88,22 @@ const (
 	OpReplHello Op = 12 // empty; response: manifest id + current csn
 	OpReplList  Op = 13 // empty; response: plog stat list
 	OpReplFetch Op = 14 // plog id, offset, max bytes; response: stat + data
+	// Sharding opcodes. OpShardMap serves the node's shard map so clients
+	// self-bootstrap topology from any member; the request may carry the
+	// shard id the caller believes it is talking to, and a mismatch answers
+	// CodeWrongShard. The 2PC opcodes drive the distributed-commit protocol
+	// against a participant: Prepare votes on the session's open transaction
+	// (answered at prepare-record durability, like commit), Decide delivers
+	// the coordinator's commit/abort decision for a prepared gtid (answered
+	// at decision-record durability), Status asks the txn's home participant
+	// for its durable outcome, and Recover lists gtids prepared here but
+	// still undecided (the in-doubt list a coordinator resolves on
+	// reconnect).
+	OpShardMap   Op = 15 // optional expected shard id+version; response: shard map
+	OpTxnPrepare Op = 16 // gtid; response at durability: vote flag
+	OpTxnDecide  Op = 17 // gtid + decision; response at durability: commit csn
+	OpTxnStatus  Op = 18 // gtid; response: csn (committed) / in-doubt / not-found
+	OpTxnRecover Op = 19 // empty; response: in-doubt gtid list
 )
 
 // String names the opcode.
@@ -121,13 +137,23 @@ func (o Op) String() string {
 		return "repl_list"
 	case OpReplFetch:
 		return "repl_fetch"
+	case OpShardMap:
+		return "shard_map"
+	case OpTxnPrepare:
+		return "txn_prepare"
+	case OpTxnDecide:
+		return "txn_decide"
+	case OpTxnStatus:
+		return "txn_status"
+	case OpTxnRecover:
+		return "txn_recover"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
 }
 
 // MaxOp is the highest assigned opcode (sizing per-opcode metric tables).
-const MaxOp = OpReplFetch
+const MaxOp = OpTxnRecover
 
 // TraceFlag marks a traced frame. It rides the opcode byte's high bit (no
 // assigned opcode comes near it) so untraced frames are byte-identical to
@@ -143,7 +169,7 @@ const traceIDSize = 8
 
 // validRequest reports whether o is a client-issued opcode.
 func validRequest(o Op) bool {
-	return (o >= OpPing && o <= OpStats) || (o >= OpPrepare && o <= OpReplFetch)
+	return (o >= OpPing && o <= OpStats) || (o >= OpPrepare && o <= OpTxnRecover)
 }
 
 // Code is a stable wire status code.
@@ -182,11 +208,20 @@ const (
 	// failover returns this for writes and repl fetches; the fix is
 	// rediscovery of the current primary, never a retry here.
 	CodeStaleEpoch Code = 10
+	// CodeInDoubt: the named distributed transaction is prepared here but
+	// its commit/abort decision is not yet known. Not retryable in place --
+	// the outcome belongs to the coordinator (or the recovery protocol
+	// against the txn's home participant), which must be consulted.
+	CodeInDoubt Code = 11
+	// CodeWrongShard: the request named a shard id this node does not own
+	// (a stale shard map, or a misrouted statement). Not retryable here --
+	// the client must refresh its shard map and re-route.
+	CodeWrongShard Code = 12
 )
 
 // MaxCode is the highest assigned status code (sizing per-code metric
 // tables).
-const MaxCode = CodeStaleEpoch
+const MaxCode = CodeWrongShard
 
 // String names the code.
 func (c Code) String() string {
@@ -213,6 +248,10 @@ func (c Code) String() string {
 		return "read_only"
 	case CodeStaleEpoch:
 		return "stale_epoch"
+	case CodeInDoubt:
+		return "in_doubt"
+	case CodeWrongShard:
+		return "wrong_shard"
 	default:
 		return fmt.Sprintf("code(%d)", uint16(c))
 	}
@@ -233,6 +272,11 @@ var ErrServerBusy = errors.New("wire: server busy")
 // ErrProtocol marks framing violations (torn, oversize, zero-length or
 // unknown-opcode frames). The connection carrying it is dead.
 var ErrProtocol = errors.New("wire: protocol violation")
+
+// ErrWrongShard is the misrouting sentinel: the request named a shard this
+// node does not own. Carried as CodeWrongShard; the fix is a shard-map
+// refresh, never a retry in place.
+var ErrWrongShard = errors.New("wire: wrong shard")
 
 // Classify maps an error onto exactly one stable code. Precedence puts
 // fatal conditions first: an error that wraps both core.ErrDurabilityLost
@@ -260,6 +304,10 @@ func Classify(err error) Code {
 		return CodeStaleEpoch
 	case errors.Is(err, core.ErrReadOnlyReplica):
 		return CodeReadOnly
+	case errors.Is(err, core.ErrInDoubt):
+		return CodeInDoubt
+	case errors.Is(err, ErrWrongShard):
+		return CodeWrongShard
 	case errors.Is(err, engineapi.ErrConflict):
 		return CodeConflict
 	case errors.Is(err, engineapi.ErrDuplicate):
@@ -305,6 +353,10 @@ func sentinel(c Code) error {
 		return core.ErrReadOnlyReplica
 	case CodeStaleEpoch:
 		return core.ErrStaleEpoch
+	case CodeInDoubt:
+		return core.ErrInDoubt
+	case CodeWrongShard:
+		return ErrWrongShard
 	default:
 		return nil
 	}
@@ -1195,4 +1247,220 @@ func DecodeReplChunk(body []byte) (PLogStat, []byte, error) {
 		return st, nil, err
 	}
 	return st, rest, nil
+}
+
+// --- sharding payloads -------------------------------------------------------
+
+// ShardMap is the wire form of a cluster's static topology: a versioned
+// shard-id -> node-address table. Records route to shards by hashing their
+// primary key (internal/shard owns the hash); the map only names who serves
+// each shard. SelfID is the serving node's own shard id, so a client that
+// bootstrapped from one member knows which slice of the key space that
+// member owns.
+type ShardMap struct {
+	Version uint64
+	SelfID  uint32
+	Addrs   []string // index = shard id
+}
+
+// EncodeShardMapReq builds an OpShardMap request payload. An empty
+// expectation (expect=false) just fetches the map; with expect=true the
+// request asserts the caller believes it is talking to shard id -- the
+// server answers CodeWrongShard on a mismatch, which is how a router
+// detects a stale map before running a transaction on the wrong node.
+func EncodeShardMapReq(expect bool, id uint32) []byte {
+	if !expect {
+		return nil
+	}
+	return binary.AppendUvarint(nil, uint64(id))
+}
+
+// DecodeShardMapReq parses an OpShardMap request payload.
+func DecodeShardMapReq(payload []byte) (expect bool, id uint32, err error) {
+	if len(payload) == 0 {
+		return false, 0, nil
+	}
+	v, w := binary.Uvarint(payload)
+	if w <= 0 || w != len(payload) || v > 1<<31 {
+		return false, 0, ErrPayloadCorrupt
+	}
+	return true, uint32(v), nil
+}
+
+// EncodeShardMap builds the OpShardMap success body.
+func EncodeShardMap(m *ShardMap) []byte {
+	buf := binary.AppendUvarint(nil, m.Version)
+	buf = binary.AppendUvarint(buf, uint64(m.SelfID))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Addrs)))
+	for _, a := range m.Addrs {
+		buf = appendString(buf, a)
+	}
+	return buf
+}
+
+// DecodeShardMap parses an OpShardMap success body.
+func DecodeShardMap(body []byte) (*ShardMap, error) {
+	ver, w := binary.Uvarint(body)
+	if w <= 0 {
+		return nil, ErrPayloadCorrupt
+	}
+	body = body[w:]
+	self, w := binary.Uvarint(body)
+	if w <= 0 || self > 1<<31 {
+		return nil, ErrPayloadCorrupt
+	}
+	body = body[w:]
+	n, w := binary.Uvarint(body)
+	if w <= 0 || n == 0 || n > 1<<16 {
+		return nil, ErrPayloadCorrupt
+	}
+	body = body[w:]
+	m := &ShardMap{Version: ver, SelfID: uint32(self), Addrs: make([]string, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var a string
+		var err error
+		a, body, err = readString(body)
+		if err != nil {
+			return nil, err
+		}
+		m.Addrs = append(m.Addrs, a)
+	}
+	return m, nil
+}
+
+// --- 2PC payloads ------------------------------------------------------------
+
+// Prepare vote flags returned in the OpTxnPrepare success body.
+const (
+	// PreparedWrites: the transaction's writes are prepared and durable;
+	// the coordinator owes this participant a decision.
+	PreparedWrites byte = 0
+	// PreparedReadOnly: the transaction read but wrote nothing here; it
+	// committed locally at prepare time and needs no decision.
+	PreparedReadOnly byte = 1
+)
+
+// EncodeTxnPrepare builds an OpTxnPrepare payload: the global transaction
+// id under which the open session transaction prepares.
+func EncodeTxnPrepare(gtid string) []byte {
+	return appendString(nil, gtid)
+}
+
+// DecodeTxnPrepare parses an OpTxnPrepare payload.
+func DecodeTxnPrepare(payload []byte) (string, error) {
+	gtid, rest, err := readString(payload)
+	if err != nil {
+		return "", err
+	}
+	if len(rest) != 0 || gtid == "" {
+		return "", ErrPayloadCorrupt
+	}
+	return gtid, nil
+}
+
+// EncodeTxnDecide builds an OpTxnDecide payload: the gtid and the
+// coordinator's decision.
+func EncodeTxnDecide(gtid string, commit bool) []byte {
+	buf := appendString(nil, gtid)
+	if commit {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// DecodeTxnDecide parses an OpTxnDecide payload.
+func DecodeTxnDecide(payload []byte) (gtid string, commit bool, err error) {
+	gtid, rest, err := readString(payload)
+	if err != nil {
+		return "", false, err
+	}
+	if len(rest) != 1 || rest[0] > 1 || gtid == "" {
+		return "", false, ErrPayloadCorrupt
+	}
+	return gtid, rest[0] == 1, nil
+}
+
+// EncodeTxnStatus builds an OpTxnStatus payload (and, with the same shape,
+// DecodeTxnStatus parses it): the gtid being asked about.
+func EncodeTxnStatus(gtid string) []byte { return appendString(nil, gtid) }
+
+// DecodeTxnStatus parses an OpTxnStatus payload.
+func DecodeTxnStatus(payload []byte) (string, error) { return DecodeTxnPrepare(payload) }
+
+// Transaction outcome states carried in the OpTxnStatus success body. The
+// values are wire-stable. TxnUnknown means the participant has no memory of
+// the gtid at all -- under presumed abort a coordinator treats it exactly
+// like TxnAborted, but the distinction is kept on the wire for diagnostics.
+const (
+	TxnUnknown   byte = 0
+	TxnInDoubt   byte = 1
+	TxnCommitted byte = 2
+	TxnAborted   byte = 3
+)
+
+// EncodeTxnState builds the OpTxnStatus success body: outcome state plus the
+// commit CSN (0 unless committed).
+func EncodeTxnState(state byte, csn uint64) []byte {
+	return binary.AppendUvarint([]byte{state}, csn)
+}
+
+// DecodeTxnState parses an OpTxnStatus success body.
+func DecodeTxnState(body []byte) (byte, uint64, error) {
+	if len(body) < 2 || body[0] > TxnAborted {
+		return 0, 0, ErrPayloadCorrupt
+	}
+	csn, w := binary.Uvarint(body[1:])
+	if w <= 0 || 1+w != len(body) {
+		return 0, 0, ErrPayloadCorrupt
+	}
+	return body[0], csn, nil
+}
+
+// EncodeTxnCSN builds the uvarint commit-CSN body carried by successful
+// OpTxnDecide and OpTxnStatus responses (0 for an abort decision).
+func EncodeTxnCSN(csn uint64) []byte { return binary.AppendUvarint(nil, csn) }
+
+// DecodeTxnCSN parses a commit-CSN body. An empty body decodes as 0.
+func DecodeTxnCSN(body []byte) (uint64, error) {
+	if len(body) == 0 {
+		return 0, nil
+	}
+	csn, w := binary.Uvarint(body)
+	if w <= 0 {
+		return 0, ErrPayloadCorrupt
+	}
+	return csn, nil
+}
+
+// EncodeGTIDList builds the OpTxnRecover success body: the participant's
+// in-doubt gtids.
+func EncodeGTIDList(gtids []string) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(gtids)))
+	for _, g := range gtids {
+		buf = appendString(buf, g)
+	}
+	return buf
+}
+
+// DecodeGTIDList parses an OpTxnRecover success body.
+func DecodeGTIDList(body []byte) ([]string, error) {
+	n, w := binary.Uvarint(body)
+	if w <= 0 || n > 1<<20 {
+		return nil, ErrPayloadCorrupt
+	}
+	body = body[w:]
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var g string
+		var err error
+		g, body, err = readString(body)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	if len(body) != 0 {
+		return nil, ErrPayloadCorrupt
+	}
+	return out, nil
 }
