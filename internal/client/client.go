@@ -859,6 +859,15 @@ func (s *Session) TxnRecover() ([]string, error) {
 	return wire.DecodeGTIDList(r.body)
 }
 
+// TxnForget tells a participant to prune a decided gtid's 2PC bookkeeping.
+// Coordinators send it only once the decision is known durably applied at
+// every participant; the response arrives when the forget record is durable.
+// Best-effort -- a lost forget just retains metadata.
+func (s *Session) TxnForget(gtid string) error {
+	_, err := s.do(wire.OpTxnForget, wire.EncodeTxnForget(gtid))
+	return err
+}
+
 // Stats fetches the server stats snapshot.
 func (s *Session) Stats() (string, error) {
 	r, err := s.do(wire.OpStats, nil)

@@ -439,6 +439,7 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 	var twopcMu sync.Mutex
 	preps := make(map[string]prepRec)
 	decs := make(map[string]decRec)
+	forgets := make(map[string]bool)
 	var wg sync.WaitGroup
 	errCh := make(chan error, opt.ReplayThreads)
 	for i := 0; i < opt.ReplayThreads; i++ {
@@ -467,6 +468,13 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 						if gtid, commit, err := decodeDecidePayload(rec.Payload); err == nil {
 							twopcMu.Lock()
 							decs[gtid] = decRec{commit: commit, csn: rec.CSN, seg: addr.Segment()}
+							twopcMu.Unlock()
+						}
+						return true
+					case wal.OpForget:
+						if gtid, err := decodeGTIDPayload(rec.Payload); err == nil {
+							twopcMu.Lock()
+							forgets[gtid] = true
 							twopcMu.Unlock()
 						}
 						return true
@@ -566,9 +574,12 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 	// Phase 5: 2PC state. Undecided prepares become in-doubt transactions
 	// again -- TID-stamped versions on the heads (re-acquired write locks)
 	// plus their index entries -- awaiting the coordinator; decided gtids
-	// are remembered so TxnStatus keeps answering across the restart.
+	// are remembered so TxnStatus keeps answering across the restart. An
+	// OpForget record is the coordinator's tombstone for the whole gtid:
+	// forgotten gtids rebuild no state (their committed writes were still
+	// applied above -- the forget prunes metadata, never data).
 	for gtid, p := range preps {
-		if _, decided := decs[gtid]; decided {
+		if _, decided := decs[gtid]; decided || forgets[gtid] {
 			continue
 		}
 		if err := e.reconstructInDoubt(gtid, p.addr, p.payload); err != nil {
@@ -577,6 +588,9 @@ func Recover(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Engine, *
 		stats.InDoubt++
 	}
 	for gtid, d := range decs {
+		if forgets[gtid] {
+			continue
+		}
 		p, havePrep := preps[gtid]
 		e.noteDecision(gtid, d.commit, d.csn, d.seg, p.addr.Segment(), havePrep)
 	}

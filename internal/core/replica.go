@@ -45,6 +45,12 @@ type Replica struct {
 	// ships (commit) or are dropped (abort). Prepares still undecided at
 	// promotion are adopted as in-doubt transactions.
 	pendPrep map[string]replPrepare
+	// pendForget holds gtids whose OpForget shipped before this follower
+	// consumed both of the gtid's 2PC records (the prepare rides a
+	// different log stream than the decision, so a forget can outrun it in
+	// segment-scan order). The entry is dropped once prepare and decision
+	// are both accounted for.
+	pendForget map[string]bool
 }
 
 // replPrepare is one buffered prepare record on a follower.
@@ -63,12 +69,13 @@ func OpenReplica(cfg Config, manifestID srss.PLogID, opt RecoverOptions) (*Repli
 		return nil, nil, err
 	}
 	r := &Replica{
-		e:        e,
-		applied:  make(map[uint16]int64),
-		fenced:   make(map[uint16]bool),
-		catalog:  make(map[uint32]*Table),
-		maxCSN:   stats.MaxCSN,
-		pendPrep: make(map[string]replPrepare),
+		e:          e,
+		applied:    make(map[uint16]int64),
+		fenced:     make(map[uint16]bool),
+		catalog:    make(map[uint32]*Table),
+		maxCSN:     stats.MaxCSN,
+		pendPrep:   make(map[string]replPrepare),
+		pendForget: make(map[string]bool),
 	}
 	for _, seg := range stats.fenced {
 		r.fenced[seg] = true
@@ -179,7 +186,7 @@ func (r *Replica) CatchUp() (int64, error) {
 			// 2PC records carry table 0 and must be handled before the
 			// catalog check below (table 0 is never known; the scan would
 			// stall on them forever).
-			if rec.Op == wal.OpPrepare || rec.Op == wal.OpDecide {
+			if rec.Op == wal.OpPrepare || rec.Op == wal.OpDecide || rec.Op == wal.OpForget {
 				if r.applyTwoPCFollower(addr, rec, &refreshed) {
 					applied++
 				}
@@ -281,11 +288,27 @@ func (r *Replica) Promote(observed uint64) (uint64, error) {
 	return epoch, nil
 }
 
-// applyTwoPCFollower applies one 2PC record on the follower. Prepares are
-// buffered (their writes must not become visible before the decision);
-// decisions resolve either a recovery-reconstructed in-doubt transaction or
-// a buffered prepare, and are always remembered so a promoted follower can
-// answer TxnStatus. Requires r.mu.
+// applyTwoPCFollower applies one 2PC record on the follower. The log is
+// striped per worker -- decisions and forgets ride worker 0's stream while
+// prepares ride the session worker's stream -- so within one CatchUp pass
+// (ascending segment order) a gtid's records can arrive in ANY interleaving:
+// prepare-then-decide, decide-then-prepare, even decide-then-forget-then-
+// prepare. Application therefore mirrors recovery's order-independent
+// matching instead of assuming prepare-first:
+//
+//   - A prepare with no noted state is buffered (its writes must not become
+//     visible before the decision).
+//   - A prepare whose decision was already noted applies its embedded writes
+//     immediately (commit) or is dropped (abort) -- never buffered, so a
+//     client-acked commit is never stranded invisible in pendPrep nor
+//     resurrected as in-doubt at promotion.
+//   - Decisions resolve a recovery-reconstructed in-doubt transaction or a
+//     buffered prepare, and are always remembered so a promoted follower can
+//     answer TxnStatus.
+//   - Forgets drop the noted entry, deferring via pendForget until both of
+//     the gtid's records have been consumed.
+//
+// Requires r.mu.
 func (r *Replica) applyTwoPCFollower(addr wal.Addr, rec wal.Record, refreshed *bool) bool {
 	e := r.e
 	switch rec.Op {
@@ -294,7 +317,29 @@ func (r *Replica) applyTwoPCFollower(addr wal.Addr, rec wal.Record, refreshed *b
 		if err != nil {
 			return false
 		}
-		r.pendPrep[gtid] = replPrepare{addr: addr, payload: append([]byte(nil), rec.Payload...)}
+		e.pendMu.Lock()
+		entry := e.pend2pc[gtid]
+		e.pendMu.Unlock()
+		if entry == nil {
+			r.pendPrep[gtid] = replPrepare{addr: addr, payload: append([]byte(nil), rec.Payload...)}
+			return true
+		}
+		// The decision outran the prepare (noteDecision installed a
+		// decision-only entry), or recovery already reconstructed this
+		// prepare. Attach the prepare to the entry; apply the embedded
+		// writes now if a commit was noted without them.
+		entry.mu.Lock()
+		applyNow := entry.decided && !entry.havePrep && entry.commit
+		csn := entry.csn
+		if entry.decided && !entry.havePrep {
+			entry.havePrep = true
+			entry.prepSeg = addr.Segment()
+		}
+		entry.mu.Unlock()
+		if applyNow {
+			r.applyPreparedWrites(addr, rec.Payload, csn, refreshed)
+		}
+		r.forgetIfSettled(gtid)
 		return true
 	case wal.OpDecide:
 		gtid, commit, err := decodeDecidePayload(rec.Payload)
@@ -316,31 +361,81 @@ func (r *Replica) applyTwoPCFollower(addr wal.Addr, rec wal.Record, refreshed *b
 				entry.decided = true
 			}
 			entry.mu.Unlock()
-			delete(r.pendPrep, gtid)
+			r.forgetIfSettled(gtid)
 			return true
 		}
 		p, buffered := r.pendPrep[gtid]
 		if buffered {
 			delete(r.pendPrep, gtid)
 			if commit {
-				if _, body, err := decodePreparePayload(p.payload); err == nil {
-					embBase := prepHeaderLen(len(p.payload)) + (len(p.payload) - len(body))
-					_ = forEachEmbedded(body, func(off int, emb wal.Record) error {
-						if _, known := r.catalog[emb.Table]; !known && !*refreshed {
-							*refreshed = true
-							_, _ = r.refreshCatalogLocked()
-						}
-						emb.CSN = rec.CSN
-						r.applyFollower(p.addr.Add(uint32(embBase+off)), emb)
-						return nil
-					})
-				}
+				r.applyPreparedWrites(p.addr, p.payload, rec.CSN, refreshed)
 			}
 		}
 		e.noteDecision(gtid, commit, rec.CSN, addr.Segment(), p.addr.Segment(), buffered)
+		r.forgetIfSettled(gtid)
+		return true
+	case wal.OpForget:
+		gtid, err := decodeGTIDPayload(rec.Payload)
+		if err != nil {
+			return false
+		}
+		r.pendForget[gtid] = true
+		r.forgetIfSettled(gtid)
 		return true
 	}
 	return false
+}
+
+// applyPreparedWrites applies the writes embedded in an OpPrepare record's
+// payload at the decision CSN, with the same catalog-refresh discipline as
+// the plain-record path. addr is the prepare record's address. Requires r.mu.
+func (r *Replica) applyPreparedWrites(addr wal.Addr, payload []byte, csn uint64, refreshed *bool) {
+	_, body, err := decodePreparePayload(payload)
+	if err != nil {
+		return
+	}
+	embBase := prepHeaderLen(len(payload)) + (len(payload) - len(body))
+	_ = forEachEmbedded(body, func(off int, emb wal.Record) error {
+		if _, known := r.catalog[emb.Table]; !known && !*refreshed {
+			*refreshed = true
+			_, _ = r.refreshCatalogLocked()
+		}
+		emb.CSN = csn
+		r.applyFollower(addr.Add(uint32(embBase+off)), emb)
+		return nil
+	})
+}
+
+// forgetIfSettled drops a gtid's pend2pc entry if an OpForget has shipped
+// for it AND both of its 2PC records have been consumed (decided with the
+// prepare accounted for). Forgetting earlier would let the still-unscanned
+// record re-enter the empty-state paths -- a late prepare would buffer
+// forever, exactly the bug the order-independent matching exists to prevent.
+// Requires r.mu.
+func (r *Replica) forgetIfSettled(gtid string) {
+	if !r.pendForget[gtid] {
+		return
+	}
+	e := r.e
+	e.pendMu.Lock()
+	entry := e.pend2pc[gtid]
+	e.pendMu.Unlock()
+	if entry == nil {
+		delete(r.pendForget, gtid)
+		return
+	}
+	entry.mu.Lock()
+	settled := entry.decided && entry.havePrep
+	entry.mu.Unlock()
+	if !settled {
+		return
+	}
+	e.pendMu.Lock()
+	if e.pend2pc[gtid] == entry {
+		delete(e.pend2pc, gtid)
+	}
+	e.pendMu.Unlock()
+	delete(r.pendForget, gtid)
 }
 
 // applyFollower applies one log record on the replica: newest-CSN-wins into

@@ -149,3 +149,157 @@ func TestReplicaSeesSegmentsCreatedAfterSpawn(t *testing.T) {
 		t.Fatalf("replica sees %d rows, want 200", n)
 	}
 }
+
+// TestReplicaTwoPCDecideBeforePrepare is the scan-order contract for 2PC on
+// a live follower. Decisions (and forgets) ride worker 0's log stream while
+// prepares ride the session worker's stream, and CatchUp scans segments in
+// ascending id order -- so with the prepare on worker 1, a single pass
+// consumes the DECISION before the PREPARE. The follower must still apply a
+// committed gtid's writes (not strand them buffered forever), must not
+// resurrect the decided gtid as in-doubt at promotion, and must honor a
+// forget that also outran the prepare.
+func TestReplicaTwoPCDecideBeforePrepare(t *testing.T) {
+	primary := testEngine(t)
+	tbl := mustTable(t, primary, usersSchema())
+	insertUser(t, primary, tbl, 0, 1, "base", 1)
+
+	rep, _, err := OpenReplica(Config{Service: primary.Service(), Workers: 4, SegmentSize: 1 << 20},
+		primary.ManifestID(), RecoverOptions{ReplayThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	if _, err := rep.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Committed cross-shard write: prepare on worker 1, decide on worker 0.
+	txC, _ := primary.Begin(1)
+	if _, err := txC.Insert(tbl, Row{I(10), S("committed"), I(10)}); err != nil {
+		t.Fatal(err)
+	}
+	prepare(t, txC, "h0-ooo-commit")
+	wantCSN := resolve(t, primary, "h0-ooo-commit", true)
+
+	// Aborted one: prepare on worker 2, decide on worker 0.
+	txA, _ := primary.Begin(2)
+	if _, err := txA.Insert(tbl, Row{I(11), S("aborted"), I(11)}); err != nil {
+		t.Fatal(err)
+	}
+	prepare(t, txA, "h0-ooo-abort")
+	resolve(t, primary, "h0-ooo-abort", false)
+
+	// Committed AND forgotten before the follower sees any of it: the pass
+	// scans decide, then forget (both worker 0), then the prepare (worker 3)
+	// -- the forget must defer until the prepare is accounted for, then
+	// still apply the writes and drop the entry.
+	txF, _ := primary.Begin(3)
+	if _, err := txF.Insert(tbl, Row{I(12), S("forgotten"), I(12)}); err != nil {
+		t.Fatal(err)
+	}
+	prepare(t, txF, "h0-ooo-forget")
+	resolve(t, primary, "h0-ooo-forget", true)
+	forget(t, primary, "h0-ooo-forget")
+
+	if _, err := rep.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	re := rep.Engine()
+	snap := snapshotTable(t, re, "users")
+	if snap[10][1].(int64) != 10 {
+		t.Fatalf("follower missed a committed 2PC write it saw decide-first: %v", snap)
+	}
+	if _, ok := snap[11]; ok {
+		t.Fatalf("follower applied an aborted 2PC write: %v", snap)
+	}
+	if snap[12][1].(int64) != 12 {
+		t.Fatalf("follower missed a committed+forgotten 2PC write: %v", snap)
+	}
+	if st, csn := re.TxnStatus("h0-ooo-commit"); st != TxnCommitted || csn != wantCSN {
+		t.Fatalf("follower status for decided commit: %v csn=%d want %d", st, csn, wantCSN)
+	}
+	if st, _ := re.TxnStatus("h0-ooo-abort"); st != TxnAborted {
+		t.Fatalf("follower status for decided abort: %v", st)
+	}
+	if st, _ := re.TxnStatus("h0-ooo-forget"); st != TxnUnknown {
+		t.Fatalf("forgotten gtid retained on follower: %v", st)
+	}
+	if len(rep.pendPrep) != 0 {
+		t.Fatalf("prepares stranded in pendPrep: %v", rep.pendPrep)
+	}
+	if len(rep.pendForget) != 0 {
+		t.Fatalf("forgets stranded in pendForget: %v", rep.pendForget)
+	}
+
+	// Promotion must not resurrect decided gtids as in-doubt (the old bug:
+	// the stranded pendPrep entry overwrote the decided one and a recovery
+	// sweep would presume-abort a client-acked commit).
+	if _, err := rep.Promote(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := re.InDoubt(); len(got) != 0 {
+		t.Fatalf("promotion resurrected decided gtids as in-doubt: %v", got)
+	}
+	if st, _ := re.TxnStatus("h0-ooo-commit"); st != TxnCommitted {
+		t.Fatalf("promoted follower lost a commit decision: %v", st)
+	}
+	snap = snapshotTable(t, re, "users")
+	if snap[10][1].(int64) != 10 || snap[12][1].(int64) != 12 {
+		t.Fatalf("promoted follower lost committed 2PC writes: %v", snap)
+	}
+}
+
+// TestReplicaTwoPCPrepareThenDecide covers the opposite interleaving across
+// two passes: the prepare ships (and buffers) in one CatchUp, the decision
+// and a later forget arrive in subsequent passes.
+func TestReplicaTwoPCPrepareThenDecide(t *testing.T) {
+	primary := testEngine(t)
+	tbl := mustTable(t, primary, usersSchema())
+	insertUser(t, primary, tbl, 0, 1, "base", 1)
+
+	rep, _, err := OpenReplica(Config{Service: primary.Service(), Workers: 4, SegmentSize: 1 << 20},
+		primary.ManifestID(), RecoverOptions{ReplayThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	tx, _ := primary.Begin(1)
+	if _, err := tx.Insert(tbl, Row{I(20), S("staged"), I(20)}); err != nil {
+		t.Fatal(err)
+	}
+	prepare(t, tx, "h0-seq")
+	if _, err := rep.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.pendPrep) != 1 {
+		t.Fatalf("undecided prepare not buffered: %v", rep.pendPrep)
+	}
+	re := rep.Engine()
+	if snap := snapshotTable(t, re, "users"); len(snap) != 1 {
+		t.Fatalf("undecided prepare visible on follower: %v", snap)
+	}
+
+	resolve(t, primary, "h0-seq", true)
+	if _, err := rep.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	snap := snapshotTable(t, re, "users")
+	if snap[20][1].(int64) != 20 {
+		t.Fatalf("decision did not release the buffered prepare: %v", snap)
+	}
+	if st, _ := re.TxnStatus("h0-seq"); st != TxnCommitted {
+		t.Fatalf("follower status: %v", st)
+	}
+
+	forget(t, primary, "h0-seq")
+	if _, err := rep.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := re.TxnStatus("h0-seq"); st != TxnUnknown {
+		t.Fatalf("forget did not prune on follower: %v", st)
+	}
+	if snap := snapshotTable(t, re, "users"); snap[20][1].(int64) != 20 {
+		t.Fatalf("forget regressed follower data: %v", snap)
+	}
+}

@@ -82,7 +82,10 @@ const (
 // learned a decision for). Entries are retained after the decision so the
 // home participant keeps answering TxnStatus across checkpoints; the
 // checkpoint fence excludes the backing log segments accordingly (see
-// filterFence2PC).
+// filterFence2PC). Retention ends when the coordinator confirms the
+// decision is durably applied everywhere and prunes the entry (Forget);
+// entries whose coordinator never confirms (resolver-resolved or
+// crash-orphaned gtids) are retained indefinitely.
 type pend2pcEntry struct {
 	gtid string
 
@@ -153,6 +156,21 @@ func decodeDecidePayload(payload []byte) (gtid string, commit bool, err error) {
 		return "", false, errors.New("core: corrupt decision payload")
 	}
 	return string(payload[w : w+int(n)]), payload[w+int(n)] == 1, nil
+}
+
+// encodeGTIDPayload builds an OpForget payload: just the gtid.
+func encodeGTIDPayload(gtid string) []byte {
+	p := binary.AppendUvarint(make([]byte, 0, len(gtid)+2), uint64(len(gtid)))
+	return append(p, gtid...)
+}
+
+// decodeGTIDPayload parses an OpForget payload.
+func decodeGTIDPayload(payload []byte) (string, error) {
+	n, w := binary.Uvarint(payload)
+	if w <= 0 || int(n) <= 0 || w+int(n) != len(payload) {
+		return "", errors.New("core: corrupt forget payload")
+	}
+	return string(payload[w:]), nil
 }
 
 // forEachEmbedded walks the standard records embedded in a prepare body.
@@ -245,19 +263,29 @@ func (t *Txn) prepareStart(gtid string, durable func(readOnly bool, err error)) 
 		return true, nil
 	}
 	e := t.e
-	e.pendMu.Lock()
-	_, dup := e.pend2pc[gtid]
-	e.pendMu.Unlock()
-	if dup {
-		_ = t.Abort()
-		return false, fmt.Errorf("core: gtid %q already prepared", gtid)
-	}
 	if err := e.svc.Chaos().Check(SitePrepareLog); err != nil {
 		// Crash before the prepare record reached the log: nothing durable,
 		// clean abort, the coordinator sees a failed vote.
 		_ = t.Abort()
 		return false, err
 	}
+	// Reserve the gtid atomically with the duplicate check, BEFORE the
+	// record is handed to the log: if registration waited for the
+	// durability callback, two concurrent prepares under one gtid could
+	// both pass the check and the second entry would overwrite the first,
+	// orphaning a prepared transaction that still holds its write locks
+	// with no entry left to resolve it. The reservation also fences late
+	// prepares against a gtid a recovery sweep already presume-aborted
+	// (its decision-only entry trips the duplicate check).
+	entry := &pend2pcEntry{gtid: gtid, txn: t}
+	e.pendMu.Lock()
+	if _, dup := e.pend2pc[gtid]; dup {
+		e.pendMu.Unlock()
+		_ = t.Abort()
+		return false, fmt.Errorf("core: gtid %q already prepared", gtid)
+	}
+	e.pend2pc[gtid] = entry
+	e.pendMu.Unlock()
 
 	payload := encodePreparePayload(gtid, t.logBuf)
 	buf, off := wal.AppendRecord(nil, wal.OpPrepare, 0, 0, payload)
@@ -279,10 +307,10 @@ func (t *Txn) prepareStart(gtid string, durable func(readOnly bool, err error)) 
 				we := &writes[i]
 				we.newV.addr.Store(uint64(base.Add(uint32(embBase + we.logOff))))
 			}
-			entry := &pend2pcEntry{gtid: gtid, txn: t, havePrep: true, prepSeg: base.Segment()}
-			e.pendMu.Lock()
-			e.pend2pc[gtid] = entry
-			e.pendMu.Unlock()
+			entry.mu.Lock()
+			entry.havePrep = true
+			entry.prepSeg = base.Segment()
+			entry.mu.Unlock()
 		} else {
 			e.durabilityLost.Store(true)
 			e.mDurabilityFail.Inc()
@@ -305,7 +333,12 @@ func (t *Txn) prepareStart(gtid string, durable func(readOnly bool, err error)) 
 // observable if a crash could still lose the decision record. Idempotent:
 // re-delivering the same decision attaches to the outcome; a contradicting
 // decision fails with ErrConflictingDecision. An abort for an unknown gtid
-// succeeds as a no-op (presumed abort); a commit for one fails with
+// durably installs a decision-only abort entry -- a FENCE, not a no-op: a
+// recovery sweep presume-aborting a gtid may be racing a live coordinator
+// whose prepare has not reached this node yet, and the fence makes the late
+// prepare (duplicate-gtid check) or a late conflicting commit decision fail
+// here instead of letting the transaction commit after the sweep already
+// aborted other participants. A commit for an unknown gtid fails with
 // ErrUnknownGTID.
 func (e *Engine) Resolve(gtid string, commit bool, done func(csn uint64, err error)) error {
 	if e.closed.Load() {
@@ -313,14 +346,15 @@ func (e *Engine) Resolve(gtid string, commit bool, done func(csn uint64, err err
 	}
 	e.pendMu.Lock()
 	entry := e.pend2pc[gtid]
-	e.pendMu.Unlock()
 	if entry == nil {
 		if commit {
+			e.pendMu.Unlock()
 			return ErrUnknownGTID
 		}
-		done(0, nil)
-		return nil
+		entry = &pend2pcEntry{gtid: gtid}
+		e.pend2pc[gtid] = entry
 	}
+	e.pendMu.Unlock()
 	entry.mu.Lock()
 	if entry.deciding || entry.decided {
 		if entry.commit != commit {
@@ -641,6 +675,54 @@ func (e *Engine) reconstructInDoubt(gtid string, addr wal.Addr, payload []byte) 
 	e.pendMu.Lock()
 	e.pend2pc[gtid] = entry
 	e.pendMu.Unlock()
+	return nil
+}
+
+// Forget prunes a decided gtid once its coordinator has confirmed the
+// decision durably applied at every participant: nobody will ever ask about
+// the transaction again, so the entry that kept TxnStatus answering -- and
+// kept the backing prepare/decision segments out of checkpoint fences and
+// compaction drops -- can be dropped. The forget rides the log as an
+// OpForget record (worker 0's stream, strictly after the decision record it
+// tombstones) so recovery and live followers drop the entry too; done fires
+// once the record is durable and the entry is gone. Forgetting an undecided
+// gtid fails with ErrInDoubt; an unknown gtid succeeds as a no-op.
+func (e *Engine) Forget(gtid string, done func(err error)) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.pendMu.Lock()
+	entry := e.pend2pc[gtid]
+	e.pendMu.Unlock()
+	if entry == nil {
+		done(nil)
+		return nil
+	}
+	entry.mu.Lock()
+	decided := entry.decided
+	entry.mu.Unlock()
+	if !decided {
+		return ErrInDoubt
+	}
+	if e.durabilityLost.Load() {
+		return ErrDurabilityLost
+	}
+	buf, _ := wal.AppendRecord(nil, wal.OpForget, 0, 0, encodeGTIDPayload(gtid))
+	e.commitsStarted.Add(1)
+	e.log.AppendTraced(0, buf, nil, func(_ wal.Addr, err error) {
+		if err == nil {
+			e.pendMu.Lock()
+			if e.pend2pc[gtid] == entry {
+				delete(e.pend2pc, gtid)
+			}
+			e.pendMu.Unlock()
+		} else {
+			e.durabilityLost.Store(true)
+			e.mDurabilityFail.Inc()
+		}
+		e.commitsDurable.Add(1)
+		done(err)
+	})
 	return nil
 }
 

@@ -143,12 +143,27 @@ func TestPrepareAbortUninstalls(t *testing.T) {
 	if st, _ := e.TxnStatus("h0-t2"); st != TxnAborted {
 		t.Fatalf("status after abort: %v", st)
 	}
-	// Presumed abort: aborting an unknown gtid is a no-op, committing fails.
-	done := false
-	if err := e.Resolve("nope", false, func(uint64, error) { done = true }); err != nil || !done {
-		t.Fatalf("presumed abort of unknown gtid: %v done=%v", err, done)
+	// Presumed abort: aborting an unknown gtid installs a durable FENCE --
+	// after it, the gtid answers TxnAborted, a late commit decision is
+	// rejected as conflicting, and a late prepare under the same gtid fails.
+	if csn := resolve(t, e, "nope", false); csn != 0 {
+		t.Fatalf("presumed abort of unknown gtid returned csn %d", csn)
 	}
-	if err := e.Resolve("nope", true, func(uint64, error) {}); !errors.Is(err, ErrUnknownGTID) {
+	if st, _ := e.TxnStatus("nope"); st != TxnAborted {
+		t.Fatalf("status after unknown-gtid abort fence: %v", st)
+	}
+	if err := e.Resolve("nope", true, func(uint64, error) {}); !errors.Is(err, ErrConflictingDecision) {
+		t.Fatalf("late commit against abort fence: %v", err)
+	}
+	tx3, _ := e.Begin(0)
+	if _, err := tx3.Insert(tbl, Row{I(4), S("dave"), I(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx3.Prepare("nope"); err == nil {
+		t.Fatal("late prepare under a fenced gtid succeeded")
+	}
+	// Committing a NEVER-seen gtid still fails loudly.
+	if err := e.Resolve("fresh", true, func(uint64, error) {}); !errors.Is(err, ErrUnknownGTID) {
 		t.Fatalf("commit of unknown gtid: %v", err)
 	}
 }
@@ -263,6 +278,141 @@ func TestInDoubtSurvivesRecovery(t *testing.T) {
 				t.Fatalf("state diverged across second recovery:\n  %v\n  %v", snap3, snap)
 			}
 		})
+	}
+}
+
+// forget is a test helper: runs Forget and waits for record durability.
+func forget(t *testing.T, e *Engine, gtid string) {
+	t.Helper()
+	ch := make(chan error, 1)
+	if err := e.Forget(gtid, func(err error) { ch <- err }); err != nil {
+		t.Fatalf("forget %s: %v", gtid, err)
+	}
+	if err := <-ch; err != nil {
+		t.Fatalf("forget %s durability: %v", gtid, err)
+	}
+}
+
+// TestConcurrentDuplicatePrepare: the gtid is reserved atomically with the
+// duplicate check, so two prepares under one gtid can never both pass --
+// regardless of interleaving -- and the loser's transaction aborts cleanly
+// (its write locks release).
+func TestConcurrentDuplicatePrepare(t *testing.T) {
+	e := testEngine(t)
+	tbl := mustTable(t, e, usersSchema())
+
+	txA, _ := e.Begin(0)
+	if _, err := txA.Insert(tbl, Row{I(1), S("a"), I(1)}); err != nil {
+		t.Fatal(err)
+	}
+	txB, _ := e.Begin(1)
+	if _, err := txB.Insert(tbl, Row{I(2), S("b"), I(2)}); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	for _, tx := range []*Txn{txA, txB} {
+		go func(tx *Txn) {
+			_, err := tx.Prepare("h0-dup")
+			errs <- err
+		}(tx)
+	}
+	var failed, succeeded int
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			failed++
+		} else {
+			succeeded++
+		}
+	}
+	if succeeded != 1 || failed != 1 {
+		t.Fatalf("duplicate prepare: %d succeeded, %d failed; want exactly one each", succeeded, failed)
+	}
+	// Exactly one prepared transaction exists, and the loser's lock is gone:
+	// a new writer can touch both keys' tables freely (the loser's insert
+	// was uninstalled).
+	if got := e.InDoubt(); len(got) != 1 || got[0] != "h0-dup" {
+		t.Fatalf("in-doubt after duplicate prepare: %v", got)
+	}
+	resolve(t, e, "h0-dup", false)
+	snap := snapshotTable(t, e, "users")
+	if len(snap) != 0 {
+		t.Fatalf("aborted duplicate-prepare writes leaked: %v", snap)
+	}
+}
+
+// TestForgetPrunesDecided: Forget drops a decided gtid's bookkeeping (the
+// participant answers TxnUnknown afterwards), refuses undecided gtids, and
+// no-ops on unknown ones. The forget is logged, so it holds across recovery
+// -- while the forgotten transaction's committed DATA does not regress.
+func TestForgetPrunesDecided(t *testing.T) {
+	e := testEngine(t)
+	tbl := mustTable(t, e, usersSchema())
+
+	tx, _ := e.Begin(0)
+	if _, err := tx.Insert(tbl, Row{I(1), S("alice"), I(100)}); err != nil {
+		t.Fatal(err)
+	}
+	prepare(t, tx, "h0-f1")
+	csn := resolve(t, e, "h0-f1", true)
+	if csn == 0 {
+		t.Fatal("commit csn 0")
+	}
+
+	// Undecided gtids refuse to be forgotten.
+	tx2, _ := e.Begin(1)
+	if _, err := tx2.Insert(tbl, Row{I(2), S("bob"), I(2)}); err != nil {
+		t.Fatal(err)
+	}
+	prepare(t, tx2, "h0-f2")
+	if err := e.Forget("h0-f2", func(error) {}); !errors.Is(err, ErrInDoubt) {
+		t.Fatalf("forget of undecided gtid: %v", err)
+	}
+
+	// Unknown gtids are a no-op.
+	done := false
+	if err := e.Forget("never-seen", func(err error) { done = err == nil }); err != nil || !done {
+		t.Fatalf("forget of unknown gtid: err=%v done=%v", err, done)
+	}
+
+	forget(t, e, "h0-f1")
+	if st, _ := e.TxnStatus("h0-f1"); st != TxnUnknown {
+		t.Fatalf("status after forget: %v", st)
+	}
+	if snap := snapshotTable(t, e, "users"); snap[1][1].(int64) != 100 {
+		t.Fatalf("forget touched committed data: %v", snap)
+	}
+
+	// The forget record replays: the gtid stays forgotten across recovery,
+	// the committed writes still apply, and the undecided one is still owed
+	// a decision.
+	e2, stats := recoverEngine(t, e, RecoverOptions{ReplayThreads: 2})
+	if st, _ := e2.TxnStatus("h0-f1"); st != TxnUnknown {
+		t.Fatalf("forgotten gtid resurrected by recovery: %v", st)
+	}
+	if snap := snapshotTable(t, e2, "users"); snap[1][1].(int64) != 100 {
+		t.Fatalf("forgotten txn's committed data lost in recovery: %v", snap)
+	}
+	if stats.InDoubt != 1 {
+		t.Fatalf("recovered in-doubt count: %d", stats.InDoubt)
+	}
+	resolve(t, e2, "h0-f2", true)
+	forget(t, e2, "h0-f2")
+
+	// With everything forgotten, a checkpoint fences the whole log; another
+	// recovery anchors on the image alone and loses nothing.
+	if _, err := e2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	e3, _ := recoverEngine(t, e2, RecoverOptions{ReplayThreads: 2})
+	snap := snapshotTable(t, e3, "users")
+	if snap[1][1].(int64) != 100 || snap[2][1].(int64) != 2 {
+		t.Fatalf("data lost after forget+checkpoint recovery: %v", snap)
+	}
+	if st, _ := e3.TxnStatus("h0-f1"); st != TxnUnknown {
+		t.Fatalf("forgotten gtid resurrected after checkpoint: %v", st)
+	}
+	if got := e3.InDoubt(); len(got) != 0 {
+		t.Fatalf("in-doubt after everything decided and forgotten: %v", got)
 	}
 }
 

@@ -192,6 +192,9 @@ type TwoPCConfig struct {
 	Status func(gtid string) (state byte, csn uint64)
 	// InDoubt lists the gtids prepared here but still undecided. Required.
 	InDoubt func() []string
+	// Forget prunes a decided gtid's 2PC bookkeeping; done fires once the
+	// forget record is durable. Required.
+	Forget func(gtid string, done func(err error)) error
 }
 
 // ReplicaConfig wires a replica server to its follower state.
@@ -969,6 +972,34 @@ func (c *conn) handle(f wire.Frame) bool {
 			return true
 		}
 		finish(nil, wire.EncodeGTIDList(tp.InDoubt()))
+
+	case wire.OpTxnForget:
+		gtid, err := wire.DecodeTxnForget(f.Payload)
+		if err != nil {
+			c.s.mProtoErrs.Inc()
+			finish(err, nil)
+			return false
+		}
+		tp := c.s.cfg.TwoPC
+		if tp == nil {
+			finish(fmt.Errorf("%w: two-phase commit not enabled", wire.ErrBadStatement), nil)
+			return true
+		}
+		// Like the decision, the forget answers at durability of its record.
+		tr := c.takeTerminalTrace()
+		if rerr := tp.Forget(gtid, func(ferr error) {
+			switch {
+			case ferr != nil:
+				c.respondTrErr(f.RequestID, tr, ferr)
+			case c.ackLost(tr):
+			default:
+				c.respondTr(f.RequestID, tr, wire.CodeOK, "", nil)
+			}
+			release()
+		}); rerr != nil {
+			c.respondTrErr(f.RequestID, tr, rerr)
+			release()
+		}
 
 	case wire.OpPrepare:
 		sql, err := wire.DecodePrepare(f.Payload)

@@ -18,5 +18,6 @@ func EngineHooks(e *core.Engine) *server.TwoPCConfig {
 			return byte(st), csn
 		},
 		InDoubt: e.InDoubt,
+		Forget:  e.Forget,
 	}
 }

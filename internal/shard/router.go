@@ -297,12 +297,46 @@ func (t *Txn) Commit() error {
 	}
 	// Phase two, step two: best-effort fan-out. Failures here are repaired
 	// by recovery; the transaction is already committed.
+	prepared := make([]uint32, 0, len(t.order))
 	for _, id := range t.order {
-		if id != home && votes[id] == wire.PreparedWrites {
-			t.parts[id].TxnDecide(gtid, true)
+		if votes[id] == wire.PreparedWrites {
+			prepared = append(prepared, id)
 		}
 	}
+	fanoutOK := true
+	for _, id := range prepared {
+		if id != home {
+			if _, err := t.parts[id].TxnDecide(gtid, true); err != nil {
+				fanoutOK = false
+			}
+		}
+	}
+	if fanoutOK {
+		// Every participant holding 2PC state durably applied the commit:
+		// nobody will ever ask about this gtid again, so prune the
+		// bookkeeping (and unpin the backing log segments) everywhere.
+		t.forgetAll(gtid, home, prepared)
+	}
 	return nil
+}
+
+// forgetAll prunes a gtid's 2PC bookkeeping on the given participants. Only
+// the live coordinator may call it, and only on a DEFINITE outcome: every
+// participant that prepared writes has durably acknowledged the decision, so
+// no one will ever ask a participant about this gtid again. Deliberately
+// home-last, so the home keeps answering TxnStatus until every other
+// participant is pruned. A resolver, by contrast, must never forget:
+// unknown-outcome clients (and the next sweep) settle against the home's
+// retained status, and dropping the home's abort fence would let a late
+// prepare reopen a gtid the sweep already presume-aborted elsewhere.
+// Best effort -- a lost forget only retains metadata.
+func (t *Txn) forgetAll(gtid string, home uint32, ids []uint32) {
+	for _, id := range ids {
+		if id != home {
+			_ = t.parts[id].TxnForget(gtid)
+		}
+	}
+	_ = t.parts[home].TxnForget(gtid)
 }
 
 // firstWriter returns the first shard (touch order) where a statement
@@ -318,12 +352,30 @@ func (t *Txn) firstWriter() (uint32, bool) {
 
 // abortPrepared delivers the abort decision to every participant that
 // successfully prepared writes (best effort: unreached participants stay
-// in-doubt and recovery presumes abort).
+// in-doubt and recovery presumes abort). If every such participant durably
+// acknowledges the abort, the outcome is definite and the bookkeeping is
+// pruned. A participant whose prepare ACK was lost is invisible here and
+// stays in-doubt; pruning is still safe -- a later sweep finds the home
+// without state (TxnUnknown) and presumes abort, which is the outcome.
 func (t *Txn) abortPrepared(gtid string, votes map[uint32]byte) {
+	home, err := HomeShard(gtid)
+	if err != nil {
+		return
+	}
+	acked := make([]uint32, 0, len(votes))
+	allAcked := true
 	for id, v := range votes {
-		if v == wire.PreparedWrites {
-			t.parts[id].TxnDecide(gtid, false)
+		if v != wire.PreparedWrites {
+			continue
 		}
+		if _, derr := t.parts[id].TxnDecide(gtid, false); derr != nil {
+			allAcked = false
+			continue
+		}
+		acked = append(acked, id)
+	}
+	if allAcked && len(acked) > 0 {
+		t.forgetAll(gtid, home, acked)
 	}
 }
 
@@ -389,8 +441,25 @@ func (r *Router) resolveOne(gtid string, home uint32, shards []uint32, rep *Reco
 			return fmt.Errorf("status of %s on home shard %d: %w", gtid, home, err)
 		}
 		commit := st == wire.TxnCommitted
-		ok := true
+		// Deliver the decision to the HOME shard first, whether or not the
+		// home reported in-doubt state. For a presumed abort this is the
+		// FENCE that makes the sweep safe against a still-live coordinator:
+		// the home durably records a decision-only abort entry, so a late
+		// prepare (duplicate gtid) or a late commit decision
+		// (ErrConflictingDecision) fails at the home instead of committing a
+		// transaction whose other participants this sweep is about to abort.
+		// Only after the home's record is durable may any other participant
+		// learn the outcome -- abort-ascending delivery without the fence is
+		// a permanent atomicity split waiting for the race.
+		order := make([]uint32, 1, len(shards)+1)
+		order[0] = home
 		for _, id := range shards {
+			if id != home {
+				order = append(order, id)
+			}
+		}
+		ok := true
+		for _, id := range order {
 			ds, err := r.session(id)
 			if err != nil {
 				return fmt.Errorf("deciding %s on shard %d: %w", gtid, id, err)

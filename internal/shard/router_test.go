@@ -122,7 +122,9 @@ func TestSingleShardAndCrossShard(t *testing.T) {
 	if v, _ := readVal(t, r, keys[1]); v != 130 {
 		t.Fatalf("transfer credit lost: %d", v)
 	}
-	// The home shard remembers the committed outcome.
+	// The coordinator confirmed the commit durable at every participant
+	// and pruned the gtid cluster-wide (OpTxnForget), so the home answers
+	// TxnUnknown -- nobody will ever ask about this transaction again.
 	cl := c.client(t, c.m.ShardOfInt(keys[0]), nil)
 	s, err := cl.Session()
 	if err != nil {
@@ -130,8 +132,8 @@ func TestSingleShardAndCrossShard(t *testing.T) {
 	}
 	defer s.Close()
 	st, csn, err := s.TxnStatus(tx.GTID())
-	if err != nil || st != wire.TxnCommitted || csn == 0 {
-		t.Fatalf("home status: %d csn=%d err=%v", st, csn, err)
+	if err != nil || st != wire.TxnUnknown || csn != 0 {
+		t.Fatalf("home status after confirmed commit: %d csn=%d err=%v", st, csn, err)
 	}
 
 	// Rollback undoes everything everywhere.
@@ -468,5 +470,113 @@ func TestRecoverAcrossParticipantRestart(t *testing.T) {
 	v1, _ := readVal(t, r2, keys[1])
 	if v0 != 300 || v1 != 301 {
 		t.Fatalf("committed transfer incomplete after restart: %d %d", v0, v1)
+	}
+}
+
+// TestResolverFencesHomeFirst: a coordinator that dies mid-prepare can leave
+// a participant holding prepared writes for a gtid the home shard never saw.
+// The resolver presumes abort -- but before aborting anyone it must install a
+// durable abort fence AT THE HOME, so a still-live (zombie) coordinator that
+// wakes up and drives its commit point cannot commit a transaction whose
+// other participants the sweep just aborted (a permanent atomicity split).
+func TestResolverFencesHomeFirst(t *testing.T) {
+	c := newCluster(t, 2, 61)
+	keys := c.keysOnDistinctShards(1, 2)
+	c.createBench(t, keys, 100)
+
+	home := c.m.ShardOfInt(keys[0])
+	part := c.m.ShardOfInt(keys[1])
+	gtid := NewGTID(home, 0xfe, 1)
+
+	// Hand-drive the dead coordinator's prepare on the participant only.
+	cl := c.client(t, part, nil)
+	s, err := cl.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("UPDATE bench SET val = 999 WHERE id = ?", core.I(keys[1])); err != nil {
+		t.Fatal(err)
+	}
+	if vote, err := s.TxnPrepare(gtid); err != nil || vote != wire.PreparedWrites {
+		t.Fatalf("prepare on participant: vote %d err %v", vote, err)
+	}
+
+	// The sweep finds the orphan, reads TxnUnknown at the home, presumes
+	// abort, and resolves it.
+	r := c.router(t, nil, nil)
+	rep, err := r.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InDoubt != 1 || rep.Aborted != 1 {
+		t.Fatalf("recovery report: %+v", rep)
+	}
+	if v, _ := readVal(t, r, keys[1]); v != 100 {
+		t.Fatalf("presume-aborted write leaked: %d", v)
+	}
+
+	// The fence: the home durably remembers the abort rather than staying
+	// TxnUnknown...
+	hcl := c.client(t, home, nil)
+	hs, err := hcl.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+	st, _, err := hs.TxnStatus(gtid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != wire.TxnAborted {
+		t.Fatalf("home status after sweep: %d, want durable abort fence", st)
+	}
+	// ...so the zombie coordinator's commit point fails at the home...
+	if _, err := hs.TxnDecide(gtid, true); err == nil {
+		t.Fatal("late commit decision slipped past the abort fence")
+	}
+	// ...and so does a late prepare reopening the swept gtid.
+	if err := hs.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hs.Exec("UPDATE bench SET val = 5 WHERE id = ?", core.I(keys[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hs.TxnPrepare(gtid); err == nil {
+		t.Fatal("late prepare slipped past the abort fence")
+	}
+}
+
+// TestCommitForgetsEverywhere: after a clean distributed commit the live
+// coordinator confirms the decision durable at every participant and prunes
+// the 2PC bookkeeping cluster-wide -- every shard answers TxnUnknown, so the
+// metadata (and the pinned log segments behind it) cannot accrete forever.
+func TestCommitForgetsEverywhere(t *testing.T) {
+	c := newCluster(t, 2, 62)
+	keys := c.keysOnDistinctShards(1, 2)
+	c.createBench(t, keys, 100)
+	r := c.router(t, nil, nil)
+
+	tx := r.Begin()
+	for i, k := range keys {
+		if _, err := tx.Exec(k, "UPDATE bench SET val = ? WHERE id = ?", core.I(int64(500+i)), core.I(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if v, _ := readVal(t, r, k); v != int64(500+i) {
+			t.Fatalf("committed value on key %d: %d", k, v)
+		}
+	}
+	for _, n := range c.nodes {
+		if st, _ := n.engine.TxnStatus(tx.GTID()); st != core.TxnUnknown {
+			t.Fatalf("shard %d retains 2PC state after confirmed commit: %v", n.id, st)
+		}
 	}
 }

@@ -104,6 +104,12 @@ const (
 	// and abort both consume one, so checkpoint fencing can order every
 	// decision against the checkpoint horizon).
 	OpDecide byte = 'G'
+	// OpForget is a 2PC tombstone: payload carries a gtid whose decision
+	// the coordinator has confirmed durably applied at every participant.
+	// Recovery and followers drop the gtid's retained 2PC entry, releasing
+	// the checkpoint-fence and compaction protection on its prepare and
+	// decision segments. The CSN field stays 0.
+	OpForget byte = 'F'
 )
 
 // Record is one decoded log record: a full record version (or a delete
@@ -162,7 +168,7 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 	}
 	r := Record{Op: buf[0]}
 	switch r.Op {
-	case OpInsert, OpUpdate, OpDelete, OpPrepare, OpDecide:
+	case OpInsert, OpUpdate, OpDelete, OpPrepare, OpDecide, OpForget:
 	default:
 		return Record{}, 0, fmt.Errorf("wal: bad op tag %#x", buf[0])
 	}
@@ -558,6 +564,16 @@ func OpenReadOnly(cfg Config, metaID srss.PLogID) (*Manager, error) {
 
 // Reopen attaches to an existing log via its metadata PLog ID (recovery).
 // The returned manager appends new segments after the highest existing one.
+// Every segment the dead lineage left unsealed is sealed torn first, exactly
+// as Promote does for a shipped log: the new lineage appends only to fresh
+// segments, so the old ones can never grow again, and sealing them makes a
+// crash-time partial trailing record classify as a truncatable torn tail --
+// and, just as important, makes the old segments eligible for checkpoint
+// fences and compaction drops. Leaving them unsealed would strand them
+// outside every future fence, so a checkpoint could fence a 2PC decision
+// logged by the new lineage while the matching prepare stayed scan-visible
+// in an old segment forever -- recovery would then resurrect the decided
+// transaction as in-doubt (an orphan prepare).
 func Reopen(cfg Config, metaID srss.PLogID) (*Manager, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -575,6 +591,17 @@ func Reopen(cfg Config, metaID srss.PLogID) (*Manager, error) {
 	for _, s := range dir.Segments() {
 		if uint32(s)+1 > next {
 			next = uint32(s) + 1
+		}
+		id, ok := dir.Lookup(s)
+		if !ok {
+			continue
+		}
+		p, err := cfg.Service.Open(id)
+		if err != nil {
+			return nil, err
+		}
+		if !p.Sealed() {
+			p.SealTorn()
 		}
 	}
 	return build(cfg, dir, next)

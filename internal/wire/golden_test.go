@@ -35,6 +35,7 @@ var goldenOps = []struct {
 	{OpTxnDecide, 17, "txn_decide", true},
 	{OpTxnStatus, 18, "txn_status", true},
 	{OpTxnRecover, 19, "txn_recover", true},
+	{OpTxnForget, 20, "txn_forget", true},
 }
 
 var goldenCodes = []struct {
@@ -84,8 +85,8 @@ func TestGoldenOpcodes(t *testing.T) {
 	if validRequest(Op(0)) {
 		t.Error("opcode 0 must not be a valid request")
 	}
-	if MaxOp != OpTxnRecover {
-		t.Errorf("MaxOp = %d, want OpTxnRecover (%d)", MaxOp, OpTxnRecover)
+	if MaxOp != OpTxnForget {
+		t.Errorf("MaxOp = %d, want OpTxnForget (%d)", MaxOp, OpTxnForget)
 	}
 }
 

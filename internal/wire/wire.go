@@ -104,6 +104,11 @@ const (
 	OpTxnDecide  Op = 17 // gtid + decision; response at durability: commit csn
 	OpTxnStatus  Op = 18 // gtid; response: csn (committed) / in-doubt / not-found
 	OpTxnRecover Op = 19 // empty; response: in-doubt gtid list
+	// OpTxnForget prunes a decided gtid's 2PC bookkeeping on a participant
+	// once the coordinator knows the decision is durably applied everywhere
+	// (answered at forget-record durability). Best-effort: a lost forget
+	// only retains metadata, never changes an outcome.
+	OpTxnForget Op = 20 // gtid; response at durability: empty body
 )
 
 // String names the opcode.
@@ -147,13 +152,15 @@ func (o Op) String() string {
 		return "txn_status"
 	case OpTxnRecover:
 		return "txn_recover"
+	case OpTxnForget:
+		return "txn_forget"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
 }
 
 // MaxOp is the highest assigned opcode (sizing per-opcode metric tables).
-const MaxOp = OpTxnRecover
+const MaxOp = OpTxnForget
 
 // TraceFlag marks a traced frame. It rides the opcode byte's high bit (no
 // assigned opcode comes near it) so untraced frames are byte-identical to
@@ -169,7 +176,7 @@ const traceIDSize = 8
 
 // validRequest reports whether o is a client-issued opcode.
 func validRequest(o Op) bool {
-	return (o >= OpPing && o <= OpStats) || (o >= OpPrepare && o <= OpTxnRecover)
+	return (o >= OpPing && o <= OpStats) || (o >= OpPrepare && o <= OpTxnForget)
 }
 
 // Code is a stable wire status code.
@@ -1431,6 +1438,12 @@ func DecodeTxnCSN(body []byte) (uint64, error) {
 	}
 	return csn, nil
 }
+
+// EncodeTxnForget builds an OpTxnForget payload: the gtid to prune.
+func EncodeTxnForget(gtid string) []byte { return appendString(nil, gtid) }
+
+// DecodeTxnForget parses an OpTxnForget payload.
+func DecodeTxnForget(payload []byte) (string, error) { return DecodeTxnPrepare(payload) }
 
 // EncodeGTIDList builds the OpTxnRecover success body: the participant's
 // in-doubt gtids.
