@@ -17,6 +17,7 @@
 //	hibench -netlocal -clients 8            # loopback vs in-process
 //	hibench -replicas 2 -clients 8          # read fan-out across replicas
 //	hibench -failover -clients 4            # failover cost (promote + write gap)
+//	hibench -scanrows 50000 -batch 128      # streamed scans + batch writes (BENCH_scan.json)
 package main
 
 import (
@@ -47,13 +48,15 @@ func main() {
 		replicas = flag.Int("replicas", 0, "networked mode: spin N read replicas and measure SELECT fan-out scaling (writes BENCH_replica.json)")
 		failover = flag.Bool("failover", false, "networked mode: kill the primary under load, promote a replica, and measure time-to-promote and client write gaps (writes BENCH_failover.json)")
 		shards   = flag.Int("shards", 0, "sharded mode: spin N shard nodes and measure routed + 2PC scaling vs a 1-shard baseline (writes BENCH_shard.json)")
+		scanRows = flag.Int("scanrows", 0, "scan mode: load N rows (single vs batched) and stream them back through the cursor protocol (writes BENCH_scan.json)")
+		batchSz  = flag.Int("batch", 0, "scan mode: statements per OpExecBatch frame (default 128)")
 		crossPct = flag.Int("cross", 10, "sharded mode: percent of transactions that are cross-shard 2PC transfers")
 		outDir   = flag.String("out", "", "directory for BENCH_*.json documents (default: current directory)")
 	)
 	flag.Parse()
 	benchOutDir = *outDir
 
-	if *serve != "" || *connect != "" || *netlocal || *replicas > 0 || *failover || *shards > 0 {
+	if *serve != "" || *connect != "" || *netlocal || *replicas > 0 || *failover || *shards > 0 || *scanRows > 0 || *batchSz > 0 {
 		workers := *threads
 		if workers <= 0 {
 			workers = 8
@@ -64,6 +67,15 @@ func main() {
 		}
 		var err error
 		switch {
+		case *scanRows > 0 || *batchSz > 0:
+			rows, batch := *scanRows, *batchSz
+			if rows <= 0 {
+				rows = 50000
+			}
+			if batch <= 0 {
+				batch = 128
+			}
+			err = scanBench(rows, batch, workers)
 		case *shards > 0:
 			err = shardBench(*shards, *clients, workers, *crossPct, d)
 		case *failover:

@@ -17,7 +17,8 @@ import (
 //
 //	1: implicit (documents predating the stamp carry no field)
 //	2: schema_version added; BENCH_core.json and BENCH_shard.json introduced
-const benchSchemaVersion = 2
+//	3: BENCH_scan.json introduced (streamed scans + batch writes)
+const benchSchemaVersion = 3
 
 // benchOutDir is the -out flag: the directory receiving BENCH_*.json
 // documents ("" = current directory).

@@ -1,0 +1,144 @@
+// Streaming-scan and batch-write report (BENCH_scan.json): loads a table
+// two ways -- N single-row INSERT round trips vs OpExecBatch frames of
+// -batch statements -- then streams the whole table back through the cursor
+// protocol (OpScanOpen/OpScanNext). The document records both load rates,
+// the batch speedup, and the streamed scan rate, so CI has a trend line for
+// the wire paths the one-shot protocol could not serve at all (any result
+// over wire.MaxPayload used to die with bad_request).
+package main
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"hiengine/internal/client"
+	"hiengine/internal/core"
+	"hiengine/internal/server"
+	"hiengine/internal/wire"
+)
+
+// scanReport is the BENCH_scan.json document.
+type scanReport struct {
+	SchemaVersion int     `json:"schema_version"`
+	Bench         string  `json:"bench"`
+	Workers       int     `json:"workers"`
+	ScanRows      int     `json:"scan_rows"`
+	BatchSize     int     `json:"batch_size"`
+	FetchSize     int     `json:"fetch_size"`
+	SingleRowsPS  float64 `json:"single_insert_rows_per_s"`
+	BatchRowsPS   float64 `json:"batch_insert_rows_per_s"`
+	BatchSpeedup  float64 `json:"batch_speedup"`
+	ScanRowsPS    float64 `json:"scan_rows_per_s"`
+	ScanS         float64 `json:"scan_s"`
+	Timestamp     string  `json:"timestamp"`
+}
+
+// scanBench loads scanRows rows (half single-statement, half batched),
+// streams them back, and writes BENCH_scan.json.
+func scanBench(scanRows, batchSize, workers int) error {
+	if scanRows < 2 {
+		return fmt.Errorf("scanbench: -scanrows %d too small", scanRows)
+	}
+	front, engine, err := netFrontend(workers)
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	srv, err := server.New(server.Config{
+		Frontend:    front,
+		WorkerSlots: workers,
+		Obs:         engine.Obs(),
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+
+	cl, err := client.New(client.Options{Addr: ln.Addr().String(), PoolSize: 2})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if _, err := cl.Exec(netbenchSchema); err != nil {
+		return err
+	}
+	s, err := cl.Session()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	// Load, phase 1: one INSERT per round trip.
+	half := scanRows / 2
+	start := time.Now()
+	for i := 0; i < half; i++ {
+		if _, err := s.Exec("INSERT INTO netbench VALUES (?, ?)", core.I(int64(i)), core.S("v")); err != nil {
+			return fmt.Errorf("scanbench: single insert %d: %w", i, err)
+		}
+	}
+	singleD := time.Since(start)
+
+	// Load, phase 2: the same statement shape, batchSize per frame.
+	start = time.Now()
+	for i := half; i < scanRows; i += batchSize {
+		n := batchSize
+		if i+n > scanRows {
+			n = scanRows - i
+		}
+		stmts := make([]wire.BatchStmt, n)
+		for j := range stmts {
+			stmts[j] = wire.BatchStmt{
+				SQL:  "INSERT INTO netbench VALUES (?, ?)",
+				Args: []core.Value{core.I(int64(i + j)), core.S("v")},
+			}
+		}
+		if _, err := s.ExecBatch(stmts); err != nil {
+			return fmt.Errorf("scanbench: batch at %d: %w", i, err)
+		}
+	}
+	batchD := time.Since(start)
+
+	// Stream everything back through the cursor protocol.
+	start = time.Now()
+	rows, err := cl.Query("SELECT * FROM netbench")
+	if err != nil {
+		return fmt.Errorf("scanbench: open scan: %w", err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Close(); err != nil {
+		return fmt.Errorf("scanbench: scan: %w", err)
+	}
+	scanD := time.Since(start)
+	if n != scanRows {
+		return fmt.Errorf("scanbench: streamed %d rows, want %d", n, scanRows)
+	}
+
+	singlePS := float64(half) / singleD.Seconds()
+	batchPS := float64(scanRows-half) / batchD.Seconds()
+	rep := scanReport{
+		SchemaVersion: benchSchemaVersion,
+		Bench:         "scan_batch",
+		Workers:       workers,
+		ScanRows:      scanRows,
+		BatchSize:     batchSize,
+		FetchSize:     s.FetchSize(),
+		SingleRowsPS:  singlePS,
+		BatchRowsPS:   batchPS,
+		BatchSpeedup:  batchPS / singlePS,
+		ScanRowsPS:    float64(n) / scanD.Seconds(),
+		ScanS:         scanD.Seconds(),
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Printf("scanbench rows=%d batch=%d  single=%8.0f rows/s  batched=%8.0f rows/s (%.1fx)  scan=%8.0f rows/s\n",
+		scanRows, batchSize, singlePS, batchPS, rep.BatchSpeedup, rep.ScanRowsPS)
+	return writeBenchReport("BENCH_scan.json", &rep)
+}

@@ -14,7 +14,12 @@
 // (\checkpoint, \gc, \compact) are in-process only.
 //
 // Meta commands: \q quit, \stats engine counters, \trace on|off (remote:
-// per-statement stage breakdown), \checkpoint, \gc, \compact.
+// per-statement stage breakdown), \fetchsize [n] (remote: rows-per-page
+// hint for streamed SELECTs), \checkpoint, \gc, \compact.
+//
+// Remote SELECTs outside a transaction stream through the cursor protocol
+// (OpScanOpen/OpScanNext), so results of any size print page by page
+// instead of tripping the server's one-shot response cap.
 package main
 
 import (
@@ -123,6 +128,24 @@ func main() {
 				fmt.Println("tracing off")
 			}
 			continue
+		case line == `\fetchsize` || strings.HasPrefix(line, `\fetchsize `):
+			if remote == nil {
+				fmt.Println("error: \\fetchsize needs a remote session (-connect)")
+				continue
+			}
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\fetchsize`))
+			if arg == "" {
+				fmt.Printf("fetch size: %d rows per page\n", remote.FetchSize())
+				continue
+			}
+			var n int
+			if _, err := fmt.Sscanf(arg, "%d", &n); err != nil || n <= 0 {
+				fmt.Println("error: \\fetchsize wants a positive row count")
+				continue
+			}
+			remote.SetFetchSize(n)
+			fmt.Printf("fetch size: %d rows per page\n", n)
+			continue
 		case line == `\checkpoint`:
 			if local == nil {
 				fmt.Println("error: \\checkpoint is in-process only")
@@ -156,6 +179,34 @@ func main() {
 			}
 			continue
 		}
+		// Remote SELECTs outside a transaction stream through the cursor
+		// protocol: results of any size print page by page. Inside a
+		// transaction the server refuses cursors (the pinned snapshot
+		// would not see the transaction's own writes), so fall through to
+		// the one-shot path.
+		if remote != nil && !remote.InTxn() && isSelectText(line) {
+			rows, err := remote.Query(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			n := 0
+			for rows.Next() {
+				row := rows.Row()
+				parts := make([]string, len(row))
+				for i, v := range row {
+					parts[i] = v.String()
+				}
+				fmt.Println(strings.Join(parts, " | "))
+				n++
+			}
+			if err := rows.Close(); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("(%d rows)\n", n)
+			continue
+		}
 		res, err := sess.Exec(line)
 		if err != nil {
 			fmt.Println("error:", err)
@@ -185,6 +236,13 @@ func main() {
 			}
 		}
 	}
+}
+
+// isSelectText reports whether the statement text is a SELECT (the only
+// streamable statement class).
+func isSelectText(sql string) bool {
+	s := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+	return len(s) >= 6 && strings.EqualFold(s[:6], "SELECT")
 }
 
 // printTrace renders one completed traced unit as a stage table.

@@ -83,6 +83,10 @@ type Options struct {
 	RetryMax  time.Duration
 	// Seed seeds the deterministic backoff jitter (default 1).
 	Seed uint64
+	// FetchSize is the default rows-per-page hint for streaming queries
+	// (Query / Rows), overridable per session with SetFetchSize
+	// (default 512). The server additionally bounds every page by bytes.
+	FetchSize int
 	// ReplicaAddrs lists read-replica endpoints. When non-empty, read-only
 	// autocommit statements (SELECT text) issued through Client.Exec are
 	// routed round-robin to a replica, carrying the client's last observed
@@ -128,6 +132,9 @@ func (o *Options) fill() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.FetchSize <= 0 {
+		o.FetchSize = 512
 	}
 	if o.FailoverRetries <= 0 {
 		o.FailoverRetries = 8
@@ -597,6 +604,7 @@ type Session struct {
 	stmts  map[uint64]*Stmt
 	inTxn  bool
 	closed bool
+	fetch  int // streaming-page row hint; 0 = Options.FetchSize
 
 	trace      bool // request server-side tracing on every request
 	curTraceID uint64

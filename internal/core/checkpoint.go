@@ -615,8 +615,21 @@ func applyReplay(catalog map[uint32]*Table, addr wal.Addr, rec wal.Record) bool 
 	stub.addr.Store(uint64(addr))
 	for {
 		cur := t.rows.Get(rid)
-		if cur != nil && cur.tmin.Load() >= rec.CSN {
-			return false // an equal or newer record already won
+		if cur != nil {
+			have := cur.tmin.Load()
+			if have > rec.CSN {
+				return false // a newer record already won
+			}
+			if have == rec.CSN {
+				// The same version at a new address: a compaction rewrite
+				// relocated the record (rewrites keep their original CSN).
+				// Refresh the permanent address so payload reads stop
+				// pointing into the old segment, which the primary drops
+				// once the rewrite is durable. Not counted as applied --
+				// the version's content and indexes are already in place.
+				cur.addr.Store(uint64(addr))
+				return false
+			}
 		}
 		if ok, err := t.rows.CompareAndSwap(rid, cur, stub); err != nil {
 			return false

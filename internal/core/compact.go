@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"runtime"
+	"time"
 
 	"hiengine/internal/wal"
 )
@@ -55,9 +55,18 @@ func (e *Engine) CompactFull() (CompactionStats, error) {
 	// then keep those segments: an OpPrepare backing an undecided (or
 	// committed) transaction and every retained OpDecide record must
 	// survive compaction for recovery.
+	// The wait is a bounded sleep-poll, not a Gosched spin: the in-flight
+	// appends complete at WAL I/O latency (microseconds to milliseconds),
+	// and a spinning compactor would burn a core for that whole window --
+	// and live-lock a GOMAXPROCS=1 process if the appender needs the
+	// scheduler. If the engine closes mid-wait the stragglers may never
+	// drain; fail the compaction rather than hang.
 	target := e.commitsStarted.Load()
 	for e.commitsDurable.Load() < target {
-		runtime.Gosched()
+		if e.closed.Load() {
+			return stats, ErrClosed
+		}
+		time.Sleep(100 * time.Microsecond)
 	}
 	e.protect2PCSegments(oldSegs)
 	oldBytes := int64(0)

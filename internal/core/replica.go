@@ -164,6 +164,13 @@ func (r *Replica) AppliedCSN() uint64 {
 	return r.maxCSN
 }
 
+// testHookBeforeSegScan, when set, runs before CatchUp scans each segment.
+// Tests use it to interleave a primary-side compaction between the
+// follower's directory refresh and its segment scan -- the window in which
+// a fenced-and-rewritten segment is dropped out from under a mid-catch-up
+// follower, forcing the wal.ErrSegmentDropped recovery path below.
+var testHookBeforeSegScan func(seg uint16)
+
 // CatchUp scans the shared log for records appended since the last call and
 // applies them. Returns the number of records applied. Concurrent reads on
 // the replica observe a consistent cut: versions become visible atomically
@@ -180,6 +187,9 @@ func (r *Replica) CatchUp() (int64, error) {
 	for _, seg := range r.e.log.Segments() {
 		if r.fenced[seg] {
 			continue
+		}
+		if h := testHookBeforeSegScan; h != nil {
+			h(seg)
 		}
 		from := r.applied[seg]
 		next, err := r.e.log.ScanSegmentFrom(seg, from, func(addr wal.Addr, rec wal.Record) bool {

@@ -134,6 +134,11 @@ type Config struct {
 	// MaxStmts bounds each connection's prepared-statement table
 	// (default 256). Prepare beyond the bound is CodeBadRequest.
 	MaxStmts int
+	// MaxCursors bounds each connection's open-cursor table (default 4).
+	// Every cursor pins an MVCC snapshot and leases a worker slot for its
+	// lifetime, so the bound is deliberately small; OpScanOpen beyond it is
+	// CodeBadRequest.
+	MaxCursors int
 	// WriteTimeout bounds each response write (default 10s).
 	WriteTimeout time.Duration
 	// DrainTimeout bounds Close()'s wait for in-flight requests
@@ -244,6 +249,9 @@ func (c *Config) fill() {
 	if c.MaxStmts <= 0 {
 		c.MaxStmts = 256
 	}
+	if c.MaxCursors <= 0 {
+		c.MaxCursors = 4
+	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
 	}
@@ -300,6 +308,7 @@ type Server struct {
 	mErrs         [16]*obs.Counter
 	mSlotWaitBusy *obs.Counter
 	mStmtsOpen    *obs.Gauge
+	mCursorsOpen  *obs.Gauge
 	mReadTimeouts *obs.Counter
 	mIdleReaped   *obs.Counter
 }
@@ -342,6 +351,7 @@ func New(cfg Config) (*Server, error) {
 	s.mCommitDur = r.Histogram("server.commit_durable_ns")
 	s.mSlotWaitBusy = r.Counter("server.slot_wait_busy")
 	s.mStmtsOpen = r.Gauge("server.stmts_open")
+	s.mCursorsOpen = r.Gauge("server.cursors_open")
 	s.mReadTimeouts = r.Counter("server.read_timeouts")
 	s.mIdleReaped = r.Counter("server.idle_reaped")
 	if r != nil {
@@ -537,6 +547,12 @@ type conn struct {
 	stmts   map[uint64]*stmtEntry
 	stmtSeq uint64
 
+	// cursors is the connection's open-cursor table: ids issued by
+	// OpScanOpen, scoped to (and dying with) the connection. Bounded by
+	// Config.MaxCursors; each entry leases its own worker slot.
+	cursors map[uint64]*cursorEntry
+	curSeq  uint64
+
 	// worker-slot lease: held for the lifetime of a transaction
 	// (explicit or autocommit); the engine frees its own slot earlier on
 	// pipelined commits, but the lease is the server-side bound.
@@ -607,7 +623,10 @@ func (c *conn) serve() {
 	for {
 		inFrame = false
 		wait := c.s.cfg.IdleTimeout
-		if c.sess.InTxn() {
+		if c.sess.InTxn() || len(c.cursors) > 0 {
+			// An open transaction or cursor pins a leased worker slot (and,
+			// for a cursor, an MVCC snapshot): the peer must keep talking
+			// under the tighter budget or lose the connection.
 			wait = c.s.cfg.ReadTimeout
 		}
 		c.nc.SetReadDeadline(time.Now().Add(wait))
@@ -679,6 +698,7 @@ func (c *conn) teardown() {
 		c.sess.Rollback()
 	}
 	c.releaseSlot()
+	c.closeAllCursors()
 	if n := len(c.stmts); n > 0 {
 		c.s.mStmtsOpen.Add(-int64(n))
 		c.stmts = nil
@@ -697,26 +717,13 @@ func (c *conn) acquireSlot() error {
 	if c.hasSlot {
 		return nil
 	}
-	c.tr.Begin(obs.StageSlotWait)
-	defer c.tr.End(obs.StageSlotWait)
-	select {
-	case s := <-c.s.slots:
-		c.slot, c.hasSlot = s, true
-		c.sess.SetWorker(s)
-		return nil
-	default:
+	s, err := c.s.leaseSlot(c.tr)
+	if err != nil {
+		return err
 	}
-	t := time.NewTimer(c.s.cfg.SlotWait)
-	defer t.Stop()
-	select {
-	case s := <-c.s.slots:
-		c.slot, c.hasSlot = s, true
-		c.sess.SetWorker(s)
-		return nil
-	case <-t.C:
-		c.s.mSlotWaitBusy.Inc()
-		return fmt.Errorf("no free worker slot in %v: %w", c.s.cfg.SlotWait, ErrServerBusy)
-	}
+	c.slot, c.hasSlot = s, true
+	c.sess.SetWorker(s)
+	return nil
 }
 
 // releaseSlot returns the lease unless a transaction still holds it.
@@ -1071,6 +1078,18 @@ func (c *conn) handle(f wire.Frame) bool {
 			c.s.mStmtsOpen.Add(-1)
 		}
 		finish(nil, nil)
+
+	case wire.OpScanOpen:
+		return c.scanOpen(f.RequestID, f.Payload, finish)
+
+	case wire.OpScanNext:
+		return c.scanNext(f.RequestID, f.Payload, finish)
+
+	case wire.OpScanClose:
+		return c.scanClose(f.Payload, finish)
+
+	case wire.OpExecBatch:
+		return c.execBatch(f.RequestID, f.Payload, finish, release)
 
 	default:
 		// ReadFrame validated the opcode; unreachable.

@@ -124,6 +124,29 @@ func (r *Router) Exec(key int64, sql string, args ...core.Value) (*wire.Result, 
 	return c.Exec(sql, args...)
 }
 
+// Query opens a streaming SELECT on the shard owning key. Like Exec, this
+// is the single-shard fast path: it delegates to that shard's client.Query
+// unwrapped, so the cursor protocol, its retry behavior, and error
+// identity are exactly those of an unsharded client. Cross-shard scans are
+// the caller's concern (issue one Query per shard and merge).
+func (r *Router) Query(key int64, sql string, args ...core.Value) (*client.Rows, error) {
+	c, err := r.ClientForKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return c.Query(sql, args...)
+}
+
+// ExecBatch runs one atomic batch on the shard owning key. Every statement
+// in the batch must route to the same shard; the key names it.
+func (r *Router) ExecBatch(key int64, stmts []wire.BatchStmt) ([]int, error) {
+	c, err := r.ClientForKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return c.ExecBatch(stmts)
+}
+
 func (r *Router) chaosCheck(site string) error { return r.ch.Check(site) }
 
 // Txn is one distributed transaction: per-shard sessions opened on first

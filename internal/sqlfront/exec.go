@@ -746,7 +746,11 @@ func (f *Frontend) compile(st stmt) (func(*Session, []core.Value) (*Result, erro
 				s.opFailed(tx, auto, err)
 				return nil, err
 			}
-			if pl.point {
+			// limit < 0 means no LIMIT clause; LIMIT 0 is a real limit and
+			// must fetch nothing at all.
+			switch {
+			case limit == 0:
+			case pl.point:
 				row, err := tx.GetByKey(ti.schema.Name, pl.idx, bindAll(pl.prefix, args)...)
 				if err != nil && !errors.Is(err, engineapi.ErrNotFound) {
 					return fail(err)
@@ -758,7 +762,7 @@ func (f *Frontend) compile(st stmt) (func(*Session, []core.Value) (*Result, erro
 					}
 					res.Rows = append(res.Rows, pr)
 				}
-			} else {
+			default:
 				err := tx.ScanPrefix(ti.schema.Name, pl.idx, bindAll(pl.prefix, args),
 					func(row core.Row) bool {
 						if !matchResidual(ti.schema, row, residual, args) {
@@ -770,7 +774,7 @@ func (f *Frontend) compile(st stmt) (func(*Session, []core.Value) (*Result, erro
 							return false
 						}
 						res.Rows = append(res.Rows, pr)
-						return limit == 0 || len(res.Rows) < limit
+						return limit < 0 || len(res.Rows) < limit
 					})
 				if err != nil {
 					return fail(err)

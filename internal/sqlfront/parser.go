@@ -26,7 +26,7 @@ type selectStmt struct {
 	table string
 	cols  []string // nil = *
 	where []cond
-	limit int // 0 = unlimited
+	limit int // -1 = no LIMIT clause; 0 is a real limit (zero rows)
 }
 
 type updateStmt struct {
@@ -373,7 +373,7 @@ func (p *parser) whereClause() ([]cond, error) {
 }
 
 func (p *parser) selectStmt() (stmt, error) {
-	s := &selectStmt{}
+	s := &selectStmt{limit: -1}
 	if p.accept(tokPunct, "*") {
 		s.cols = nil
 	} else {
@@ -410,6 +410,9 @@ func (p *parser) selectStmt() (stmt, error) {
 		n, err := strconv.Atoi(t.text)
 		if err != nil {
 			return nil, err
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("sqlfront: LIMIT must be non-negative at %d", t.pos)
 		}
 		s.limit = n
 	}

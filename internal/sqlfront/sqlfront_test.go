@@ -2,6 +2,7 @@ package sqlfront
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"hiengine/internal/adapt"
@@ -234,6 +235,40 @@ func TestCompositeKeyAndResidualFilter(t *testing.T) {
 	res = mustExec(t, s, "SELECT * FROM o WHERE w = 1 LIMIT 5")
 	if len(res.Rows) != 5 {
 		t.Fatalf("limit: %d rows", len(res.Rows))
+	}
+}
+
+func TestLimitZeroAndNegative(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE lim (a INT, PRIMARY KEY(a))")
+	for i := int64(1); i <= 10; i++ {
+		mustExec(t, s, "INSERT INTO lim VALUES (?)", core.I(i))
+	}
+	// LIMIT 0 is a real limit, not "unlimited": zero rows, regardless of
+	// plan shape (scan or point).
+	res := mustExec(t, s, "SELECT * FROM lim LIMIT 0")
+	if len(res.Rows) != 0 {
+		t.Fatalf("LIMIT 0 returned %d rows", len(res.Rows))
+	}
+	res = mustExec(t, s, "SELECT * FROM lim WHERE a = 3 LIMIT 0")
+	if len(res.Rows) != 0 {
+		t.Fatalf("point LIMIT 0 returned %d rows", len(res.Rows))
+	}
+	// Positive limits still bound.
+	res = mustExec(t, s, "SELECT * FROM lim LIMIT 5")
+	if len(res.Rows) != 5 {
+		t.Fatalf("LIMIT 5 returned %d rows", len(res.Rows))
+	}
+	// No LIMIT clause is unbounded.
+	res = mustExec(t, s, "SELECT * FROM lim")
+	if len(res.Rows) != 10 {
+		t.Fatalf("unlimited returned %d rows", len(res.Rows))
+	}
+	// Negative limits are a parse error, not a silent "unlimited".
+	if _, err := s.Exec("SELECT * FROM lim LIMIT -1"); err == nil ||
+		!strings.Contains(err.Error(), "LIMIT must be non-negative") {
+		t.Fatalf("negative limit: %v", err)
 	}
 }
 

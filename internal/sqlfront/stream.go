@@ -1,0 +1,193 @@
+package sqlfront
+
+import (
+	"errors"
+	"fmt"
+
+	"hiengine/internal/core"
+	"hiengine/internal/engineapi"
+)
+
+// ErrNotStreamable marks statements that cannot run through ExecStream:
+// only SELECT produces a row stream.
+var ErrNotStreamable = errors.New("sqlfront: only SELECT can stream")
+
+// RowStream is a resumable scan: a SELECT executing against one pinned
+// MVCC snapshot, handing rows out in demand-driven, bounded pages instead
+// of materializing the full result (the server's cursor protocol sits
+// directly on top of it). The scan runs in a producer goroutine parked
+// inside the engine's ScanPrefix; each NextRow/Next call releases exactly
+// as many rows as it asks for, so peak buffering is one row beyond the
+// caller's page. The producer owns the stream's dedicated read transaction
+// end to end -- it opens under the session's worker slot in ExecStream and
+// is finished (committed on clean exhaustion or early Close, aborted on
+// error; for a read-only snapshot the two are equivalent) only by the
+// producer itself, which keeps the engine transaction single-goroutine.
+//
+// A RowStream is not safe for concurrent use, matching Session. Callers
+// must either drain it to exhaustion or Close it; an abandoned stream pins
+// its snapshot and its producer goroutine forever.
+type RowStream struct {
+	// Columns is the projected column list (nil for SELECT *), known at
+	// open so every page can carry it.
+	Columns []string
+
+	rows chan core.Row
+	stop chan struct{}
+	done chan error // buffered 1: the producer's terminal status
+
+	stopped  bool
+	finished bool
+	err      error
+}
+
+// ExecStream opens a streaming SELECT: parse and plan run eagerly (errors
+// surface here, never mid-stream), a dedicated read transaction pins the
+// MVCC snapshot, and the returned stream yields rows from that snapshot
+// regardless of concurrent writers. Streaming inside an explicit
+// transaction is refused: the stream's snapshot would not see the
+// transaction's own writes, which is a silent-surprise semantic.
+func (s *Session) ExecStream(sql string, args ...core.Value) (*RowStream, error) {
+	if s.InTxn() {
+		return nil, errors.New("sqlfront: cannot stream inside an explicit transaction")
+	}
+	st, nParams, err := parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*selectStmt)
+	if !ok {
+		return nil, ErrNotStreamable
+	}
+	if nParams != len(args) {
+		return nil, fmt.Errorf("%w: statement has %d, got %d", ErrParamCount, nParams, len(args))
+	}
+	ti, err := s.f.tableInfo(sel.table)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := buildPlan(ti.schema, sel.where)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the projection eagerly: a bad column name must fail the open,
+	// not the Nth page.
+	if _, err := project(ti.schema, make(core.Row, len(ti.schema.Columns)), sel.cols); err != nil {
+		return nil, err
+	}
+	tx, err := ti.db.Begin(s.worker)
+	if err != nil {
+		return nil, err
+	}
+	rs := &RowStream{
+		Columns: sel.cols,
+		rows:    make(chan core.Row),
+		stop:    make(chan struct{}),
+		done:    make(chan error, 1),
+	}
+	cols, limit, residual := sel.cols, sel.limit, pl.residual
+	schema := ti.schema
+	go func() {
+		var terr error
+		sent := 0
+		deliver := func(row core.Row) bool {
+			if !matchResidual(schema, row, residual, args) {
+				return true
+			}
+			pr, perr := project(schema, row, cols)
+			if perr != nil {
+				terr = perr
+				return false
+			}
+			select {
+			case rs.rows <- pr:
+				sent++
+				return limit < 0 || sent < limit
+			case <-rs.stop:
+				return false
+			}
+		}
+		switch {
+		case limit == 0:
+			// LIMIT 0: a real limit -- fetch nothing.
+		case pl.point:
+			row, gerr := tx.GetByKey(schema.Name, pl.idx, bindAll(pl.prefix, args)...)
+			if gerr != nil && !errors.Is(gerr, engineapi.ErrNotFound) {
+				terr = gerr
+			} else if gerr == nil {
+				deliver(row)
+			}
+		default:
+			serr := tx.ScanPrefix(schema.Name, pl.idx, bindAll(pl.prefix, args), deliver)
+			if terr == nil {
+				terr = serr
+			}
+		}
+		if terr != nil {
+			tx.Abort()
+		} else if cerr := tx.Commit(); cerr != nil {
+			terr = cerr
+		} else {
+			s.noteCSN(tx)
+		}
+		close(rs.rows)
+		rs.done <- terr
+	}()
+	return rs, nil
+}
+
+// NextRow returns the next row. ok=false means the stream is finished: err
+// then carries the terminal status (nil on clean exhaustion; the scan or
+// its read-only commit error otherwise). After ok=false the stream is
+// closed and needs no Close.
+func (rs *RowStream) NextRow() (row core.Row, ok bool, err error) {
+	if rs.finished {
+		return nil, false, rs.err
+	}
+	row, ok = <-rs.rows
+	if !ok {
+		rs.finished = true
+		rs.err = <-rs.done
+		return nil, false, rs.err
+	}
+	return row, true, nil
+}
+
+// Next collects the next bounded page of at most max rows (max <= 0 is
+// treated as 1). done=true means the stream is exhausted -- the returned
+// page (possibly empty) is the last one and err carries the terminal
+// status.
+func (rs *RowStream) Next(max int) (page *Result, done bool, err error) {
+	if max <= 0 {
+		max = 1
+	}
+	page = &Result{Columns: rs.Columns}
+	for len(page.Rows) < max {
+		row, ok, rerr := rs.NextRow()
+		if !ok {
+			return page, true, rerr
+		}
+		page.Rows = append(page.Rows, row)
+	}
+	return page, false, nil
+}
+
+// Close abandons the stream early: the producer unwinds out of the scan,
+// the pinned transaction is finished, and the terminal status is returned.
+// Idempotent; a stream already drained to exhaustion returns its terminal
+// error unchanged.
+func (rs *RowStream) Close() error {
+	if rs.finished {
+		return rs.err
+	}
+	if !rs.stopped {
+		rs.stopped = true
+		close(rs.stop)
+	}
+	for range rs.rows {
+		// Drain whatever the producer had in flight so it can unwind.
+	}
+	rs.finished = true
+	rs.err = <-rs.done
+	return rs.err
+}

@@ -1,0 +1,205 @@
+package sqlfront
+
+import (
+	"errors"
+	"testing"
+
+	"hiengine/internal/core"
+)
+
+func TestExecStreamBasic(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE st (a INT, b TEXT, PRIMARY KEY(a))")
+	for i := int64(0); i < 100; i++ {
+		mustExec(t, s, "INSERT INTO st VALUES (?, 'v')", core.I(i))
+	}
+	rs, err := s.ExecStream("SELECT a FROM st")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		row, ok, err := rs.NextRow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if got := row[0].Int(); got != int64(n) {
+			t.Fatalf("row %d: got key %d", n, got)
+		}
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("streamed %d rows, want 100", n)
+	}
+	// NextRow after exhaustion stays terminal.
+	if _, ok, err := rs.NextRow(); ok || err != nil {
+		t.Fatalf("post-exhaustion NextRow: ok=%v err=%v", ok, err)
+	}
+	// Close after exhaustion is a no-op returning the terminal status.
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecStreamPages(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE pg (a INT, PRIMARY KEY(a))")
+	for i := int64(0); i < 25; i++ {
+		mustExec(t, s, "INSERT INTO pg VALUES (?)", core.I(i))
+	}
+	rs, err := s.ExecStream("SELECT * FROM pg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, pages := 0, 0
+	for {
+		page, done, err := rs.Next(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(page.Rows)
+		pages++
+		if len(page.Rows) > 10 {
+			t.Fatalf("page of %d rows exceeds max 10", len(page.Rows))
+		}
+		if done {
+			break
+		}
+	}
+	if total != 25 {
+		t.Fatalf("streamed %d rows, want 25", total)
+	}
+	if pages < 3 {
+		t.Fatalf("expected >= 3 pages, got %d", pages)
+	}
+}
+
+func TestExecStreamEarlyClose(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE ec (a INT, PRIMARY KEY(a))")
+	for i := int64(0); i < 50; i++ {
+		mustExec(t, s, "INSERT INTO ec VALUES (?)", core.I(i))
+	}
+	rs, err := s.ExecStream("SELECT * FROM ec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := rs.NextRow(); !ok || err != nil {
+		t.Fatalf("first row: ok=%v err=%v", ok, err)
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatal("second close:", err)
+	}
+	// The session is fully usable afterwards: the stream's transaction
+	// unwound cleanly.
+	res := mustExec(t, s, "SELECT * FROM ec WHERE a = 7")
+	if len(res.Rows) != 1 {
+		t.Fatalf("post-close select: %d rows", len(res.Rows))
+	}
+}
+
+func TestExecStreamSnapshotIsolation(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE si (a INT, PRIMARY KEY(a))")
+	for i := int64(0); i < 20; i++ {
+		mustExec(t, s, "INSERT INTO si VALUES (?)", core.I(i))
+	}
+	rs, err := s.ExecStream("SELECT * FROM si")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	// Writes committed after the open (by a different worker) must be
+	// invisible to the pinned snapshot.
+	w := f.NewSession(1)
+	for i := int64(20); i < 40; i++ {
+		mustExec(t, w, "INSERT INTO si VALUES (?)", core.I(i))
+	}
+	n := 0
+	for {
+		_, ok, err := rs.NextRow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 20 {
+		t.Fatalf("snapshot saw %d rows, want the 20 committed before open", n)
+	}
+}
+
+func TestExecStreamRefusals(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE rf (a INT, b INT, PRIMARY KEY(a))")
+
+	// Only SELECT streams.
+	if _, err := s.ExecStream("INSERT INTO rf VALUES (1, 2)"); !errors.Is(err, ErrNotStreamable) {
+		t.Fatalf("insert stream: %v", err)
+	}
+	// Open errors surface at open, never mid-stream.
+	if _, err := s.ExecStream("SELECT zz FROM rf"); err == nil {
+		t.Fatal("unknown projected column accepted")
+	}
+	if _, err := s.ExecStream("SELECT * FROM ghost"); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if _, err := s.ExecStream("SELECT * FROM rf WHERE a = ?"); !errors.Is(err, ErrParamCount) {
+		t.Fatalf("param count: %v", err)
+	}
+	// No streaming inside an explicit transaction.
+	mustExec(t, s, "BEGIN")
+	if _, err := s.ExecStream("SELECT * FROM rf"); err == nil {
+		t.Fatal("stream inside txn accepted")
+	}
+	mustExec(t, s, "ROLLBACK")
+}
+
+func TestExecStreamLimit(t *testing.T) {
+	f, _ := testFrontend(t)
+	s := f.NewSession(0)
+	mustExec(t, s, "CREATE TABLE sl (a INT, PRIMARY KEY(a))")
+	for i := int64(0); i < 30; i++ {
+		mustExec(t, s, "INSERT INTO sl VALUES (?)", core.I(i))
+	}
+	for _, tc := range []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT * FROM sl LIMIT 0", 0},
+		{"SELECT * FROM sl LIMIT 7", 7},
+		{"SELECT * FROM sl", 30},
+	} {
+		rs, err := s.ExecStream(tc.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			_, ok, err := rs.NextRow()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		if n != tc.want {
+			t.Fatalf("%q streamed %d rows, want %d", tc.sql, n, tc.want)
+		}
+	}
+}

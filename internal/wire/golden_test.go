@@ -36,6 +36,10 @@ var goldenOps = []struct {
 	{OpTxnStatus, 18, "txn_status", true},
 	{OpTxnRecover, 19, "txn_recover", true},
 	{OpTxnForget, 20, "txn_forget", true},
+	{OpScanOpen, 21, "scan_open", true},
+	{OpScanNext, 22, "scan_next", true},
+	{OpScanClose, 23, "scan_close", true},
+	{OpExecBatch, 24, "exec_batch", true},
 }
 
 var goldenCodes = []struct {
@@ -58,6 +62,10 @@ var goldenCodes = []struct {
 	{CodeStaleEpoch, 10, "stale_epoch", false, false},
 	{CodeInDoubt, 11, "in_doubt", false, false},
 	{CodeWrongShard, 12, "wrong_shard", false, false},
+	// cursor_gone is neither retryable (the pinned snapshot is unrecoverable
+	// and rows may already have been consumed) nor fatal (the connection and
+	// server are fine; only the one scan must be reissued).
+	{CodeCursorGone, 13, "cursor_gone", false, false},
 }
 
 func TestGoldenOpcodes(t *testing.T) {
@@ -85,8 +93,8 @@ func TestGoldenOpcodes(t *testing.T) {
 	if validRequest(Op(0)) {
 		t.Error("opcode 0 must not be a valid request")
 	}
-	if MaxOp != OpTxnForget {
-		t.Errorf("MaxOp = %d, want OpTxnForget (%d)", MaxOp, OpTxnForget)
+	if MaxOp != OpExecBatch {
+		t.Errorf("MaxOp = %d, want OpExecBatch (%d)", MaxOp, OpExecBatch)
 	}
 }
 
@@ -113,7 +121,7 @@ func TestGoldenCodes(t *testing.T) {
 		}
 		seen[g.id] = true
 	}
-	if MaxCode != CodeWrongShard {
-		t.Errorf("MaxCode = %d, want CodeWrongShard (%d)", MaxCode, CodeWrongShard)
+	if MaxCode != CodeCursorGone {
+		t.Errorf("MaxCode = %d, want CodeCursorGone (%d)", MaxCode, CodeCursorGone)
 	}
 }

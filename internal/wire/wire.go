@@ -109,6 +109,26 @@ const (
 	// (answered at forget-record durability). Best-effort: a lost forget
 	// only retains metadata, never changes an outcome.
 	OpTxnForget Op = 20 // gtid; response at durability: empty body
+	// Streaming-scan opcodes. A SELECT whose result would overflow one frame
+	// streams instead: ScanOpen parses and plans the statement, pins a
+	// dedicated MVCC snapshot, and answers with the first bounded page plus a
+	// connection-scoped cursor id; ScanNext pulls subsequent pages from the
+	// same pinned snapshot; ScanClose releases the cursor early (idempotent,
+	// like OpCloseStmt). Every page body carries a done flag -- the server
+	// auto-closes an exhausted cursor, so a client only sends ScanClose when
+	// it abandons a scan. A ScanNext against an unknown, expired or reaped
+	// cursor answers CodeCursorGone.
+	OpScanOpen  Op = 21 // fetch size, sql string, args row; response: cursor page
+	OpScanNext  Op = 22 // cursor id, fetch size; response: cursor page
+	OpScanClose Op = 23 // cursor id; response: empty body
+	// OpExecBatch carries N statements in one frame and answers with one
+	// response carrying a per-statement affected-row vector. Outside an
+	// explicit transaction the batch executes atomically in its own
+	// transaction and the response is sent when that commit is durable (the
+	// same answered-at-durability group-commit path as OpCommit); inside one
+	// it behaves like N pipelined statements of the open transaction. Any
+	// statement error aborts the rest of the batch.
+	OpExecBatch Op = 24 // n, then n x {sql string, args row}; response: affected vector + csn
 )
 
 // String names the opcode.
@@ -154,13 +174,21 @@ func (o Op) String() string {
 		return "txn_recover"
 	case OpTxnForget:
 		return "txn_forget"
+	case OpScanOpen:
+		return "scan_open"
+	case OpScanNext:
+		return "scan_next"
+	case OpScanClose:
+		return "scan_close"
+	case OpExecBatch:
+		return "exec_batch"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
 }
 
 // MaxOp is the highest assigned opcode (sizing per-opcode metric tables).
-const MaxOp = OpTxnForget
+const MaxOp = OpExecBatch
 
 // TraceFlag marks a traced frame. It rides the opcode byte's high bit (no
 // assigned opcode comes near it) so untraced frames are byte-identical to
@@ -176,7 +204,7 @@ const traceIDSize = 8
 
 // validRequest reports whether o is a client-issued opcode.
 func validRequest(o Op) bool {
-	return (o >= OpPing && o <= OpStats) || (o >= OpPrepare && o <= OpTxnForget)
+	return (o >= OpPing && o <= OpStats) || (o >= OpPrepare && o <= OpExecBatch)
 }
 
 // Code is a stable wire status code.
@@ -224,11 +252,18 @@ const (
 	// (a stale shard map, or a misrouted statement). Not retryable here --
 	// the client must refresh its shard map and re-route.
 	CodeWrongShard Code = 12
+	// CodeCursorGone: an OpScanNext/OpScanClose named a cursor this
+	// connection does not hold -- never opened, already exhausted, failed
+	// mid-scan, or reaped with the idle connection. Not retryable and not
+	// fatal: retrying cannot resurrect the snapshot (rows may already have
+	// been consumed), so the client must reissue the scan from the top if it
+	// still wants the data.
+	CodeCursorGone Code = 13
 )
 
 // MaxCode is the highest assigned status code (sizing per-code metric
 // tables).
-const MaxCode = CodeWrongShard
+const MaxCode = CodeCursorGone
 
 // String names the code.
 func (c Code) String() string {
@@ -259,6 +294,8 @@ func (c Code) String() string {
 		return "in_doubt"
 	case CodeWrongShard:
 		return "wrong_shard"
+	case CodeCursorGone:
+		return "cursor_gone"
 	default:
 		return fmt.Sprintf("code(%d)", uint16(c))
 	}
@@ -284,6 +321,11 @@ var ErrProtocol = errors.New("wire: protocol violation")
 // node does not own. Carried as CodeWrongShard; the fix is a shard-map
 // refresh, never a retry in place.
 var ErrWrongShard = errors.New("wire: wrong shard")
+
+// ErrCursorGone is the expired-cursor sentinel: a scan continuation named a
+// cursor the connection no longer holds. Carried as CodeCursorGone; the fix
+// is reissuing the scan, never retrying the continuation.
+var ErrCursorGone = errors.New("wire: cursor gone")
 
 // Classify maps an error onto exactly one stable code. Precedence puts
 // fatal conditions first: an error that wraps both core.ErrDurabilityLost
@@ -315,6 +357,8 @@ func Classify(err error) Code {
 		return CodeInDoubt
 	case errors.Is(err, ErrWrongShard):
 		return CodeWrongShard
+	case errors.Is(err, ErrCursorGone):
+		return CodeCursorGone
 	case errors.Is(err, engineapi.ErrConflict):
 		return CodeConflict
 	case errors.Is(err, engineapi.ErrDuplicate):
@@ -364,6 +408,8 @@ func sentinel(c Code) error {
 		return core.ErrInDoubt
 	case CodeWrongShard:
 		return ErrWrongShard
+	case CodeCursorGone:
+		return ErrCursorGone
 	default:
 		return nil
 	}
@@ -995,6 +1041,187 @@ func decodeResult(body []byte) (*Result, []byte, error) {
 		r.Rows = append(r.Rows, row)
 	}
 	return r, body, nil
+}
+
+// --- streaming-scan payloads -------------------------------------------------
+
+// MaxFetchSize bounds the per-page row count a scan request may ask for.
+// Pages are additionally bounded by bytes on the server, so this only has
+// to keep a garbage fetch size from pre-sizing absurd buffers.
+const MaxFetchSize = 1 << 20
+
+// AppendScanOpen appends an OpScanOpen payload: the requested fetch size
+// (rows per page; 0 lets the server pick its default), then sql and the
+// argument row, exactly as OpExec carries them.
+func AppendScanOpen(buf []byte, fetchSize int, sql string, args []core.Value) []byte {
+	buf = binary.AppendUvarint(buf, uint64(fetchSize))
+	return AppendExec(buf, sql, args)
+}
+
+// EncodeScanOpen builds an OpScanOpen payload.
+func EncodeScanOpen(fetchSize int, sql string, args []core.Value) []byte {
+	return AppendScanOpen(nil, fetchSize, sql, args)
+}
+
+// DecodeScanOpen parses an OpScanOpen payload.
+func DecodeScanOpen(payload []byte) (fetchSize int, sql string, args []core.Value, err error) {
+	fs, w := binary.Uvarint(payload)
+	if w <= 0 || fs > MaxFetchSize {
+		return 0, "", nil, ErrPayloadCorrupt
+	}
+	sql, args, err = DecodeExec(payload[w:])
+	return int(fs), sql, args, err
+}
+
+// EncodeScanNext builds an OpScanNext payload: cursor id, then the fetch
+// size for this page (0 keeps the cursor's current size).
+func EncodeScanNext(id uint64, fetchSize int) []byte {
+	buf := binary.AppendUvarint(nil, id)
+	return binary.AppendUvarint(buf, uint64(fetchSize))
+}
+
+// DecodeScanNext parses an OpScanNext payload.
+func DecodeScanNext(payload []byte) (id uint64, fetchSize int, err error) {
+	id, w := binary.Uvarint(payload)
+	if w <= 0 {
+		return 0, 0, ErrPayloadCorrupt
+	}
+	fs, w2 := binary.Uvarint(payload[w:])
+	if w2 <= 0 || w+w2 != len(payload) || fs > MaxFetchSize {
+		return 0, 0, ErrPayloadCorrupt
+	}
+	return id, int(fs), nil
+}
+
+// EncodeScanClose builds an OpScanClose payload: the cursor id.
+func EncodeScanClose(id uint64) []byte { return binary.AppendUvarint(nil, id) }
+
+// DecodeScanClose parses an OpScanClose payload.
+func DecodeScanClose(payload []byte) (uint64, error) { return DecodeCloseStmt(payload) }
+
+// AppendCursorPage appends a cursor-page response body (the success body of
+// OpScanOpen and OpScanNext): cursor id, done flag, then a Result whose
+// rows arrive pre-encoded -- rowData must hold exactly nRows core.EncodeRow
+// encodings. Taking the rows in encoded form lets the server bound a page
+// by bytes while it pulls rows, without encoding everything twice.
+func AppendCursorPage(buf []byte, id uint64, done bool, cols []string, nRows int, rowData []byte) []byte {
+	buf = binary.AppendUvarint(buf, id)
+	if done {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, 0) // affected: a scan mutates nothing
+	buf = binary.AppendUvarint(buf, uint64(len(cols)))
+	for _, c := range cols {
+		buf = appendString(buf, c)
+	}
+	buf = binary.AppendUvarint(buf, uint64(nRows))
+	return append(buf, rowData...)
+}
+
+// DecodeCursorPage parses a cursor-page body. done=true means the server
+// exhausted the scan and already closed the cursor; the client must not
+// send OpScanNext or OpScanClose for it.
+func DecodeCursorPage(body []byte) (id uint64, done bool, r *Result, err error) {
+	id, w := binary.Uvarint(body)
+	if w <= 0 || len(body) < w+1 || body[w] > 1 {
+		return 0, false, nil, ErrPayloadCorrupt
+	}
+	done = body[w] == 1
+	r, rest, err := decodeResult(body[w+1:])
+	if err != nil {
+		return 0, false, nil, err
+	}
+	if len(rest) != 0 {
+		return 0, false, nil, ErrPayloadCorrupt
+	}
+	return id, done, r, nil
+}
+
+// --- batch-exec payloads -----------------------------------------------------
+
+// BatchStmt is one statement of an OpExecBatch payload.
+type BatchStmt struct {
+	SQL  string
+	Args []core.Value
+}
+
+// MaxBatch bounds the statement count of one OpExecBatch frame.
+const MaxBatch = 1 << 16
+
+// AppendExecBatch appends an OpExecBatch payload: the statement count, then
+// each statement exactly as OpExec carries it (sql, args row).
+func AppendExecBatch(buf []byte, stmts []BatchStmt) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(stmts)))
+	for _, st := range stmts {
+		buf = AppendExec(buf, st.SQL, st.Args)
+	}
+	return buf
+}
+
+// EncodeExecBatch builds an OpExecBatch payload.
+func EncodeExecBatch(stmts []BatchStmt) []byte { return AppendExecBatch(nil, stmts) }
+
+// DecodeExecBatch parses an OpExecBatch payload. Empty batches are a
+// payload error: there is nothing to answer durability for.
+func DecodeExecBatch(payload []byte) ([]BatchStmt, error) {
+	n, w := binary.Uvarint(payload)
+	if w <= 0 || n == 0 || n > MaxBatch {
+		return nil, ErrPayloadCorrupt
+	}
+	payload = payload[w:]
+	out := make([]BatchStmt, 0, n)
+	for i := uint64(0); i < n; i++ {
+		sql, rest, err := readString(payload)
+		if err != nil {
+			return nil, err
+		}
+		args, rest2, err := core.DecodeRowPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPayloadCorrupt, err)
+		}
+		out = append(out, BatchStmt{SQL: sql, Args: args})
+		payload = rest2
+	}
+	if len(payload) != 0 {
+		return nil, ErrPayloadCorrupt
+	}
+	return out, nil
+}
+
+// AppendBatchResult appends the OpExecBatch success body: the
+// per-statement affected-row vector, then the session's last commit CSN
+// (the batch's own commit when it ran outside an explicit transaction).
+func AppendBatchResult(buf []byte, affected []int, csn uint64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(affected)))
+	for _, a := range affected {
+		buf = binary.AppendUvarint(buf, uint64(a))
+	}
+	return binary.AppendUvarint(buf, csn)
+}
+
+// DecodeBatchResult parses an OpExecBatch success body.
+func DecodeBatchResult(body []byte) (affected []int, csn uint64, err error) {
+	n, w := binary.Uvarint(body)
+	if w <= 0 || n > MaxBatch {
+		return nil, 0, ErrPayloadCorrupt
+	}
+	body = body[w:]
+	affected = make([]int, 0, n)
+	for i := uint64(0); i < n; i++ {
+		a, w2 := binary.Uvarint(body)
+		if w2 <= 0 {
+			return nil, 0, ErrPayloadCorrupt
+		}
+		affected = append(affected, int(a))
+		body = body[w2:]
+	}
+	csn, w = binary.Uvarint(body)
+	if w <= 0 || w != len(body) {
+		return nil, 0, ErrPayloadCorrupt
+	}
+	return affected, csn, nil
 }
 
 // --- greeting --------------------------------------------------------------
