@@ -44,7 +44,7 @@ func main() {
 		netlocal = flag.Bool("netlocal", false, "networked mode: loopback server vs in-process comparison")
 		clients  = flag.Int("clients", 8, "networked mode: concurrent client sessions")
 		prepared = flag.Bool("prepared", false, "networked mode: use prepared statements (OpPrepare/OpExecStmt) instead of per-call SQL text")
-		trace    = flag.Bool("trace", false, "networked mode: trace every transaction and append a per-stage latency table to the report")
+		trace    = flag.Bool("trace", false, "networked mode: trace every transaction and append a per-stage latency table to the report; sharded mode: finish with one traced cross-shard 2PC transaction and its per-hop table")
 		replicas = flag.Int("replicas", 0, "networked mode: spin N read replicas and measure SELECT fan-out scaling (writes BENCH_replica.json)")
 		failover = flag.Bool("failover", false, "networked mode: kill the primary under load, promote a replica, and measure time-to-promote and client write gaps (writes BENCH_failover.json)")
 		shards   = flag.Int("shards", 0, "sharded mode: spin N shard nodes and measure routed + 2PC scaling vs a 1-shard baseline (writes BENCH_shard.json)")
@@ -77,7 +77,7 @@ func main() {
 			}
 			err = scanBench(rows, batch, workers)
 		case *shards > 0:
-			err = shardBench(*shards, *clients, workers, *crossPct, d)
+			err = shardBench(*shards, *clients, workers, *crossPct, d, *trace)
 		case *failover:
 			err = failoverBench(*clients, workers, d)
 		case *replicas > 0:

@@ -80,8 +80,11 @@ func (n *shardNode) close() {
 }
 
 // startShardCluster brings up n nodes over pre-reserved loopback listeners
-// and returns the routed topology.
-func startShardCluster(n, workers int) (*shard.Map, []*shardNode, error) {
+// and returns the routed topology. With trace on, each node carries a
+// tracer that answers client-forced traces only (no sampling), so the
+// final traced transaction gets per-hop stage blocks back while the
+// measured run is untouched.
+func startShardCluster(n, workers int, trace bool) (*shard.Map, []*shardNode, error) {
 	lns := make([]net.Listener, n)
 	addrs := make([]string, n)
 	for i := range lns {
@@ -123,9 +126,14 @@ func startShardCluster(n, workers int) (*shard.Map, []*shardNode, error) {
 			return nil, nil, err
 		}
 		front := sqlfront.NewFrontend("hiengine", adapt.New(engine))
+		var tracer *obs.Tracer
+		if trace {
+			tracer = obs.NewTracer(obs.TracerConfig{})
+		}
 		srv, err := server.New(server.Config{
 			Frontend:    front,
 			WorkerSlots: engine.Workers(),
+			Tracer:      tracer,
 			ShardInfo: func() *wire.ShardMap {
 				sm, err := wire.DecodeShardMap(mapB)
 				if err != nil {
@@ -274,9 +282,67 @@ func shardDrive(m *shard.Map, nClients, crossPct int, d time.Duration) (*shardPo
 	return pt, nil
 }
 
+// shardTrace runs one traced cross-shard transfer through the router and
+// prints the stitched distributed trace as a per-hop table: coordinator
+// wall time decomposed into the 2PC phases, each hop tagged (shard,
+// opcode) with the participant's own stage timings.
+func shardTrace(m *shard.Map) error {
+	r := shard.NewRouter(m, client.Options{Addr: "routed"}, nil)
+	defer r.Close()
+	r.Trace(true)
+	k1 := int64(1) << 50
+	k2 := k1 + 1
+	for m.ShardOfInt(k2) == m.ShardOfInt(k1) {
+		k2++
+	}
+	if m.ShardOfInt(k2) < m.ShardOfInt(k1) {
+		k1, k2 = k2, k1
+	}
+	tx := r.Begin()
+	_, err := tx.Exec(k1, "INSERT INTO shardbench VALUES (?, ?)", core.I(k1), core.I(0))
+	if err == nil {
+		_, err = tx.Exec(k2, "INSERT INTO shardbench VALUES (?, ?)", core.I(k2), core.I(0))
+	}
+	if err != nil {
+		tx.Rollback()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	t := r.LastDistTrace()
+	if t == nil {
+		return fmt.Errorf("no distributed trace assembled")
+	}
+	us := func(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+	fmt.Printf("shardbench trace %d: total=%v prepare=%v decide=%v fanout=%v shards=%d hops=%d\n",
+		t.TraceID, us(t.Total), us(t.Prepare), us(t.Decide), us(t.Fanout), t.Shards, len(t.Hops))
+	fmt.Printf("  %3s  %5s  %-10s  %9s  %9s  %9s  stages\n",
+		"hop", "shard", "op", "offset", "rtt", "server")
+	for _, h := range t.Hops {
+		shardS := "-"
+		if h.HasShard {
+			shardS = fmt.Sprintf("%d", h.Shard)
+		}
+		var server time.Duration
+		stages := ""
+		if h.Info != nil {
+			server = time.Duration(h.Info.TotalNS)
+			for _, st := range h.Info.Stages {
+				stages += fmt.Sprintf(" %s=%v", st.Stage, us(time.Duration(st.DurNS)))
+			}
+		}
+		fmt.Printf("  %3d  %5s  %-10s  %9v  %9v  %9v %s\n",
+			h.Hop, shardS, h.Op, us(h.Start), us(h.RTT), us(server), stages)
+	}
+	return nil
+}
+
 // shardBench measures the workload at 1 shard and at nShards, and writes
-// BENCH_shard.json with the scaling factor.
-func shardBench(nShards, nClients, workers, crossPct int, d time.Duration) error {
+// BENCH_shard.json with the scaling factor. With trace on, the full-count
+// run finishes with one traced cross-shard transaction and its per-hop
+// table.
+func shardBench(nShards, nClients, workers, crossPct int, d time.Duration, trace bool) error {
 	if nShards < 1 {
 		return fmt.Errorf("-shards must be >= 1")
 	}
@@ -296,7 +362,7 @@ func shardBench(nShards, nClients, workers, crossPct int, d time.Duration) error
 		counts = append(counts, nShards)
 	}
 	for _, n := range counts {
-		m, nodes, err := startShardCluster(n, workers)
+		m, nodes, err := startShardCluster(n, workers, trace)
 		if err != nil {
 			return err
 		}
@@ -315,16 +381,23 @@ func shardBench(nShards, nClients, workers, crossPct int, d time.Duration) error
 			}
 		}
 		pt, err := shardDrive(m, nClients, crossPct, d)
+		if err == nil {
+			rep.Series = append(rep.Series, *pt)
+			fmt.Printf("shardbench shards=%-2d clients=%-3d dur=%-5v txns=%-8d thru=%8.0f txn/s  cross=%d (single p50=%.2fms p99=%.2fms, cross p50=%.2fms p99=%.2fms)\n",
+				n, nClients, d, pt.Txns, pt.TxnsPS, pt.CrossTxns,
+				pt.SingleP50MS, pt.SingleP99MS, pt.CrossP50MS, pt.CrossP99MS)
+			if trace && n > 1 {
+				if terr := shardTrace(m); terr != nil {
+					fmt.Printf("shardbench trace: %v\n", terr)
+				}
+			}
+		}
 		for _, nd := range nodes {
 			nd.close()
 		}
 		if err != nil {
 			return err
 		}
-		rep.Series = append(rep.Series, *pt)
-		fmt.Printf("shardbench shards=%-2d clients=%-3d dur=%-5v txns=%-8d thru=%8.0f txn/s  cross=%d (single p50=%.2fms p99=%.2fms, cross p50=%.2fms p99=%.2fms)\n",
-			n, nClients, d, pt.Txns, pt.TxnsPS, pt.CrossTxns,
-			pt.SingleP50MS, pt.SingleP99MS, pt.CrossP50MS, pt.CrossP99MS)
 	}
 	if len(rep.Series) == 2 && rep.Series[0].TxnsPS > 0 {
 		rep.ScalingX = rep.Series[1].TxnsPS / rep.Series[0].TxnsPS

@@ -13,9 +13,12 @@
 //	hibench -connect localhost:7609 ... # remote load
 //
 // The admin plane (-http) serves /metrics (Prometheus), /statusz (JSON),
-// /traces (recent/slow request traces), /healthz and /debug/pprof.
-// Request tracing is configured with -trace-sample and -trace-slow;
-// client-flagged requests are always traced.
+// /traces (recent/slow request traces; ?distributed=1 for stitched
+// multi-hop trees), /clusterz (the whole cluster's merged status; peers
+// named by -peer-admin), /healthz (readiness: 503 when fenced, draining,
+// or lagging past -ready-max-lag) and /debug/pprof. Request tracing is
+// configured with -trace-sample and -trace-slow; client-flagged requests
+// are always traced.
 //
 // SIGINT/SIGTERM triggers a graceful drain: the listener closes, new
 // requests are refused with the fatal wire code, and in-flight commits
@@ -88,6 +91,28 @@ func parseShardMap(v string) ([]string, error) {
 	return addrs, nil
 }
 
+// parsePeerAdmin turns the -peer-admin flag (same comma/@file shape as
+// -shard-map) into the /clusterz peer list. Each entry is name=host:port;
+// a bare host:port names itself.
+func parsePeerAdmin(v string) ([]admin.Peer, error) {
+	entries, err := parseShardMap(v)
+	if err != nil {
+		return nil, err
+	}
+	var peers []admin.Peer
+	for _, e := range entries {
+		name, addr, ok := strings.Cut(e, "=")
+		if !ok {
+			name, addr = e, e
+		}
+		if addr == "" {
+			return nil, fmt.Errorf("peer-admin: empty address in %q", e)
+		}
+		peers = append(peers, admin.Peer{Name: name, Addr: addr})
+	}
+	return peers, nil
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":7609", "listen address")
@@ -104,10 +129,18 @@ func main() {
 		replicaPoll = flag.Duration("replica-poll", 10*time.Millisecond, "replica log-shipping poll interval")
 		shardID     = flag.Uint("shard-id", 0, "this node's shard id in -shard-map")
 		shardMap    = flag.String("shard-map", "", "cluster shard map: comma-separated node addresses (index = shard id), or @file with one address per line")
+		nodeName    = flag.String("name", "", "node name in /clusterz (default: shard<id>, replica, or primary)")
+		peerAdmin   = flag.String("peer-admin", "", "peer admin addresses for /clusterz: comma-separated name=host:port entries (name optional), or @file with one entry per line")
+		readyMaxLag = flag.Int64("ready-max-lag", 0, "replica readiness: /healthz answers 503 once lag_csn exceeds this (0 = lag never gates readiness)")
 	)
 	flag.Parse()
 
 	shardAddrs, err := parseShardMap(*shardMap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiserver:", err)
+		os.Exit(1)
+	}
+	peers, err := parsePeerAdmin(*peerAdmin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hiserver:", err)
 		os.Exit(1)
@@ -341,16 +374,20 @@ func main() {
 
 	status := func() map[string]any {
 		st := map[string]any{
-			"role":      getRole(),
-			"epoch":     engine.Epoch(),
-			"fenced_by": engine.FencedBy(),
-			"fenced":    engine.Fenced(),
+			"role":         getRole(),
+			"epoch":        engine.Epoch(),
+			"fenced_by":    engine.FencedBy(),
+			"fenced":       engine.Fenced(),
+			"cursors_open": srv.CursorsOpen(),
 		}
 		if follower != nil {
 			st["applied_csn"] = follower.AppliedCSN()
 			st["lag_csn"] = follower.LagCSN()
 			if err := follower.Err(); err != nil {
 				st["poll_error"] = err.Error()
+			}
+			if ti := follower.LastFetchTrace(); ti != nil {
+				st["repl_fetch_us"] = ti.TotalNS / 1000
 			}
 		}
 		if sm := shardInfo(); sm != nil {
@@ -365,17 +402,50 @@ func main() {
 		return st
 	}
 
+	// Readiness: a fenced engine, a draining server, or a replica lagging
+	// past -ready-max-lag answers /healthz with 503 and the reason, so load
+	// balancers stop routing to a node that would refuse or serve stale.
+	ready := func() error {
+		if engine.Fenced() {
+			return fmt.Errorf("fenced by epoch %d (own epoch %d)", engine.FencedBy(), engine.Epoch())
+		}
+		if srv.Draining() {
+			return fmt.Errorf("draining")
+		}
+		if follower != nil && *readyMaxLag > 0 {
+			if lag := follower.LagCSN(); lag > *readyMaxLag {
+				return fmt.Errorf("replica lagging: lag_csn %d > %d", lag, *readyMaxLag)
+			}
+		}
+		return nil
+	}
+
+	name := *nodeName
+	if name == "" {
+		switch {
+		case len(shardAddrs) > 0:
+			name = fmt.Sprintf("shard%d", *shardID)
+		case follower != nil:
+			name = "replica"
+		default:
+			name = "primary"
+		}
+	}
+
 	var adm *admin.Server
 	if *httpAddr != "" {
 		adm = admin.New(admin.Config{
 			Registry: reg,
 			Tracer:   tracer,
 			Info: map[string]string{
+				"name":    name,
 				"addr":    *addr,
 				"profile": *profile,
 				"primary": *replicaOf,
 			},
 			Status:  status,
+			Ready:   ready,
+			Peers:   func() []admin.Peer { return peers },
 			Promote: promote,
 		})
 		aln, err := net.Listen("tcp", *httpAddr)
@@ -388,7 +458,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "hiserver: admin:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "hiserver: admin plane on http://%s (/metrics /statusz /traces /healthz /debug/pprof)\n",
+		fmt.Fprintf(os.Stderr, "hiserver: admin plane on http://%s (/metrics /statusz /traces /clusterz /healthz /debug/pprof)\n",
 			aln.Addr())
 	}
 

@@ -249,6 +249,12 @@ func isSelectText(sql string) bool {
 func printTrace(lt *client.TraceResult) {
 	info := lt.Info
 	fmt.Printf("trace %d: server %v", info.TraceID, time.Duration(info.TotalNS))
+	if info.HasShard {
+		fmt.Printf(", shard %d", info.Shard)
+		if info.Hop > 0 {
+			fmt.Printf(" hop %d", info.Hop)
+		}
+	}
 	if lt.ClientNS > 0 {
 		fmt.Printf(", client %v, network+queue %v", time.Duration(lt.ClientNS), time.Duration(lt.NetworkNS()))
 	}

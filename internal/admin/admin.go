@@ -3,10 +3,13 @@
 // process's observability surface on a loopback-or-operator port, separate
 // from the wire-protocol data port:
 //
-//	/healthz        liveness probe ("ok")
+//	/healthz        readiness probe: "ok", or 503 with the unready reason
 //	/metrics        metrics in Prometheus text exposition format
 //	/statusz        JSON status: uptime, build info, full metrics snapshot
-//	/traces         recent/slow request traces as JSON (?min_us=N filters)
+//	/traces         recent/slow request traces as JSON (?min_us=N filters;
+//	                ?distributed=1 switches to stitched multi-hop trees)
+//	/clusterz       cluster topology: this node's status merged with every
+//	                peer's, fetched in parallel under a bounded timeout
 //	/promote        POST: promote a replica process to primary
 //	/debug/pprof/   the standard Go profiling handlers
 //
@@ -41,6 +44,13 @@ type Config struct {
 	// Status supplies live key/value pairs (role, epoch, replication
 	// watermarks) merged into /statusz on each request (nil = omitted).
 	Status func() map[string]any
+	// Ready, when non-nil, gates /healthz: a non-nil error turns the probe
+	// into a 503 carrying the reason (fenced by a higher epoch, draining,
+	// replica lag beyond threshold). Nil Ready means always ready.
+	Ready func() error
+	// Peers names every other node's admin address (from the shard map and
+	// replica set) for /clusterz fan-out (nil = this node only).
+	Peers func() []Peer
 	// Promote, when non-nil, enables POST /promote: it promotes the
 	// process to primary and returns the new epoch. Implementations must
 	// be idempotent (promoting a primary reports its current epoch).
@@ -62,6 +72,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
 	s.mux.HandleFunc("/traces", s.handleTraces)
+	s.mux.HandleFunc("/clusterz", s.handleClusterz)
 	s.mux.HandleFunc("/promote", s.handlePromote)
 	// pprof.Index routes the named profiles (heap, goroutine, block, ...)
 	// under the /debug/pprof/ prefix; the four below need explicit routes.
@@ -96,6 +107,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.cfg.Ready != nil {
+		if err := s.cfg.Ready(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "unready: %v\n", err)
+			return
+		}
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -156,23 +174,42 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTraces returns the tracer's recent and slow rings, oldest first.
-// ?min_us=N keeps only traces at least N microseconds long.
+// ?min_us=N keeps only traces at least N microseconds long;
+// ?distributed=1 switches to the stitched multi-hop distributed ring.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	type traces struct {
-		Enabled bool               `json:"enabled"`
-		MinUS   int64              `json:"min_us,omitempty"`
-		Recent  []*obs.TraceRecord `json:"recent"`
-		Slow    []*obs.TraceRecord `json:"slow"`
-	}
-	out := traces{Enabled: s.cfg.Tracer != nil}
+	minUS := int64(0)
 	if v := r.URL.Query().Get("min_us"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil || n < 0 {
 			http.Error(w, "min_us: want a non-negative integer", http.StatusBadRequest)
 			return
 		}
-		out.MinUS = n
+		minUS = n
 	}
+	if r.URL.Query().Get("distributed") == "1" {
+		type dtraces struct {
+			Enabled     bool                   `json:"enabled"`
+			MinUS       int64                  `json:"min_us,omitempty"`
+			Distributed []*obs.DistTraceRecord `json:"distributed"`
+		}
+		out := dtraces{Enabled: s.cfg.Tracer != nil, MinUS: minUS}
+		if t := s.cfg.Tracer; t != nil {
+			for _, rec := range t.Distributed() {
+				if rec.TotalNS >= minUS*1000 {
+					out.Distributed = append(out.Distributed, rec)
+				}
+			}
+		}
+		writeJSON(w, out)
+		return
+	}
+	type traces struct {
+		Enabled bool               `json:"enabled"`
+		MinUS   int64              `json:"min_us,omitempty"`
+		Recent  []*obs.TraceRecord `json:"recent"`
+		Slow    []*obs.TraceRecord `json:"slow"`
+	}
+	out := traces{Enabled: s.cfg.Tracer != nil, MinUS: minUS}
 	if t := s.cfg.Tracer; t != nil {
 		out.Recent = filterTraces(t.Recent(), out.MinUS*1000)
 		out.Slow = filterTraces(t.Slow(), out.MinUS*1000)

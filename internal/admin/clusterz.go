@@ -1,0 +1,125 @@
+// The cluster plane: /clusterz answers from ANY node with the whole
+// cluster's state in one response. The node fans out to every peer admin
+// address (shard map plus replica set) in parallel under a bounded
+// timeout and merges each node's live status -- role, epoch, fenced_by,
+// applied_csn, lag, indoubt_2pc, cursors_open -- into one topology view.
+// Failure is partial, never total: an unreachable peer contributes an
+// entry with an error annotation instead of poisoning the response.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Peer is one other node of the cluster, by admin address.
+type Peer struct {
+	// Name labels the node in the merged view ("shard0", "replica0", ...).
+	Name string `json:"name"`
+	// Addr is the node's admin (HTTP) address, host:port.
+	Addr string `json:"addr"`
+}
+
+// clusterNode is one node's entry in the merged topology view: its live
+// status, or an error annotation when the fetch failed.
+type clusterNode struct {
+	Name   string         `json:"name"`
+	Addr   string         `json:"addr,omitempty"`
+	Error  string         `json:"error,omitempty"`
+	Status map[string]any `json:"status,omitempty"`
+}
+
+// Fan-out timeout bounds: default 2s, clamped to [100ms, 10s] when the
+// request overrides it (?timeout_ms=N).
+const (
+	clusterzDefaultTimeout = 2 * time.Second
+	clusterzMinTimeout     = 100 * time.Millisecond
+	clusterzMaxTimeout     = 10 * time.Second
+)
+
+// peerStatusCap bounds how much of a peer's /statusz this node will read:
+// a misbehaving peer can cost one bounded buffer, not memory.
+const peerStatusCap = 1 << 20
+
+// handleClusterz merges this node's status with every peer's into one
+// topology view. Peers are fetched in parallel; each gets the full
+// timeout, so the response arrives within one timeout regardless of how
+// many peers are down.
+func (s *Server) handleClusterz(w http.ResponseWriter, r *http.Request) {
+	timeout := clusterzDefaultTimeout
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n <= 0 {
+			http.Error(w, "timeout_ms: want a positive integer", http.StatusBadRequest)
+			return
+		}
+		timeout = time.Duration(n) * time.Millisecond
+		if timeout < clusterzMinTimeout {
+			timeout = clusterzMinTimeout
+		}
+		if timeout > clusterzMaxTimeout {
+			timeout = clusterzMaxTimeout
+		}
+	}
+	var peers []Peer
+	if s.cfg.Peers != nil {
+		peers = s.cfg.Peers()
+	}
+	// This node answers for itself locally -- no HTTP round trip, and a
+	// /clusterz never reports its own node unreachable.
+	nodes := make([]clusterNode, len(peers)+1)
+	self := clusterNode{Name: "self"}
+	if n := s.cfg.Info["name"]; n != "" {
+		self.Name = n
+	}
+	if s.cfg.Status != nil {
+		self.Status = s.cfg.Status()
+	}
+	nodes[0] = self
+	cl := &http.Client{Timeout: timeout}
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p Peer) {
+			defer wg.Done()
+			nodes[i+1] = fetchPeerStatus(cl, p)
+		}(i, p)
+	}
+	wg.Wait()
+	writeJSON(w, map[string]any{
+		"timeout_ms": timeout.Milliseconds(),
+		"nodes":      nodes,
+	})
+}
+
+// fetchPeerStatus pulls one peer's /statusz and extracts its live status
+// map. Every failure mode -- unreachable, non-200, undecodable -- comes
+// back as an annotated entry, keeping the merged view partial rather
+// than failed.
+func fetchPeerStatus(cl *http.Client, p Peer) clusterNode {
+	n := clusterNode{Name: p.Name, Addr: p.Addr}
+	resp, err := cl.Get("http://" + p.Addr + "/statusz")
+	if err != nil {
+		n.Error = err.Error()
+		return n
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		n.Error = fmt.Sprintf("statusz: HTTP %d", resp.StatusCode)
+		return n
+	}
+	var st struct {
+		Status map[string]any `json:"status"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, peerStatusCap)).Decode(&st); err != nil {
+		n.Error = "statusz: " + err.Error()
+		return n
+	}
+	n.Status = st.Status
+	return n
+}

@@ -610,6 +610,7 @@ type Session struct {
 	curTraceID uint64
 	traceT0    time.Time
 	lastTrace  *TraceResult
+	dist       *DistTrace // shared distributed trace (overrides trace)
 }
 
 // TraceResult is the client-side view of one completed traced unit (an
@@ -664,6 +665,20 @@ func (s *Session) traceID() uint64 {
 	return s.curTraceID
 }
 
+// traceIDs returns the (trace id, hop id) pair for the next request. An
+// attached distributed trace supplies both: the shared trace id and a
+// fresh hop id numbering this request within the distributed transaction.
+// Otherwise plain per-session tracing applies with hop 0.
+func (s *Session) traceIDs() (uint64, uint32) {
+	if s.dist != nil {
+		if s.traceT0.IsZero() {
+			s.traceT0 = time.Now()
+		}
+		return s.dist.ID(), s.dist.nextHop()
+	}
+	return s.traceID(), 0
+}
+
 // Close rolls back any open transaction, closes any open prepared
 // statements, and returns the connection to the pool. Both must
 // round-trip before the connection is pooled: a reused connection is the
@@ -687,7 +702,7 @@ func (s *Session) Close() {
 		// Pipeline the closes: start them all, then collect.
 		pend := make([]*Pending, 0, len(s.stmts))
 		for id := range s.stmts {
-			p, err := s.w.start(wire.OpCloseStmt, wire.EncodeCloseStmt(id), s.c.opts.RequestTimeout, 0)
+			p, err := s.w.start(wire.OpCloseStmt, wire.EncodeCloseStmt(id), s.c.opts.RequestTimeout, 0, 0)
 			if err != nil {
 				reusable = false
 				break
@@ -716,7 +731,13 @@ func (s *Session) do(op wire.Op, payload []byte) (response, error) {
 	if s.closed {
 		return response{}, ErrClientClosed
 	}
-	p, err := s.w.start(op, payload, s.c.opts.RequestTimeout, s.traceID())
+	tid, hop := s.traceIDs()
+	var sent time.Duration
+	if s.dist != nil {
+		sent = s.dist.Since()
+	}
+	t0 := time.Now()
+	p, err := s.w.start(op, payload, s.c.opts.RequestTimeout, tid, hop)
 	if err != nil {
 		return response{}, err
 	}
@@ -733,6 +754,9 @@ func (s *Session) do(op wire.Op, payload []byte) (response, error) {
 		s.lastTrace = &TraceResult{Info: r.trace, ClientNS: clientNS}
 		s.curTraceID = 0
 		s.traceT0 = time.Time{}
+		if s.dist != nil {
+			s.dist.record(op, sent, time.Since(t0), r.trace)
+		}
 	}
 	return r, err
 }
@@ -1038,7 +1062,8 @@ func (st *Stmt) ExecPipe(args ...core.Value) (*Pending, error) {
 	case "COMMIT", "ROLLBACK":
 		st.s.inTxn = false
 	}
-	return st.s.w.start(wire.OpExecStmt, wire.EncodeExecStmt(st.id, args), st.s.c.opts.RequestTimeout, st.s.traceID())
+	tid, hop := st.s.traceIDs()
+	return st.s.w.start(wire.OpExecStmt, wire.EncodeExecStmt(st.id, args), st.s.c.opts.RequestTimeout, tid, hop)
 }
 
 // Close releases the server-side statement. Closing twice (or closing
@@ -1132,7 +1157,8 @@ func (s *Session) ExecPipe(sql string, args ...core.Value) (*Pending, error) {
 	if s.closed {
 		return nil, ErrClientClosed
 	}
-	return s.w.start(wire.OpExec, wire.EncodeExec(sql, args), s.c.opts.RequestTimeout, s.traceID())
+	tid, hop := s.traceIDs()
+	return s.w.start(wire.OpExec, wire.EncodeExec(sql, args), s.c.opts.RequestTimeout, tid, hop)
 }
 
 // CommitPipe sends a commit without waiting; Wait returns at durability.
@@ -1141,7 +1167,8 @@ func (s *Session) CommitPipe() (*Pending, error) {
 		return nil, ErrClientClosed
 	}
 	s.inTxn = false
-	return s.w.start(wire.OpCommit, nil, s.c.opts.RequestTimeout, s.traceID())
+	tid, hop := s.traceIDs()
+	return s.w.start(wire.OpCommit, nil, s.c.opts.RequestTimeout, tid, hop)
 }
 
 // Wait blocks for the response.
@@ -1218,8 +1245,9 @@ func (w *wconn) fail(err error) {
 }
 
 // start registers a future and writes the request frame. A nonzero traceID
-// flags the frame as traced, asking the server to trace the request.
-func (w *wconn) start(op wire.Op, payload []byte, timeout time.Duration, traceID uint64) (*Pending, error) {
+// flags the frame as traced, asking the server to trace the request; hop
+// is the request's span id within a distributed trace (0 outside one).
+func (w *wconn) start(op wire.Op, payload []byte, timeout time.Duration, traceID uint64, hop uint32) (*Pending, error) {
 	ch := make(chan response, 1)
 	w.mu.Lock()
 	if w.err != nil {
@@ -1235,7 +1263,7 @@ func (w *wconn) start(op wire.Op, payload []byte, timeout time.Duration, traceID
 	bp := wire.GetBuf()
 	f := wire.Frame{RequestID: id, Op: op, Payload: payload}
 	if traceID != 0 {
-		f.Traced, f.TraceID = true, traceID
+		f.Traced, f.TraceID, f.Hop = true, traceID, hop
 	}
 	buf := wire.AppendFrame((*bp)[:0], f)
 	w.writeMu.Lock()
@@ -1302,6 +1330,7 @@ func (w *wconn) readLoop() {
 				return
 			}
 			ti.TraceID = f.TraceID
+			ti.Hop = f.Hop
 			payload = rest
 		}
 		code, msg, body, err := wire.DecodeResponse(payload)

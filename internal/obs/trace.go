@@ -53,9 +53,17 @@ const (
 	StageDurable
 	// StageRespond: encoding + writing the response frame.
 	StageRespond
+	// StageCursorOpen: opening a streaming cursor — planning the SELECT and
+	// starting its producer goroutine (OpScanOpen). Appended after
+	// StageRespond for wire stability, so cursor traces are the one case
+	// where enum order is not strict pipeline order.
+	StageCursorOpen
+	// StageCursorProduce: pulling rows from the cursor's producer for one
+	// page (OpScanOpen's first page and every OpScanNext).
+	StageCursorProduce
 
 	// NumStages is the number of pipeline stages.
-	NumStages = int(StageRespond) + 1
+	NumStages = int(StageCursorProduce) + 1
 )
 
 // stageNames uses only Prometheus/identifier-safe characters.
@@ -69,6 +77,8 @@ var stageNames = [NumStages]string{
 	"srss_replicate",
 	"durable",
 	"respond",
+	"cursor_open",
+	"cursor_produce",
 }
 
 // String returns the stage's snake_case name.
@@ -96,15 +106,19 @@ type stageSpan struct {
 // equivalent happens-before edge. All methods are nil-receiver safe so
 // untraced requests pay a single branch.
 type Trace struct {
-	tr      *Tracer
-	id      uint64
-	t0      time.Time
-	forced  bool // client-requested: always published
-	sampled bool // head-sampled at Start
-	planHit bool
-	planMis bool
-	batch   int32 // group-commit batch size (txns), 0 if never set
-	stages  [NumStages]stageSpan
+	tr       *Tracer
+	id       uint64
+	t0       time.Time
+	forced   bool // client-requested: always published
+	sampled  bool // head-sampled at Start
+	planHit  bool
+	planMis  bool
+	hasShard bool   // shard identity tagged (SetShard)
+	hop      uint32 // span id within a distributed trace (0 = untagged)
+	shard    uint32 // reporting node's shard id, valid iff hasShard
+	batch    int32  // group-commit batch size (txns), 0 if never set
+	op       string // terminal opcode name (last tagged wins)
+	stages   [NumStages]stageSpan
 }
 
 // ID returns the trace id (0 for nil).
@@ -215,6 +229,57 @@ func (t *Trace) Batch() int {
 	return int(t.batch)
 }
 
+// SetHop tags the trace with its span id within a distributed trace (the
+// hop id carried on the request frame).
+func (t *Trace) SetHop(h uint32) {
+	if t == nil {
+		return
+	}
+	t.hop = h
+}
+
+// Hop returns the tagged hop id (0 for nil or untagged).
+func (t *Trace) Hop() uint32 {
+	if t == nil {
+		return 0
+	}
+	return t.hop
+}
+
+// SetShard tags the trace with the reporting node's shard id.
+func (t *Trace) SetShard(id uint32) {
+	if t == nil {
+		return
+	}
+	t.shard = id
+	t.hasShard = true
+}
+
+// Shard returns the tagged shard id, if any.
+func (t *Trace) Shard() (uint32, bool) {
+	if t == nil {
+		return 0, false
+	}
+	return t.shard, t.hasShard
+}
+
+// SetOp tags the trace with an opcode name; the last tag (the traced
+// unit's terminal request) wins.
+func (t *Trace) SetOp(name string) {
+	if t == nil {
+		return
+	}
+	t.op = name
+}
+
+// Op returns the tagged opcode name ("" for nil or untagged).
+func (t *Trace) Op() string {
+	if t == nil {
+		return ""
+	}
+	return t.op
+}
+
 // PlanCacheSeen reports whether the trace saw plan-cache hits / misses.
 func (t *Trace) PlanCacheSeen() (hit, miss bool) {
 	if t == nil {
@@ -247,7 +312,11 @@ func (t *Trace) reset() {
 	t.sampled = false
 	t.planHit = false
 	t.planMis = false
+	t.hasShard = false
+	t.hop = 0
+	t.shard = 0
 	t.batch = 0
+	t.op = ""
 	for i := range t.stages {
 		t.stages[i] = stageSpan{}
 	}
@@ -303,6 +372,10 @@ func (t *Trace) Discard() {
 func (t *Trace) record(total int64, slow bool) *TraceRecord {
 	rec := &TraceRecord{
 		ID:       t.id,
+		Hop:      t.hop,
+		Shard:    t.shard,
+		HasShard: t.hasShard,
+		Op:       t.op,
 		Start:    t.t0,
 		TotalNS:  total,
 		Batch:    int(t.batch),
@@ -338,6 +411,10 @@ type StageSpan struct {
 // TraceRecord is an immutable completed trace, as published to the rings.
 type TraceRecord struct {
 	ID       uint64      `json:"id"`
+	Hop      uint32      `json:"hop,omitempty"`
+	Shard    uint32      `json:"shard"`
+	HasShard bool        `json:"has_shard,omitempty"`
+	Op       string      `json:"op,omitempty"`
 	Start    time.Time   `json:"start"`
 	TotalNS  int64       `json:"total_ns"`
 	Batch    int         `json:"batch,omitempty"`
@@ -349,13 +426,42 @@ type TraceRecord struct {
 	Stages   []StageSpan `json:"stages"`
 }
 
-// ring is a lock-free overwrite-on-wrap buffer of completed traces.
-type ring struct {
-	slots []atomic.Pointer[TraceRecord]
+// DistHopRecord is one participant's contribution to an assembled
+// distributed trace: the hop id the coordinator stamped on the request,
+// the shard that answered, and that shard's stage timings.
+type DistHopRecord struct {
+	Hop      uint32      `json:"hop"`
+	Shard    uint32      `json:"shard"`
+	HasShard bool        `json:"has_shard,omitempty"`
+	Op       string      `json:"op"`
+	BeginNS  int64       `json:"begin_ns"` // send offset from the trace start
+	RTTNS    int64       `json:"rtt_ns"`   // coordinator-observed round trip
+	ServerNS int64       `json:"server_ns"`
+	Stages   []StageSpan `json:"stages,omitempty"`
+}
+
+// DistTraceRecord is one assembled multi-hop distributed transaction
+// trace: the coordinator's wall time decomposed into the 2PC phases, plus
+// every participant hop's tagged stage timings.
+type DistTraceRecord struct {
+	TraceID   uint64          `json:"id"`
+	Start     time.Time       `json:"start"`
+	TotalNS   int64           `json:"total_ns"`
+	PrepareNS int64           `json:"prepare_ns,omitempty"`
+	DecideNS  int64           `json:"decide_ns,omitempty"`
+	FanoutNS  int64           `json:"fanout_ns,omitempty"`
+	Shards    int             `json:"shards"`
+	Slow      bool            `json:"slow,omitempty"`
+	Hops      []DistHopRecord `json:"hops"`
+}
+
+// ring is a lock-free overwrite-on-wrap buffer of completed records.
+type ring[T any] struct {
+	slots []atomic.Pointer[T]
 	cur   atomic.Uint64 // next slot index
 }
 
-func newRing(n int) ring {
+func newRing[T any](n int) ring[T] {
 	if n <= 0 {
 		n = defaultRingSize
 	}
@@ -364,19 +470,19 @@ func newRing(n int) ring {
 	for size < n {
 		size <<= 1
 	}
-	return ring{slots: make([]atomic.Pointer[TraceRecord], size)}
+	return ring[T]{slots: make([]atomic.Pointer[T], size)}
 }
 
-func (r *ring) push(rec *TraceRecord) {
+func (r *ring[T]) push(rec *T) {
 	i := r.cur.Add(1) - 1
 	r.slots[i&uint64(len(r.slots)-1)].Store(rec)
 }
 
 // dump returns the ring contents, oldest first.
-func (r *ring) dump() []*TraceRecord {
+func (r *ring[T]) dump() []*T {
 	n := len(r.slots)
 	cur := r.cur.Load()
-	out := make([]*TraceRecord, 0, n)
+	out := make([]*T, 0, n)
 	for k := 0; k < n; k++ {
 		if rec := r.slots[(cur+uint64(k))&uint64(n-1)].Load(); rec != nil {
 			out = append(out, rec)
@@ -408,29 +514,33 @@ type Tracer struct {
 	seq    atomic.Uint64 // head-sampling counter
 	idSeq  atomic.Uint64 // server-generated trace ids
 	pool   sync.Pool
-	recent ring
-	slow   ring
+	recent ring[TraceRecord]
+	slow   ring[TraceRecord]
+	dist   ring[DistTraceRecord]
 
-	mStarted   *Counter
-	mFinished  *Counter
-	mPublished *Counter
-	mSlow      *Counter
-	mTotal     *Histogram
-	mStage     [NumStages]*Histogram
+	mStarted       *Counter
+	mFinished      *Counter
+	mPublished     *Counter
+	mSlow          *Counter
+	mDistPublished *Counter
+	mTotal         *Histogram
+	mStage         [NumStages]*Histogram
 }
 
 // NewTracer builds a Tracer. A nil return is never produced; callers that
 // want tracing off hold a nil *Tracer instead.
 func NewTracer(cfg TracerConfig) *Tracer {
 	t := &Tracer{cfg: cfg}
-	t.recent = newRing(cfg.RingSize)
-	t.slow = newRing(cfg.RingSize)
+	t.recent = newRing[TraceRecord](cfg.RingSize)
+	t.slow = newRing[TraceRecord](cfg.RingSize)
+	t.dist = newRing[DistTraceRecord](cfg.RingSize)
 	t.pool.New = func() any { return &Trace{tr: t} }
 	r := cfg.Registry
 	t.mStarted = r.Counter("trace.started")
 	t.mFinished = r.Counter("trace.finished")
 	t.mPublished = r.Counter("trace.published")
 	t.mSlow = r.Counter("trace.slow")
+	t.mDistPublished = r.Counter("trace.dist_published")
 	t.mTotal = r.Histogram("trace.total_ns")
 	for i := 0; i < NumStages; i++ {
 		t.mStage[i] = r.Histogram("trace.stage." + stageNames[i] + "_ns")
@@ -485,4 +595,37 @@ func (tr *Tracer) Slow() []*TraceRecord {
 		return nil
 	}
 	return tr.slow.dump()
+}
+
+// SlowThreshold returns the configured slow threshold (0 when unset or the
+// tracer is nil).
+func (tr *Tracer) SlowThreshold() time.Duration {
+	if tr == nil {
+		return 0
+	}
+	return tr.cfg.SlowThreshold
+}
+
+// PublishDistributed records one assembled multi-hop distributed trace,
+// mirroring Finish's publication policy: a forced (client/coordinator
+// requested) tree always publishes; otherwise only trees over the slow
+// threshold do. Marks rec.Slow as a side effect.
+func (tr *Tracer) PublishDistributed(rec *DistTraceRecord, forced bool) {
+	if tr == nil || rec == nil {
+		return
+	}
+	rec.Slow = tr.cfg.SlowThreshold > 0 && rec.TotalNS >= int64(tr.cfg.SlowThreshold)
+	if !forced && !rec.Slow {
+		return
+	}
+	tr.dist.push(rec)
+	tr.mDistPublished.Inc()
+}
+
+// Distributed returns the distributed-trace ring, oldest first.
+func (tr *Tracer) Distributed() []*DistTraceRecord {
+	if tr == nil {
+		return nil
+	}
+	return tr.dist.dump()
 }

@@ -149,13 +149,25 @@ type Shipper struct {
 	// fenced. Atomic: status surfaces read it off the shipping goroutine.
 	epoch atomic.Uint64
 
+	// Every traceEvery'th fetch round trip is traced (0 disables): the
+	// primary's stage timings for the sampled OpReplFetch land in
+	// lastTrace, so replication-path latency is attributable to server
+	// stages without taxing the steady-state shipping loop.
+	traceEvery uint64
+	fetchSeq   uint64
+	lastTrace  atomic.Pointer[wire.TraceInfo]
+
 	// chaos (nil = inert) arms the replica.ship.fetch site.
 	chaos *chaos.Engine
 }
 
+// defaultFetchTraceEvery samples one traced OpReplFetch out of this many.
+const defaultFetchTraceEvery = 64
+
 // NewShipper ships from the primary at addr into svc.
 func NewShipper(addr string, svc *srss.Service) *Shipper {
-	sh := &Shipper{addr: addr, svc: svc, timeout: 10 * time.Second}
+	sh := &Shipper{addr: addr, svc: svc, timeout: 10 * time.Second,
+		traceEvery: defaultFetchTraceEvery}
 	if svc != nil {
 		sh.chaos = svc.Chaos()
 	}
@@ -164,6 +176,14 @@ func NewShipper(addr string, svc *srss.Service) *Shipper {
 
 // Epoch returns the highest primary epoch observed so far.
 func (sh *Shipper) Epoch() uint64 { return sh.epoch.Load() }
+
+// SetTraceEvery adjusts the traced-fetch sampling rate (every n'th fetch;
+// 0 disables). Call before the shipping loop starts.
+func (sh *Shipper) SetTraceEvery(n uint64) { sh.traceEvery = n }
+
+// LastFetchTrace returns the primary's stage-timing block from the most
+// recent sampled traced fetch (nil before the first one completes).
+func (sh *Shipper) LastFetchTrace() *wire.TraceInfo { return sh.lastTrace.Load() }
 
 // ObserveEpoch raises the shipper's observed epoch (monotonic). Callers
 // seed it with the replica's recovered epoch so the first hello already
@@ -187,6 +207,10 @@ func (sh *Shipper) Close() {
 }
 
 func (sh *Shipper) roundTrip(op wire.Op, payload []byte) ([]byte, error) {
+	return sh.roundTripTraced(op, payload, false)
+}
+
+func (sh *Shipper) roundTripTraced(op wire.Op, payload []byte, traced bool) ([]byte, error) {
 	if sh.nc == nil {
 		nc, err := net.DialTimeout("tcp", sh.addr, sh.timeout)
 		if err != nil {
@@ -196,8 +220,14 @@ func (sh *Shipper) roundTrip(op wire.Op, payload []byte) ([]byte, error) {
 	}
 	sh.reqSeq++
 	id := sh.reqSeq
+	req := wire.Frame{RequestID: id, Op: op, Payload: payload}
+	if traced {
+		// The request id doubles as the trace id: shipper traces are
+		// single-hop point samples, never stitched across processes.
+		req.Traced, req.TraceID, req.Hop = true, id, 1
+	}
 	sh.nc.SetDeadline(time.Now().Add(sh.timeout))
-	if err := wire.WriteFrame(sh.nc, wire.Frame{RequestID: id, Op: op, Payload: payload}); err != nil {
+	if err := wire.WriteFrame(sh.nc, req); err != nil {
 		sh.Close()
 		return nil, fmt.Errorf("replica: write: %w", err)
 	}
@@ -210,7 +240,22 @@ func (sh *Shipper) roundTrip(op wire.Op, payload []byte) ([]byte, error) {
 		if f.RequestID != id {
 			continue // the connection greeting (and any stale notice)
 		}
-		code, msg, body, err := wire.DecodeResponse(f.Payload)
+		resp := f.Payload
+		if f.Traced {
+			// Peel the stage block off the front and keep it as the last
+			// sampled fetch trace. An untraced response to a traced request
+			// is fine (the primary may not be tracing); the reverse never
+			// happens.
+			ti, rest, terr := wire.DecodeTraceBlock(resp)
+			if terr != nil {
+				sh.Close()
+				return nil, fmt.Errorf("replica: %w", terr)
+			}
+			ti.TraceID, ti.Hop = f.TraceID, f.Hop
+			sh.lastTrace.Store(ti)
+			resp = rest
+		}
+		code, msg, body, err := wire.DecodeResponse(resp)
 		if err != nil {
 			sh.Close()
 			return nil, fmt.Errorf("replica: %w", err)
@@ -337,7 +382,9 @@ func (sh *Shipper) fetch(id srss.PLogID, off int64, max int) (wire.PLogStat, []b
 		sh.Close() // injected tear: drop the conn like a real network fault
 		return wire.PLogStat{}, nil, err
 	}
-	body, err := sh.roundTrip(wire.OpReplFetch, wire.EncodeReplFetch(id, off, max, sh.Epoch()))
+	sh.fetchSeq++
+	traced := sh.traceEvery > 0 && (sh.fetchSeq-1)%sh.traceEvery == 0
+	body, err := sh.roundTripTraced(wire.OpReplFetch, wire.EncodeReplFetch(id, off, max, sh.Epoch()), traced)
 	if err != nil {
 		return wire.PLogStat{}, nil, err
 	}
@@ -404,6 +451,11 @@ func NewFollower(sh *Shipper, rep *core.Replica, interval time.Duration, reg *ob
 	}
 	return f
 }
+
+// LastFetchTrace returns the primary's stage timings from the most recent
+// sampled traced log-shipping fetch (nil before one completes): the
+// replication path's contribution to the node's observability surface.
+func (f *Follower) LastFetchTrace() *wire.TraceInfo { return f.sh.LastFetchTrace() }
 
 // Epoch returns the highest primary epoch this node knows: its own
 // engine's (bumped by promotion) or the highest observed while shipping.

@@ -94,8 +94,12 @@ func (c *conn) scanOpen(reqID uint64, payload []byte, finish func(error, []byte)
 	// The stream gets its own throwaway session bound to the leased slot:
 	// the connection's session keeps serving interleaved statements while
 	// the cursor is open, and an engine transaction must stay
-	// single-goroutine (the stream's producer owns it).
+	// single-goroutine (the stream's producer owns it). That ownership
+	// split is why cursor stages are attributed here on the connection's
+	// trace: the producer's transaction can never carry them.
+	c.tr.Begin(obs.StageCursorOpen)
 	rs, err := c.s.cfg.Frontend.NewSession(slot).ExecStream(sql, args...)
+	c.tr.End(obs.StageCursorOpen)
 	if err != nil {
 		c.s.slots <- slot
 		// Engine sentinels (closed, busy) keep their codes through the
@@ -169,6 +173,7 @@ func (c *conn) cursorPage(reqID, id uint64, ce *cursorEntry, fetch int, finish f
 	n := 0
 	done := false
 	var serr error
+	c.tr.Begin(obs.StageCursorProduce)
 	for n < fetch && len(rowData) < pageByteCap {
 		row, ok, err := ce.rs.NextRow()
 		if err != nil {
@@ -182,6 +187,7 @@ func (c *conn) cursorPage(reqID, id uint64, ce *cursorEntry, fetch int, finish f
 		rowData = core.EncodeRow(rowData, row)
 		n++
 	}
+	c.tr.End(obs.StageCursorProduce)
 	*rowsBP = rowData
 	if serr != nil {
 		c.closeCursor(id, ce)

@@ -304,7 +304,8 @@ type Server struct {
 	mBytesOut     *obs.Counter
 	mLatency      *obs.Histogram
 	mCommitDur    *obs.Histogram
-	mReqs         [wire.MaxOp + 1]*obs.Counter // by opcode
+	mReqs         [wire.MaxOp + 1]*obs.Counter   // by opcode
+	mOpLat        [wire.MaxOp + 1]*obs.Histogram // per-opcode latency ("server.op.<name>")
 	mErrs         [16]*obs.Counter
 	mSlotWaitBusy *obs.Counter
 	mStmtsOpen    *obs.Gauge
@@ -360,6 +361,10 @@ func New(cfg Config) (*Server, error) {
 				continue
 			}
 			s.mReqs[op] = r.Counter("server.requests." + op.String())
+			// One histogram per opcode under the wire golden-table name:
+			// its _count series is the request count, its buckets the
+			// latency distribution.
+			s.mOpLat[op] = r.Histogram("server.op." + op.String())
 		}
 		for c := wire.CodeConflict; c <= wire.MaxCode; c++ {
 			s.mErrs[c] = r.Counter("server.errors." + c.String())
@@ -399,6 +404,13 @@ func (s *Server) Promote(src ReplicationSource) {
 		s.replSrc.Store(&src)
 	}
 }
+
+// Draining reports whether the server has begun a graceful shutdown and
+// is refusing new requests (readiness probes should fail the node).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// CursorsOpen returns the number of currently open streaming cursors.
+func (s *Server) CursorsOpen() int64 { return s.mCursorsOpen.Load() }
 
 // ListenAndServe listens on addr and serves until Shutdown/Close.
 func (s *Server) ListenAndServe(addr string) error {
@@ -662,8 +674,20 @@ func (c *conn) serve() {
 				c.tr = tr
 				c.sess.SetTrace(tr)
 				tr.AddSpan(obs.StageFrameRead, 0, int64(time.Since(frameT0)))
+				// Tag the trace with its distributed identity: the hop id
+				// the coordinator stamped on the frame, and this node's
+				// shard id, so the stitched tree can place the timings.
+				tr.SetHop(f.Hop)
+				if si := c.s.cfg.ShardInfo; si != nil {
+					if sm := si(); sm != nil {
+						tr.SetShard(sm.SelfID)
+					}
+				}
 			}
 		}
+		// The terminal opcode of the traced unit names the whole trace
+		// (the last tag before Finish wins).
+		c.tr.SetOp(f.Op.String())
 		c.s.mBytesIn.Add(int64(len(f.Payload)) + 13)
 		if !c.handle(f) {
 			return
@@ -760,11 +784,14 @@ func (c *conn) handle(f wire.Frame) bool {
 	c.s.admitMu.Unlock()
 	c.s.mInflight.Add(1)
 	start := time.Now()
+	opLat := c.s.mOpLat[f.Op]
 	release := func() {
 		<-c.s.inflight
 		c.s.mInflight.Add(-1)
 		c.s.reqWG.Done()
-		c.s.mLatency.Record(time.Since(start).Nanoseconds())
+		ns := time.Since(start).Nanoseconds()
+		c.s.mLatency.Record(ns)
+		opLat.Record(ns)
 	}
 
 	finish := func(err error, body []byte) {

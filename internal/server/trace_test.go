@@ -5,10 +5,12 @@ import (
 	"time"
 
 	"hiengine/internal/chaos"
+	"hiengine/internal/client"
 	"hiengine/internal/core"
 	"hiengine/internal/delay"
 	"hiengine/internal/obs"
 	"hiengine/internal/wal"
+	"hiengine/internal/wire"
 )
 
 // traceHarness builds a deployment whose server traces requests with cfg.
@@ -219,5 +221,128 @@ func TestTraceUntracedSessionUnaffected(t *testing.T) {
 	}
 	if recent[0].ID != lt.Info.TraceID {
 		t.Fatalf("trace id mismatch: ring %d, client %d", recent[0].ID, lt.Info.TraceID)
+	}
+}
+
+// TestStreamedScanTraceStages is the cursor-trace regression: a traced
+// streaming SELECT must attribute the snapshot pin (cursor_open) and page
+// production (cursor_produce) on the open unit, and later page fetches
+// must carry cursor_produce without re-reporting cursor_open.
+func TestStreamedScanTraceStages(t *testing.T) {
+	h, tracer := traceHarness(t, delay.Zero(), obs.TracerConfig{SampleEvery: 1}, nil)
+	cl := h.client(t, func(o *client.Options) { o.FetchSize = 16 })
+
+	s, err := cl.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Exec("CREATE TABLE scantrace (id INT, v TEXT, PRIMARY KEY(id))"); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 64
+	stmts := make([]wire.BatchStmt, rows)
+	for i := range stmts {
+		stmts[i] = wire.BatchStmt{SQL: "INSERT INTO scantrace VALUES (?, 'v')",
+			Args: []core.Value{core.I(int64(i))}}
+	}
+	if _, err := cl.ExecBatch(stmts); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Trace(true)
+	rs, err := s.Query("SELECT * FROM scantrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := s.LastTrace()
+	if lt == nil {
+		t.Fatal("no trace returned for traced scan open")
+	}
+	stages := func(ti *wire.TraceInfo) map[obs.Stage]int64 {
+		m := make(map[obs.Stage]int64, len(ti.Stages))
+		for _, st := range ti.Stages {
+			m[st.Stage] = st.DurNS
+		}
+		return m
+	}
+	open := stages(lt.Info)
+	if d, ok := open[obs.StageCursorOpen]; !ok || d <= 0 {
+		t.Fatalf("cursor_open stage missing or zero on scan open: %+v", lt.Info.Stages)
+	}
+	if d, ok := open[obs.StageCursorProduce]; !ok || d <= 0 {
+		t.Fatalf("cursor_produce stage missing or zero on scan open: %+v", lt.Info.Stages)
+	}
+
+	n := 0
+	for rs.Next() {
+		n++
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != rows {
+		t.Fatalf("streamed %d rows, want %d", n, rows)
+	}
+
+	// With 64 rows at fetch size 16, the drain issued pure page fetches:
+	// their units must report page production but never a second open.
+	var nextSeen bool
+	for _, rec := range tracer.Recent() {
+		if rec.Op != wire.OpScanNext.String() {
+			continue
+		}
+		nextSeen = true
+		var produce, openDur int64
+		for _, st := range rec.Stages {
+			switch st.Stage {
+			case obs.StageCursorProduce:
+				produce = st.DurNS
+			case obs.StageCursorOpen:
+				openDur = st.DurNS
+			}
+		}
+		if produce <= 0 {
+			t.Fatalf("scan_next trace lacks cursor_produce: %+v", rec.Stages)
+		}
+		if openDur != 0 {
+			t.Fatalf("scan_next trace re-reports cursor_open: %+v", rec.Stages)
+		}
+	}
+	if !nextSeen {
+		t.Fatal("no scan_next trace in the recent ring")
+	}
+}
+
+// TestPerOpcodeMetrics asserts every served opcode lands in its own
+// server.op.<name> histogram: the _count series is the request count and
+// the samples are that opcode's latency.
+func TestPerOpcodeMetrics(t *testing.T) {
+	h := newHarness(t, nil, nil)
+	cl := h.client(t, nil)
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec("CREATE TABLE opm (k INT, PRIMARY KEY(k))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec("INSERT INTO opm VALUES (?)", core.I(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := make(map[string]int64)
+	for _, m := range h.reg.Snapshot().Metrics {
+		if m.Hist != nil {
+			counts[m.Name] = m.Hist.Count
+		}
+	}
+	if got := counts["server.op."+wire.OpPing.String()]; got < 1 {
+		t.Fatalf("server.op.ping count = %d, want >= 1", got)
+	}
+	if got := counts["server.op."+wire.OpExec.String()]; got < 2 {
+		t.Fatalf("server.op.exec count = %d, want >= 2 (create + insert)", got)
+	}
+	if got := counts["server.op."+wire.OpScanOpen.String()]; got != 0 {
+		t.Fatalf("server.op.scan_open count = %d, want 0 (no scans ran)", got)
 	}
 }

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hiengine/internal/chaos"
 	"hiengine/internal/client"
 	"hiengine/internal/core"
+	"hiengine/internal/obs"
 	"hiengine/internal/wire"
 )
 
@@ -25,6 +27,14 @@ type Router struct {
 	seed uint64         // coordinator identity, stamped into gtids
 	seq  atomic.Uint64  // per-coordinator gtid sequence
 	ch   *chaos.Engine  // coordinator-side fault injection (nil = inert)
+
+	// Distributed tracing (see trace.go): while tracing is on, every
+	// transaction shares one trace id across its shards and the stitched
+	// tree is stored in lastDist and published to traceSink.
+	tracing   atomic.Bool
+	distSeq   atomic.Uint64 // per-coordinator distributed trace ids
+	traceSink atomic.Pointer[obs.Tracer]
+	lastDist  atomic.Pointer[DistTraceTree]
 
 	mu      sync.Mutex
 	m       *Map
@@ -121,6 +131,11 @@ func (r *Router) Exec(key int64, sql string, args ...core.Value) (*wire.Result, 
 	if err != nil {
 		return nil, err
 	}
+	if dt := r.distTrace(); dt != nil {
+		res, err := c.ExecDist(dt, sql, args...)
+		r.publishDist(dt, 0, 0, 0)
+		return res, err
+	}
 	return c.Exec(sql, args...)
 }
 
@@ -134,6 +149,13 @@ func (r *Router) Query(key int64, sql string, args ...core.Value) (*client.Rows,
 	if err != nil {
 		return nil, err
 	}
+	if dt := r.distTrace(); dt != nil {
+		rows, err := c.QueryDist(dt, sql, args...)
+		// The open hop is in; page hops keep accumulating on dt but the
+		// published tree snapshots the cursor open.
+		r.publishDist(dt, 0, 0, 0)
+		return rows, err
+	}
 	return c.Query(sql, args...)
 }
 
@@ -143,6 +165,11 @@ func (r *Router) ExecBatch(key int64, stmts []wire.BatchStmt) ([]int, error) {
 	c, err := r.ClientForKey(key)
 	if err != nil {
 		return nil, err
+	}
+	if dt := r.distTrace(); dt != nil {
+		affected, err := c.ExecBatchDist(dt, stmts)
+		r.publishDist(dt, 0, 0, 0)
+		return affected, err
 	}
 	return c.ExecBatch(stmts)
 }
@@ -155,6 +182,7 @@ func (r *Router) chaosCheck(site string) error { return r.ch.Check(site) }
 // costs nothing until a second shard joins.
 type Txn struct {
 	r       *Router
+	dt      *client.DistTrace // shared trace across every participant (nil = untraced)
 	parts   map[uint32]*client.Session
 	order   []uint32        // first-touch order
 	writers map[uint32]bool // shards where a statement affected rows
@@ -171,7 +199,8 @@ func (t *Txn) GTID() string { return t.gtid }
 // Begin opens a distributed transaction. No network traffic until the
 // first statement.
 func (r *Router) Begin() *Txn {
-	return &Txn{r: r, parts: make(map[uint32]*client.Session), writers: make(map[uint32]bool)}
+	return &Txn{r: r, dt: r.distTrace(),
+		parts: make(map[uint32]*client.Session), writers: make(map[uint32]bool)}
 }
 
 // Exec runs one statement on the shard owning key, opening that shard's
@@ -195,6 +224,9 @@ func (t *Txn) ExecOn(id uint32, sql string, args ...core.Value) (*wire.Result, e
 		s, err = c.Session()
 		if err != nil {
 			return nil, err
+		}
+		if t.dt != nil {
+			s.SetDistTrace(t.dt)
 		}
 		if err := s.Begin(); err != nil {
 			s.Close()
@@ -226,6 +258,8 @@ func (t *Txn) Rollback() error {
 		}
 		s.Close()
 	}
+	// An aborted transaction still yields its (partial) tree.
+	t.r.publishDist(t.dt, 0, 0, 0)
 	return first
 }
 
@@ -246,6 +280,12 @@ func (t *Txn) Commit() error {
 			s.Close()
 		}
 	}()
+	// Phase durations feed the stitched trace; published even on error so a
+	// failed commit still yields its partial tree.
+	var prepD, decideD, fanoutD time.Duration
+	if t.dt != nil {
+		defer func() { t.r.publishDist(t.dt, prepD, decideD, fanoutD) }()
+	}
 	switch len(t.order) {
 	case 0:
 		return nil
@@ -270,6 +310,7 @@ func (t *Txn) Commit() error {
 	// Phase one: every participant prepares in parallel. A vote error has
 	// already aborted that participant's transaction server-side.
 	votes := make(map[uint32]byte, len(t.order))
+	prepT0 := time.Now()
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var voteErr error
@@ -290,6 +331,7 @@ func (t *Txn) Commit() error {
 		}(id, t.parts[id])
 	}
 	wg.Wait()
+	prepD = time.Since(prepT0)
 	if voteErr != nil {
 		t.abortPrepared(gtid, votes)
 		return voteErr
@@ -308,11 +350,13 @@ func (t *Txn) Commit() error {
 	}
 
 	// Phase two, step one: the home decision is the commit point.
+	decideT0 := time.Now()
 	if _, err := t.parts[home].TxnDecide(gtid, true); err != nil {
 		// The decision may or may not be durable: the outcome is unknown
 		// until a resolver asks the home shard for the gtid's status.
 		return fmt.Errorf("shard: decision on home shard %d for %s (outcome unknown): %w", home, gtid, err)
 	}
+	decideD = time.Since(decideT0)
 	if err := t.r.chaosCheck(SiteCoordFanout); err != nil {
 		// Committed -- the home decision is durable -- but the fan-out is
 		// lost; recovery reads the home status and completes it.
@@ -320,6 +364,7 @@ func (t *Txn) Commit() error {
 	}
 	// Phase two, step two: best-effort fan-out. Failures here are repaired
 	// by recovery; the transaction is already committed.
+	fanT0 := time.Now()
 	prepared := make([]uint32, 0, len(t.order))
 	for _, id := range t.order {
 		if votes[id] == wire.PreparedWrites {
@@ -340,6 +385,7 @@ func (t *Txn) Commit() error {
 		// bookkeeping (and unpin the backing log segments) everywhere.
 		t.forgetAll(gtid, home, prepared)
 	}
+	fanoutD = time.Since(fanT0)
 	return nil
 }
 

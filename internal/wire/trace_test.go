@@ -17,6 +17,7 @@ func TestTracedFrameRoundTrip(t *testing.T) {
 		Payload:   []byte("body"),
 		Traced:    true,
 		TraceID:   0xdeadbeefcafe,
+		Hop:       300, // forces a multi-byte hop uvarint
 	}
 	if err := WriteFrame(&buf, f); err != nil {
 		t.Fatal(err)
@@ -25,7 +26,7 @@ func TestTracedFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !got.Traced || got.TraceID != f.TraceID || got.Op != OpCommit ||
+	if !got.Traced || got.TraceID != f.TraceID || got.Hop != 300 || got.Op != OpCommit ||
 		got.RequestID != 77 || string(got.Payload) != "body" {
 		t.Fatalf("round trip mismatch: %+v", got)
 	}
@@ -36,8 +37,34 @@ func TestTracedFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !got2.Traced || got2.TraceID != f.TraceID || string(got2.Payload) != "body" {
+	if !got2.Traced || got2.TraceID != f.TraceID || got2.Hop != 300 || string(got2.Payload) != "body" {
 		t.Fatalf("FrameReader mismatch: %+v", got2)
+	}
+}
+
+func TestTracedFrameGoldenLayout(t *testing.T) {
+	// The traced-frame extension is frozen: traceID (8 bytes BE) then the
+	// hop id as a uvarint, between the header and the payload, with the
+	// trace flag on the opcode and the extension counted in length.
+	f := Frame{
+		RequestID: 7,
+		Op:        OpCommit,
+		Payload:   []byte{0xAA},
+		Traced:    true,
+		TraceID:   0x0102030405060708,
+		Hop:       5,
+	}
+	got := AppendFrame(nil, f)
+	want := []byte{
+		0, 0, 0, 19, // length: 9 header + 8 trace id + 1 hop + 1 payload
+		0, 0, 0, 0, 0, 0, 0, 7, // request id
+		byte(OpCommit) | byte(TraceFlag), // opcode with trace flag
+		1, 2, 3, 4, 5, 6, 7, 8,           // trace id
+		5,    // hop uvarint
+		0xAA, // payload
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("traced encoding changed:\n got % x\nwant % x", got, want)
 	}
 }
 
@@ -79,6 +106,9 @@ func TestTraceBlockRoundTrip(t *testing.T) {
 	tr.PlanCache(true)
 	tr.PlanCache(false)
 
+	tr.SetHop(4)
+	tr.SetShard(2)
+
 	body := []byte("result")
 	frameBuf := AppendTracedResponseFrame(nil, 11, tr.ID(), tr, CodeOK, "", body)
 	tr.Discard()
@@ -90,12 +120,18 @@ func TestTraceBlockRoundTrip(t *testing.T) {
 	if !f.Traced || f.TraceID != 99 || f.Op != OpResponse {
 		t.Fatalf("frame: %+v", f)
 	}
+	if f.Hop != 4 {
+		t.Fatalf("traced response hop = %d, want the unit's hop 4", f.Hop)
+	}
 	ti, rest, err := DecodeTraceBlock(f.Payload)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ti.Batch != 3 || !ti.PlanHit || !ti.PlanMiss || ti.TotalNS <= 0 {
 		t.Fatalf("trace info: %+v", ti)
+	}
+	if !ti.HasShard || ti.Shard != 2 {
+		t.Fatalf("shard tag: %+v", ti)
 	}
 	wantStages := []obs.Stage{obs.StageFrameRead, obs.StageExec, obs.StageSRSSReplicate}
 	if len(ti.Stages) != len(wantStages) {
@@ -127,18 +163,22 @@ func TestTraceBlockNilTrace(t *testing.T) {
 	if len(ti.Stages) != 0 || ti.TotalNS != 0 || ti.Batch != 0 || len(rest) != 0 {
 		t.Fatalf("nil trace block: %+v rest=%d", ti, len(rest))
 	}
+	if ti.HasShard {
+		t.Fatalf("nil trace block carries a shard tag: %+v", ti)
+	}
 }
 
 func TestTraceBlockCorrupt(t *testing.T) {
 	cases := [][]byte{
-		{},        // missing count
-		{200},     // count > NumStages (uvarint 200 fits one byte)
-		{1},       // stage byte missing
-		{1, 0},    // begin missing
-		{1, 0, 0}, // dur missing
-		{0},       // total missing
-		{0, 0},    // batch missing
-		{0, 0, 0}, // flags missing
+		{},           // missing count
+		{200},        // count > NumStages (uvarint 200 fits one byte)
+		{1},          // stage byte missing
+		{1, 0},       // begin missing
+		{1, 0, 0},    // dur missing
+		{0},          // total missing
+		{0, 0},       // batch missing
+		{0, 0, 0},    // flags missing
+		{0, 0, 0, 0}, // shard tag missing
 	}
 	for i, c := range cases {
 		if _, _, err := DecodeTraceBlock(c); !errors.Is(err, ErrProtocol) {

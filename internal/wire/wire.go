@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 
 	"hiengine/internal/core"
@@ -448,24 +449,42 @@ func FromCode(c Code, msg string) error {
 
 // --- frame I/O -------------------------------------------------------------
 
-// Frame is one decoded frame. Traced/TraceID reflect the TraceFlag bit:
-// the readers strip the flag from Op and the trace id prefix from Payload,
-// so Op and Payload always carry their pre-trace meaning.
+// Frame is one decoded frame. Traced/TraceID/Hop reflect the TraceFlag
+// bit: the readers strip the flag from Op and the trace extension (8-byte
+// trace id, then the hop id uvarint) from Payload, so Op and Payload
+// always carry their pre-trace meaning. Hop is the span id within a
+// distributed trace: the coordinator numbers every request it fans out,
+// and each participant echoes the hop on its traced response so stage
+// timings stitch back into one tree tagged (trace id, hop, shard, opcode).
+// Untraced frames carry neither field and are byte-identical to the
+// pre-hop encoding.
 type Frame struct {
 	RequestID uint64
 	Op        Op
 	Payload   []byte
 	TraceID   uint64
+	Hop       uint32
 	Traced    bool
 }
 
+// uvarintLen returns the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
 // AppendFrame serializes a frame onto buf. A Traced frame gets the
-// TraceFlag opcode bit and an 8-byte trace id ahead of the payload.
+// TraceFlag opcode bit, an 8-byte trace id, and a hop-id uvarint ahead of
+// the payload.
 func AppendFrame(buf []byte, f Frame) []byte {
 	n := headerSize + len(f.Payload)
 	op := f.Op
 	if f.Traced {
-		n += traceIDSize
+		n += traceIDSize + uvarintLen(uint64(f.Hop))
 		op |= TraceFlag
 	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
@@ -473,6 +492,7 @@ func AppendFrame(buf []byte, f Frame) []byte {
 	buf = append(buf, byte(op))
 	if f.Traced {
 		buf = binary.BigEndian.AppendUint64(buf, f.TraceID)
+		buf = binary.AppendUvarint(buf, uint64(f.Hop))
 	}
 	return append(buf, f.Payload...)
 }
@@ -601,7 +621,8 @@ func (fr *FrameReader) Read() (Frame, error) {
 	return f, nil
 }
 
-// stripTraceID moves a traced frame's id prefix out of Payload.
+// stripTraceID moves a traced frame's trace extension (id prefix + hop
+// uvarint) out of Payload.
 func stripTraceID(f *Frame) error {
 	if !f.Traced {
 		return nil
@@ -610,7 +631,13 @@ func stripTraceID(f *Frame) error {
 		return fmt.Errorf("%w: traced frame too short for trace id", ErrProtocol)
 	}
 	f.TraceID = binary.BigEndian.Uint64(f.Payload)
-	f.Payload = f.Payload[traceIDSize:]
+	rest := f.Payload[traceIDSize:]
+	hop, w := binary.Uvarint(rest)
+	if w <= 0 || hop > math.MaxUint32 {
+		return fmt.Errorf("%w: traced frame has no valid hop id", ErrProtocol)
+	}
+	f.Hop = uint32(hop)
+	f.Payload = rest[w:]
 	return nil
 }
 
@@ -822,16 +849,18 @@ func AppendResponseFrame(buf []byte, reqID uint64, c Code, msg string, body []by
 
 // AppendTracedResponseFrame appends a complete traced response frame:
 // length header, request id, OpResponse|TraceFlag, the 8-byte trace id,
-// the stage-timing block for tr, then the code/msg/body payload. The
-// client's frame reader strips the id; DecodeTraceBlock then peels the
-// stage block off the payload ahead of DecodeResponse. Single-pass with a
-// length back-patch, like AppendResponseFrame.
+// the request's hop id echoed back as a uvarint, the stage-timing block
+// for tr, then the code/msg/body payload. The client's frame reader strips
+// the id and hop; DecodeTraceBlock then peels the stage block off the
+// payload ahead of DecodeResponse. Single-pass with a length back-patch,
+// like AppendResponseFrame.
 func AppendTracedResponseFrame(buf []byte, reqID, traceID uint64, tr *obs.Trace, c Code, msg string, body []byte) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0)
 	buf = binary.BigEndian.AppendUint64(buf, reqID)
 	buf = append(buf, byte(OpResponse|TraceFlag))
 	buf = binary.BigEndian.AppendUint64(buf, traceID)
+	buf = binary.AppendUvarint(buf, uint64(tr.Hop()))
 	buf = AppendTraceBlock(buf, tr)
 	buf = AppendResponse(buf, c, msg, body)
 	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
@@ -847,9 +876,15 @@ type StageTiming struct {
 
 // TraceInfo is the server's stage-timing block for one traced response.
 // TotalNS is the server-side elapsed time when the response was encoded,
-// which is what lets the client split network from server time.
+// which is what lets the client split network from server time. Hop is
+// the request's span id echoed back from the frame; Shard identifies the
+// reporting node when it serves a shard map (HasShard), so a coordinator
+// can stitch fan-out responses into one tree.
 type TraceInfo struct {
 	TraceID  uint64
+	Hop      uint32
+	Shard    uint32
+	HasShard bool
 	TotalNS  int64
 	Batch    int
 	PlanHit  bool
@@ -865,8 +900,10 @@ const (
 
 // AppendTraceBlock appends tr's stage timings in wire form: stage count
 // (uvarint), then per stage {stage byte, begin uvarint, dur uvarint}, then
-// total-so-far (uvarint), batch size (uvarint) and a plan-cache flag byte.
-// A nil trace encodes as an empty block. Allocation-free given capacity.
+// total-so-far (uvarint), batch size (uvarint), a plan-cache flag byte,
+// and the reporting node's shard identity as shard+1 (uvarint; 0 means the
+// node serves no shard map). A nil trace encodes as an empty block.
+// Allocation-free given capacity.
 func AppendTraceBlock(buf []byte, tr *obs.Trace) []byte {
 	n := 0
 	tr.VisitStages(func(obs.Stage, int64, int64) { n++ })
@@ -886,13 +923,18 @@ func AppendTraceBlock(buf []byte, tr *obs.Trace) []byte {
 	if miss {
 		flags |= traceFlagPlanMiss
 	}
-	return append(buf, flags)
+	buf = append(buf, flags)
+	shardEnc := uint64(0)
+	if shard, ok := tr.Shard(); ok {
+		shardEnc = uint64(shard) + 1
+	}
+	return binary.AppendUvarint(buf, shardEnc)
 }
 
 // DecodeTraceBlock parses a stage-timing block off the front of a traced
 // response payload, returning the info and the remaining payload (the
-// standard code/msg/body response). The caller fills TraceID from the
-// frame.
+// standard code/msg/body response). The caller fills TraceID and Hop from
+// the frame.
 func DecodeTraceBlock(payload []byte) (*TraceInfo, []byte, error) {
 	n, w := binary.Uvarint(payload)
 	if w <= 0 || n > uint64(obs.NumStages) {
@@ -934,11 +976,21 @@ func DecodeTraceBlock(payload []byte) (*TraceInfo, []byte, error) {
 		return nil, nil, ErrPayloadCorrupt
 	}
 	flags := payload[0]
+	payload = payload[1:]
+	shardEnc, w := binary.Uvarint(payload)
+	if w <= 0 || shardEnc > 1<<32 {
+		return nil, nil, ErrPayloadCorrupt
+	}
+	payload = payload[w:]
 	ti.TotalNS = int64(total)
 	ti.Batch = int(batch)
 	ti.PlanHit = flags&traceFlagPlanHit != 0
 	ti.PlanMiss = flags&traceFlagPlanMiss != 0
-	return ti, payload[1:], nil
+	if shardEnc > 0 {
+		ti.Shard = uint32(shardEnc - 1)
+		ti.HasShard = true
+	}
+	return ti, payload, nil
 }
 
 // DecodeResponse splits an OpResponse payload into code, message and body.
